@@ -1,0 +1,150 @@
+// E4 — Approximate agreement: per-iteration contraction factor and
+// iterations-to-ε, id-only vs. the classical known-f algorithm. Paper claim
+// (Theorem 4 + §Discussion): range at least halves per iteration and the
+// convergence rate matches the known-f algorithm.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <optional>
+
+#include "core/approx_agreement.hpp"
+#include "harness/runner.hpp"
+#include "net/sync_simulator.hpp"
+
+namespace idonly {
+namespace {
+
+std::vector<double> spread_inputs(std::size_t n, double width) {
+  std::vector<double> inputs;
+  for (std::size_t i = 0; i < n; ++i) {
+    inputs.push_back(width * static_cast<double>(i) / static_cast<double>(n - 1));
+  }
+  return inputs;
+}
+
+void BM_IdOnlyApprox(benchmark::State& state) {
+  const auto n_correct = static_cast<std::size_t>(state.range(0));
+  const auto n_byz = static_cast<std::size_t>(state.range(1));
+  const int iterations = 10;
+  ScenarioConfig config;
+  config.n_correct = n_correct;
+  config.n_byzantine = n_byz;
+  config.adversary = n_byz == 0 ? AdversaryKind::kNone : AdversaryKind::kExtreme;
+  const auto inputs = spread_inputs(n_correct, 1024.0);
+  ApproxRun last;
+  for (auto _ : state) {
+    config.seed += 1;
+    last = run_approx_agreement(config, inputs, iterations);
+    benchmark::DoNotOptimize(last.output_range);
+  }
+  // Geometric-mean contraction per iteration.
+  const double total = last.range_per_iteration.back() / last.input_range;
+  state.counters["contraction"] = std::pow(total, 1.0 / iterations);
+  state.counters["final_over_initial"] = total;
+  state.counters["within_range"] = last.within_input_range ? 1 : 0;
+  state.counters["msgs_per_iter"] =
+      static_cast<double>(last.messages) / static_cast<double>(iterations);
+}
+BENCHMARK(BM_IdOnlyApprox)
+    ->Args({7, 0})->Args({7, 2})->Args({13, 4})->Args({25, 8})->Args({49, 16})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_KnownFApprox(benchmark::State& state) {
+  const auto n_correct = static_cast<std::size_t>(state.range(0));
+  const auto f = static_cast<std::size_t>(state.range(1));
+  const int iterations = 10;
+  const auto inputs = spread_inputs(n_correct, 1024.0);
+  ApproxRun last;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    seed += 1;
+    last = run_known_f_approx(n_correct, f, inputs, iterations, seed);
+    benchmark::DoNotOptimize(last.output_range);
+  }
+  const double total = last.range_per_iteration.back() / last.input_range;
+  state.counters["contraction"] = std::pow(total, 1.0 / iterations);
+  state.counters["final_over_initial"] = total;
+  state.counters["within_range"] = last.within_input_range ? 1 : 0;
+  state.counters["msgs_per_iter"] =
+      static_cast<double>(last.messages) / static_cast<double>(iterations);
+}
+BENCHMARK(BM_KnownFApprox)
+    ->Args({7, 0})->Args({7, 2})->Args({13, 4})->Args({25, 8})->Args({49, 16})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_IterationsToEpsilon(benchmark::State& state) {
+  // How many iterations until the correct range falls below ε = 1e-6 of the
+  // initial width — both algorithms should need the same count (≈ log2).
+  const auto n_correct = static_cast<std::size_t>(state.range(0));
+  const int iterations = 36;
+  ScenarioConfig config;
+  config.n_correct = n_correct;
+  config.n_byzantine = 2;
+  config.adversary = AdversaryKind::kExtreme;
+  const auto inputs = spread_inputs(n_correct, 1.0);
+  int iters_unknown = 0;
+  int iters_known = 0;
+  for (auto _ : state) {
+    config.seed += 1;
+    const auto unknown = run_approx_agreement(config, inputs, iterations);
+    const auto known = run_known_f_approx(n_correct, 2, inputs, iterations, config.seed);
+    auto first_below = [](const std::vector<double>& ranges, double eps) {
+      for (std::size_t i = 0; i < ranges.size(); ++i) {
+        if (ranges[i] < eps) return static_cast<int>(i) + 1;
+      }
+      return static_cast<int>(ranges.size());
+    };
+    iters_unknown = first_below(unknown.range_per_iteration, 1e-6);
+    iters_known = first_below(known.range_per_iteration, 1e-6);
+    benchmark::DoNotOptimize(iters_unknown);
+  }
+  state.counters["iters_idonly"] = iters_unknown;
+  state.counters["iters_knownf"] = iters_known;
+}
+BENCHMARK(BM_IterationsToEpsilon)->Arg(7)->Arg(13)->Arg(25)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DynamicChurn(benchmark::State& state) {
+  // One joiner per round (in-range values), one leaver per round — the
+  // §Dynamic Networks setting. Counter: contraction achieved over 12 rounds
+  // of continuous churn.
+  const auto n_stable = static_cast<std::size_t>(state.range(0));
+  double contraction = 0;
+  for (auto _ : state) {
+    SyncSimulator sim;
+    std::vector<NodeId> stable;
+    for (std::size_t i = 0; i < n_stable; ++i) {
+      stable.push_back(10 * (i + 1));
+      sim.add_process(std::make_unique<ApproxAgreementProcess>(
+          stable.back(), static_cast<double>(i), /*iterations=*/40));
+    }
+    NodeId churn_id = 5000;
+    std::optional<NodeId> leaver;
+    for (int round = 0; round < 12; ++round) {
+      if (leaver.has_value()) sim.remove_process(*leaver);
+      sim.add_process(std::make_unique<ApproxAgreementProcess>(
+          ++churn_id, static_cast<double>(n_stable) / 2.0, 40));
+      leaver = churn_id;
+      sim.step();
+    }
+    double lo = 1e300;
+    double hi = -1e300;
+    for (NodeId id : stable) {
+      const double v = sim.get<ApproxAgreementProcess>(id)->value();
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    contraction = (hi - lo) / static_cast<double>(n_stable - 1);
+    benchmark::DoNotOptimize(contraction);
+  }
+  state.counters["final_over_initial"] = contraction;
+}
+BENCHMARK(BM_DynamicChurn)->Arg(7)->Arg(13)->Arg(25)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace idonly
+
+BENCHMARK_MAIN();

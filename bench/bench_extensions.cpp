@@ -1,0 +1,104 @@
+// Extension algorithms (paper appendix/draft material): Byzantine renaming
+// (O(f)-round termination, 4f+3 loop-round envelope), terminating reliable
+// broadcast (O(f) via consensus), and the rotor-terminated king consensus
+// (O(n)) — round/message series vs. n and f.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/king_consensus.hpp"
+#include "core/renaming.hpp"
+#include "core/terminating_rb.hpp"
+#include "harness/scenario.hpp"
+#include "net/sync_simulator.hpp"
+
+namespace idonly {
+namespace {
+
+void BM_Renaming(benchmark::State& state) {
+  const auto n_correct = static_cast<std::size_t>(state.range(0));
+  const auto f = static_cast<std::size_t>(state.range(1));
+  ScenarioConfig config;
+  config.n_correct = n_correct;
+  config.n_byzantine = f;
+  config.adversary = f == 0 ? AdversaryKind::kNone : AdversaryKind::kNoise;
+  Round rounds = 0;
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    config.seed += 1;
+    const Scenario scenario = make_scenario(config);
+    SyncSimulator sim;
+    auto factory = [](NodeId id, std::size_t) { return std::make_unique<RenamingProcess>(id); };
+    populate(sim, scenario, factory);
+    sim.run_until_all_correct_done(200);
+    rounds = sim.round();
+    messages = sim.metrics().messages.total_sent();
+    benchmark::DoNotOptimize(rounds);
+  }
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.counters["bound_4f_plus_3"] = static_cast<double>(4 * f + 3 + 2);
+  state.counters["messages"] = static_cast<double>(messages);
+}
+BENCHMARK(BM_Renaming)->Args({7, 0})->Args({7, 2})->Args({13, 4})->Args({25, 8})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_TerminatingRb(benchmark::State& state) {
+  const auto n_correct = static_cast<std::size_t>(state.range(0));
+  const bool byz_source = state.range(1) != 0;
+  ScenarioConfig config;
+  config.n_correct = n_correct;
+  config.n_byzantine = 2;
+  config.adversary = AdversaryKind::kTwoFaced;
+  Round rounds = 0;
+  for (auto _ : state) {
+    config.seed += 1;
+    const Scenario scenario = make_scenario(config);
+    const NodeId source = byz_source ? scenario.byzantine_ids.front()
+                                     : scenario.correct_ids.front();
+    SyncSimulator sim;
+    auto factory = [&](NodeId id, std::size_t index) -> std::unique_ptr<Process> {
+      return std::make_unique<TerminatingRbProcess>(id, source,
+                                                    Value::real(1.0 + double(index)));
+    };
+    populate(sim, scenario, factory);
+    sim.run_until_all_correct_done(400);
+    rounds = sim.round();
+    benchmark::DoNotOptimize(rounds);
+  }
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.counters["byz_source"] = byz_source ? 1 : 0;
+}
+BENCHMARK(BM_TerminatingRb)->Args({7, 0})->Args({7, 1})->Args({13, 0})->Args({13, 1})
+    ->Unit(benchmark::kMillisecond)->Iterations(10);
+
+void BM_KingConsensus(benchmark::State& state) {
+  const auto n_correct = static_cast<std::size_t>(state.range(0));
+  ScenarioConfig config;
+  config.n_correct = n_correct;
+  config.n_byzantine = 2;
+  config.adversary = AdversaryKind::kVoteSplit;
+  Round rounds = 0;
+  for (auto _ : state) {
+    config.seed += 1;
+    const Scenario scenario = make_scenario(config);
+    SyncSimulator sim;
+    auto factory = [&](NodeId id, std::size_t index) -> std::unique_ptr<Process> {
+      return std::make_unique<KingConsensusProcess>(
+          id, Value::real(static_cast<double>(index % 2)));
+    };
+    populate(sim, scenario, factory);
+    sim.run_until_all_correct_done(3000);
+    rounds = sim.round();
+    benchmark::DoNotOptimize(rounds);
+  }
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.counters["rounds_per_n"] =
+      static_cast<double>(rounds) / static_cast<double>(n_correct + 2);
+}
+BENCHMARK(BM_KingConsensus)->Arg(7)->Arg(13)->Arg(25)
+    ->Unit(benchmark::kMillisecond)->Iterations(5);
+
+}  // namespace
+}  // namespace idonly
+
+BENCHMARK_MAIN();

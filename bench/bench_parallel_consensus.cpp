@@ -1,0 +1,67 @@
+// E8 — Parallel consensus: rounds and messages vs. the number of concurrent
+// instances (Theorem 5: termination stays O(f) regardless of instance
+// count; message cost scales linearly with instances).
+#include <benchmark/benchmark.h>
+
+#include "harness/runner.hpp"
+
+namespace idonly {
+namespace {
+
+void BM_Parallel_InstanceSweep(benchmark::State& state) {
+  const auto instances = static_cast<std::size_t>(state.range(0));
+  ScenarioConfig config;
+  config.n_correct = 7;
+  config.n_byzantine = 2;
+  config.adversary = AdversaryKind::kNoise;
+  std::vector<std::vector<InputPair>> inputs(config.n_correct);
+  for (std::size_t i = 0; i < config.n_correct; ++i) {
+    for (std::size_t k = 0; k < instances; ++k) {
+      inputs[i].push_back({.id = 100 + k, .value = Value::real(static_cast<double>(k))});
+    }
+  }
+  ParallelRun last;
+  for (auto _ : state) {
+    config.seed += 1;
+    last = run_parallel_consensus(config, inputs);
+    benchmark::DoNotOptimize(last.agreement);
+  }
+  state.counters["rounds"] = static_cast<double>(last.rounds);
+  state.counters["messages"] = static_cast<double>(last.messages);
+  state.counters["msgs_per_instance"] =
+      static_cast<double>(last.messages) / static_cast<double>(instances);
+  state.counters["decided_pairs"] = static_cast<double>(last.common_output.size());
+}
+BENCHMARK(BM_Parallel_InstanceSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond)->Iterations(5);
+
+void BM_Parallel_PartialAwareness(benchmark::State& state) {
+  // Half the nodes know each pair — exercises the adoption machinery at
+  // scale.
+  const auto instances = static_cast<std::size_t>(state.range(0));
+  ScenarioConfig config;
+  config.n_correct = 9;
+  config.n_byzantine = 2;
+  config.adversary = AdversaryKind::kSilent;
+  std::vector<std::vector<InputPair>> inputs(config.n_correct);
+  for (std::size_t k = 0; k < instances; ++k) {
+    for (std::size_t i = k % 2; i < config.n_correct; i += 2) {
+      inputs[i].push_back({.id = 500 + k, .value = Value::real(static_cast<double>(k))});
+    }
+  }
+  ParallelRun last;
+  for (auto _ : state) {
+    config.seed += 1;
+    last = run_parallel_consensus(config, inputs);
+    benchmark::DoNotOptimize(last.agreement);
+  }
+  state.counters["rounds"] = static_cast<double>(last.rounds);
+  state.counters["agreement"] = last.agreement ? 1 : 0;
+}
+BENCHMARK(BM_Parallel_PartialAwareness)->Arg(2)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond)->Iterations(5);
+
+}  // namespace
+}  // namespace idonly
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// E1 — Reliable broadcast: accept-round and message complexity vs. n,
+// id-only (unknown n, f) vs. the classical Srikanth–Toueg baseline that
+// knows both. Paper claim (§Discussion): message complexity is unaffected;
+// acceptance still lands in round 3 with a correct source.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "baselines/st_broadcast.hpp"
+#include "harness/runner.hpp"
+#include "net/sync_simulator.hpp"
+
+namespace idonly {
+namespace {
+
+void BM_IdOnlyRB_CorrectSource(benchmark::State& state) {
+  const auto n_correct = static_cast<std::size_t>(state.range(0));
+  const auto n_byz = static_cast<std::size_t>(state.range(1));
+  ScenarioConfig config;
+  config.n_correct = n_correct;
+  config.n_byzantine = n_byz;
+  config.adversary = n_byz == 0 ? AdversaryKind::kNone : AdversaryKind::kForgedEcho;
+  ReliableBroadcastRun last;
+  for (auto _ : state) {
+    config.seed += 1;
+    last = run_reliable_broadcast(config, 42.0, false, /*run_rounds=*/8);
+    benchmark::DoNotOptimize(last.accepted_count);
+  }
+  const double n = static_cast<double>(n_correct + n_byz);
+  state.counters["accept_round"] = last.first_accept_round.value_or(-1);
+  state.counters["msgs_per_node"] = static_cast<double>(last.messages) / n;
+  state.counters["accepted_frac"] = static_cast<double>(last.accepted_count) / n_correct;
+}
+BENCHMARK(BM_IdOnlyRB_CorrectSource)
+    ->Args({4, 0})->Args({7, 2})->Args({13, 4})->Args({25, 8})->Args({49, 16})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_KnownNfRB_CorrectSource(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto f = static_cast<std::size_t>(state.range(1));
+  std::uint64_t messages = 0;
+  Round accept_round = 0;
+  for (auto _ : state) {
+    SyncSimulator sim;
+    std::vector<NodeId> ids;
+    for (std::size_t i = 0; i < n - f; ++i) ids.push_back(100 + 7 * i);
+    for (NodeId id : ids) {
+      sim.add_process(std::make_unique<StBroadcastProcess>(id, ids[0], Value::real(42.0), f));
+    }
+    sim.run_rounds(8);
+    messages = sim.metrics().messages.total_sent();
+    accept_round = sim.get<StBroadcastProcess>(ids[1])->accept_round().value_or(-1);
+    benchmark::DoNotOptimize(messages);
+  }
+  state.counters["accept_round"] = static_cast<double>(accept_round);
+  state.counters["msgs_per_node"] = static_cast<double>(messages) / static_cast<double>(n);
+}
+BENCHMARK(BM_KnownNfRB_CorrectSource)
+    ->Args({4, 0})->Args({9, 2})->Args({17, 4})->Args({33, 8})->Args({65, 16})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_IdOnlyRB_ByzantineSource(benchmark::State& state) {
+  const auto n_correct = static_cast<std::size_t>(state.range(0));
+  ScenarioConfig config;
+  config.n_correct = n_correct;
+  config.n_byzantine = 2;
+  config.adversary = AdversaryKind::kTwoFaced;
+  ReliableBroadcastRun last;
+  for (auto _ : state) {
+    config.seed += 1;
+    last = run_reliable_broadcast(config, 1.0, /*byzantine_source=*/true, 12);
+    benchmark::DoNotOptimize(last.agreement);
+  }
+  state.counters["agreement"] = last.agreement ? 1 : 0;
+  state.counters["accepted"] = static_cast<double>(last.accepted_count);
+}
+BENCHMARK(BM_IdOnlyRB_ByzantineSource)->Arg(7)->Arg(13)->Arg(25)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace idonly
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// E5 — Resiliency boundary: property-violation frequency at n = 3f vs.
+// n = 3f + 1 under the strongest adversaries. The paper's n > 3f is optimal:
+// the violation rate must be positive at the bound and exactly zero above.
+#include <benchmark/benchmark.h>
+
+#include "harness/runner.hpp"
+
+namespace idonly {
+namespace {
+
+void BM_ConsensusViolations(benchmark::State& state) {
+  const auto n_correct = static_cast<std::size_t>(state.range(0));
+  const auto f = static_cast<std::size_t>(state.range(1));
+  ScenarioConfig config;
+  config.n_correct = n_correct;
+  config.n_byzantine = f;
+  config.adversary = AdversaryKind::kEchoChamber;
+  int trials = 0;
+  int violations = 0;
+  for (auto _ : state) {
+    config.seed += 1;
+    trials += 1;
+    const auto run = run_consensus(config, {0.0, 1.0}, /*max_rounds=*/150);
+    if (!run.all_decided || !run.agreement || !run.validity) violations += 1;
+    benchmark::DoNotOptimize(run.agreement);
+  }
+  state.counters["violation_rate"] =
+      trials == 0 ? 0 : static_cast<double>(violations) / trials;
+  state.counters["n"] = static_cast<double>(n_correct + f);
+  state.counters["three_f"] = static_cast<double>(3 * f);
+}
+// n = 3f (expected violations) vs. n = 3f+1 (expected none).
+BENCHMARK(BM_ConsensusViolations)
+    ->Args({2, 1})->Args({3, 1})   // f = 1: n = 3 vs. 4
+    ->Args({4, 2})->Args({5, 2})   // f = 2: n = 6 vs. 7
+    ->Args({6, 3})->Args({7, 3})   // f = 3: n = 9 vs. 10
+    ->Unit(benchmark::kMillisecond)->Iterations(20);
+
+void BM_ApproxViolations(benchmark::State& state) {
+  const auto n_correct = static_cast<std::size_t>(state.range(0));
+  const auto f = static_cast<std::size_t>(state.range(1));
+  ScenarioConfig config;
+  config.n_correct = n_correct;
+  config.n_byzantine = f;
+  config.adversary = AdversaryKind::kExtreme;
+  int trials = 0;
+  int violations = 0;
+  for (auto _ : state) {
+    config.seed += 1;
+    trials += 1;
+    const auto run = run_approx_agreement(config, {0.0, 0.4, 0.6, 1.0});
+    const bool violated =
+        !run.within_input_range || run.output_range > run.input_range / 2.0 + 1e-12;
+    if (violated) violations += 1;
+    benchmark::DoNotOptimize(run.output_range);
+  }
+  state.counters["violation_rate"] =
+      trials == 0 ? 0 : static_cast<double>(violations) / trials;
+  state.counters["n"] = static_cast<double>(n_correct + f);
+  state.counters["three_f"] = static_cast<double>(3 * f);
+}
+BENCHMARK(BM_ApproxViolations)
+    ->Args({2, 1})->Args({3, 1})
+    ->Args({4, 2})->Args({5, 2})
+    ->Unit(benchmark::kMicrosecond)->Iterations(20);
+
+void BM_RbSplitAttempts(benchmark::State& state) {
+  const auto n_correct = static_cast<std::size_t>(state.range(0));
+  const auto f = static_cast<std::size_t>(state.range(1));
+  ScenarioConfig config;
+  config.n_correct = n_correct;
+  config.n_byzantine = f;
+  config.adversary = AdversaryKind::kTwoFaced;
+  int trials = 0;
+  int violations = 0;
+  for (auto _ : state) {
+    config.seed += 1;
+    trials += 1;
+    const auto run = run_reliable_broadcast(config, 5.0, /*byzantine_source=*/true, 25);
+    if (!run.agreement || !run.relay_ok) violations += 1;
+    benchmark::DoNotOptimize(run.agreement);
+  }
+  state.counters["violation_rate"] =
+      trials == 0 ? 0 : static_cast<double>(violations) / trials;
+  state.counters["n"] = static_cast<double>(n_correct + f);
+}
+BENCHMARK(BM_RbSplitAttempts)
+    ->Args({2, 1})->Args({3, 1})->Args({4, 2})->Args({5, 2})
+    ->Unit(benchmark::kMicrosecond)->Iterations(20);
+
+}  // namespace
+}  // namespace idonly
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// E2 — Rotor-coordinator: termination round (Theorem 2: O(n)) and the
+// position of the first good round vs. system size and adversary strategy,
+// including the dedicated rotor-stuffer attack.
+#include <benchmark/benchmark.h>
+
+#include "harness/runner.hpp"
+
+namespace idonly {
+namespace {
+
+void run_rotor_bench(benchmark::State& state, AdversaryKind adversary) {
+  const auto n_correct = static_cast<std::size_t>(state.range(0));
+  const auto n_byz = static_cast<std::size_t>(state.range(1));
+  ScenarioConfig config;
+  config.n_correct = n_correct;
+  config.n_byzantine = n_byz;
+  config.adversary = n_byz == 0 ? AdversaryKind::kNone : adversary;
+  RotorRun last;
+  for (auto _ : state) {
+    config.seed += 1;
+    last = run_rotor(config);
+    benchmark::DoNotOptimize(last.all_terminated);
+  }
+  state.counters["termination_round"] = static_cast<double>(last.max_termination_round);
+  state.counters["first_good_round"] = static_cast<double>(last.first_good_round.value_or(-1));
+  state.counters["good_witnessed"] = last.good_round_witnessed ? 1 : 0;
+  state.counters["rounds_per_n"] = static_cast<double>(last.max_termination_round) /
+                                   static_cast<double>(n_correct + n_byz);
+}
+
+void BM_Rotor_NoFaults(benchmark::State& state) { run_rotor_bench(state, AdversaryKind::kNone); }
+BENCHMARK(BM_Rotor_NoFaults)
+    ->Args({4, 0})->Args({8, 0})->Args({16, 0})->Args({32, 0})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Rotor_Silent(benchmark::State& state) { run_rotor_bench(state, AdversaryKind::kSilent); }
+BENCHMARK(BM_Rotor_Silent)
+    ->Args({7, 2})->Args({13, 4})->Args({25, 8})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Rotor_Stuffer(benchmark::State& state) {
+  run_rotor_bench(state, AdversaryKind::kRotorStuffer);
+}
+BENCHMARK(BM_Rotor_Stuffer)
+    ->Args({7, 2})->Args({13, 4})->Args({25, 8})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Rotor_TwoFaced(benchmark::State& state) {
+  run_rotor_bench(state, AdversaryKind::kTwoFaced);
+}
+BENCHMARK(BM_Rotor_TwoFaced)
+    ->Args({7, 2})->Args({13, 4})->Args({25, 8})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace idonly
+
+BENCHMARK_MAIN();

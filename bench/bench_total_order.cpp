@@ -1,0 +1,95 @@
+// E7 — Dynamic total ordering: chain growth rate, finality lag (Theorem 6's
+// 5|S|/2 + 2 envelope), and behaviour under churn and Byzantine presence.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "adversary/strategies.hpp"
+#include "core/total_order.hpp"
+#include "net/sync_simulator.hpp"
+
+namespace idonly {
+namespace {
+
+struct LedgerResult {
+  std::size_t chain_len = 0;
+  Round finality_lag = 0;  // protocol round minus finalized_upto at the end
+  std::uint64_t messages = 0;
+};
+
+LedgerResult run_ledger(std::size_t founders, std::size_t byzantine, int event_rounds,
+                        bool churn) {
+  SyncSimulator sim;
+  std::vector<NodeId> ids;
+  for (std::size_t i = 0; i < founders; ++i) {
+    ids.push_back(100 + 13 * i);
+    sim.add_process(std::make_unique<TotalOrderProcess>(ids.back(), /*founder=*/true));
+  }
+  for (std::size_t i = 0; i < byzantine; ++i) {
+    sim.add_process(std::make_unique<SilentAdversary>(9000 + i));
+  }
+  sim.run_rounds(3);
+  auto node = [&sim](NodeId id) { return sim.get<TotalOrderProcess>(id); };
+  for (int i = 0; i < event_rounds; ++i) {
+    node(ids[static_cast<std::size_t>(i) % ids.size()])->submit_event(static_cast<double>(i));
+    if (churn && i == event_rounds / 2) {
+      sim.add_process(std::make_unique<TotalOrderProcess>(777, /*founder=*/false));
+    }
+    sim.step();
+  }
+  sim.run_rounds(5 * static_cast<Round>(founders) / 2 + 12);
+  LedgerResult result;
+  result.chain_len = node(ids[0])->chain().size();
+  result.finality_lag = node(ids[0])->protocol_round() - node(ids[0])->finalized_upto();
+  result.messages = sim.metrics().messages.total_sent();
+  return result;
+}
+
+void BM_Ledger_Throughput(benchmark::State& state) {
+  const auto founders = static_cast<std::size_t>(state.range(0));
+  const int event_rounds = 15;
+  LedgerResult result;
+  for (auto _ : state) {
+    result = run_ledger(founders, 0, event_rounds, /*churn=*/false);
+    benchmark::DoNotOptimize(result.chain_len);
+  }
+  state.counters["chain_len"] = static_cast<double>(result.chain_len);
+  state.counters["events_submitted"] = event_rounds;
+  state.counters["finality_lag"] = static_cast<double>(result.finality_lag);
+  state.counters["finality_bound"] = 5.0 * static_cast<double>(founders) / 2.0 + 2.0;
+  state.counters["messages"] = static_cast<double>(result.messages);
+}
+BENCHMARK(BM_Ledger_Throughput)->Arg(4)->Arg(5)->Arg(7)->Arg(10)
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_Ledger_WithByzantine(benchmark::State& state) {
+  const auto founders = static_cast<std::size_t>(state.range(0));
+  const auto byz = static_cast<std::size_t>(state.range(1));
+  LedgerResult result;
+  for (auto _ : state) {
+    result = run_ledger(founders, byz, 12, /*churn=*/false);
+    benchmark::DoNotOptimize(result.chain_len);
+  }
+  state.counters["chain_len"] = static_cast<double>(result.chain_len);
+  state.counters["finality_lag"] = static_cast<double>(result.finality_lag);
+}
+BENCHMARK(BM_Ledger_WithByzantine)->Args({7, 2})->Args({10, 3})
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_Ledger_WithChurn(benchmark::State& state) {
+  const auto founders = static_cast<std::size_t>(state.range(0));
+  LedgerResult result;
+  for (auto _ : state) {
+    result = run_ledger(founders, 0, 16, /*churn=*/true);
+    benchmark::DoNotOptimize(result.chain_len);
+  }
+  state.counters["chain_len"] = static_cast<double>(result.chain_len);
+  state.counters["finality_lag"] = static_cast<double>(result.finality_lag);
+}
+BENCHMARK(BM_Ledger_WithChurn)->Arg(5)->Arg(7)
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+}  // namespace idonly
+
+BENCHMARK_MAIN();

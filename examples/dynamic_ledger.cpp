@@ -1,0 +1,82 @@
+// Dynamic ledger: total ordering of client events in a network with churn —
+// the paper's permissionless/blockchain motivation (§Application to Dynamic
+// Networks). Nodes join and leave while events keep getting totally ordered
+// into a chain with the chain-prefix and chain-growth guarantees.
+//
+//   $ ./dynamic_ledger
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/total_order.hpp"
+#include "net/sync_simulator.hpp"
+
+int main() {
+  using namespace idonly;
+
+  SyncSimulator sim;
+  const std::vector<NodeId> founders{101, 215, 333, 478, 592};
+  for (NodeId id : founders) {
+    sim.add_process(std::make_unique<TotalOrderProcess>(id, /*founder=*/true));
+  }
+  sim.run_rounds(3);  // bootstrap
+
+  auto node = [&sim](NodeId id) { return sim.get<TotalOrderProcess>(id); };
+
+  std::printf("dynamic ledger: 5 founders, events submitted every round, churn mid-run\n\n");
+
+  // Phase 1: founders submit a burst of transactions.
+  double tx = 1.0;
+  for (int i = 0; i < 8; ++i) {
+    node(founders[static_cast<std::size_t>(i) % founders.size()])->submit_event(tx++);
+    sim.step();
+  }
+
+  // Phase 2: node 733 joins; node 592 leaves; traffic continues.
+  sim.add_process(std::make_unique<TotalOrderProcess>(733, /*founder=*/false));
+  sim.run_rounds(5);
+  node(592)->request_leave();
+  for (int i = 0; i < 6; ++i) {
+    node(101)->submit_event(tx++);
+    if (auto* joiner = node(733); joiner != nullptr && i >= 3) joiner->submit_event(1000.0 + i);
+    sim.step();
+  }
+
+  // Phase 3: drain until everything submitted is final.
+  sim.run_rounds(80);
+
+  const auto& chain = node(101)->chain();
+  std::printf("%-8s %-10s %-10s\n", "seq", "witness", "event");
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    std::printf("%-8zu %-10llu %-10.1f\n", i + 1,
+                static_cast<unsigned long long>(chain[i].witness), chain[i].event);
+  }
+
+  // Verify chain-prefix across the founders; the late joiner's chain starts
+  // at its join round, so align it to the founder chain by instance number
+  // and require entry-wise equality from there (a "suffix window" of the
+  // founder chain).
+  bool prefix_ok = true;
+  for (NodeId id : {215u, 333u, 478u}) {
+    auto* p = node(id);
+    if (p == nullptr) continue;
+    const auto& other = p->chain();
+    const std::size_t k = std::min(chain.size(), other.size());
+    for (std::size_t e = 0; e < k; ++e) prefix_ok = prefix_ok && chain[e] == other[e];
+  }
+  if (auto* joiner = node(733); joiner != nullptr && !joiner->chain().empty()) {
+    const auto& jc = joiner->chain();
+    std::size_t offset = 0;
+    while (offset < chain.size() && !(chain[offset] == jc.front())) offset += 1;
+    for (std::size_t e = 0; e < jc.size(); ++e) {
+      prefix_ok = prefix_ok && offset + e < chain.size() && chain[offset + e] == jc[e];
+    }
+  }
+  std::printf("\nchain length at node 101 : %zu\n", chain.size());
+  std::printf("finalized up to round    : %lld\n",
+              static_cast<long long>(node(101)->finalized_upto()));
+  std::printf("chain-prefix consistent  : %s\n", prefix_ok ? "yes" : "NO");
+  std::printf("node 592 exited cleanly  : %s\n",
+              node(592) == nullptr || node(592)->done() ? "yes" : "still draining");
+  return prefix_ok && chain.size() >= 14 ? 0 : 1;
+}

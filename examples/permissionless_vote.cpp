@@ -1,0 +1,67 @@
+// Permissionless ballot processing with parallel consensus: each node
+// submits the ballots it witnessed as (ballot-id, choice) pairs — nobody
+// agrees up front on WHICH ballots exist, yet all correct nodes output the
+// same accepted ballot set. This is Alg. 5 doing the work that makes the
+// total-ordering ledger possible.
+//
+//   $ ./permissionless_vote
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "adversary/strategies.hpp"
+#include "core/parallel_consensus.hpp"
+#include "net/sync_simulator.hpp"
+
+int main() {
+  using namespace idonly;
+
+  SyncSimulator sim;
+  const std::vector<NodeId> nodes{210, 355, 471, 502, 668, 713, 894};
+
+  // Ballot 1 reached every node; ballot 2 reached a majority; ballot 3 only
+  // two nodes (its fate is adversary-dependent but must be uniform).
+  auto inputs_for = [](std::size_t i) {
+    std::vector<InputPair> inputs;
+    inputs.push_back({.id = 1, .value = Value::real(1.0)});                  // choice "yes"
+    if (i < 5) inputs.push_back({.id = 2, .value = Value::real(0.0)});       // choice "no"
+    if (i < 2) inputs.push_back({.id = 3, .value = Value::real(1.0)});
+    return inputs;
+  };
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    sim.add_process(std::make_unique<ParallelConsensusProcess>(nodes[i], inputs_for(i)));
+  }
+  // Two Byzantine nodes whisper a GHOST ballot (id 99) to a minority — it
+  // must never be accepted anywhere.
+  sim.add_process(std::make_unique<WhisperAdversary>(901, /*pair=*/99, MsgKind::kInput,
+                                                     Value::real(1.0), /*fire_round=*/3,
+                                                     std::vector<NodeId>{210, 355}));
+  sim.add_process(std::make_unique<WhisperAdversary>(902, /*pair=*/99, MsgKind::kPrefer,
+                                                     Value::real(1.0), /*fire_round=*/4,
+                                                     std::vector<NodeId>{210}));
+
+  const bool done = sim.run_until_all_correct_done(200);
+
+  std::printf("permissionless ballots: 7 nodes, partial ballot visibility, 2 whisperers\n\n");
+  bool uniform = true;
+  bool ghost = false;
+  std::vector<OutputPair> reference;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    auto pairs = sim.get<ParallelConsensusProcess>(nodes[i])->outputs();
+    std::sort(pairs.begin(), pairs.end());
+    if (i == 0) reference = pairs;
+    uniform = uniform && pairs == reference;
+    for (const auto& pair : pairs) ghost = ghost || pair.id == 99;
+  }
+  std::printf("%-10s %-10s\n", "ballot", "choice");
+  for (const auto& pair : reference) {
+    std::printf("%-10llu %-10s\n", static_cast<unsigned long long>(pair.id),
+                pair.value == Value::real(1.0) ? "yes" : "no");
+  }
+  std::printf("\nall nodes terminated      : %s\n", done ? "yes" : "NO");
+  std::printf("identical accepted set    : %s\n", uniform ? "yes" : "NO");
+  std::printf("ghost ballot rejected     : %s\n", ghost ? "NO" : "yes");
+  std::printf("universally-seen ballot 1 : %s\n",
+              !reference.empty() && reference[0].id == 1 ? "accepted" : "MISSING");
+  return done && uniform && !ghost ? 0 : 1;
+}

@@ -1,0 +1,65 @@
+// Replicated key-value store — the paper's database-cluster motivation,
+// end to end: five replicas totally order their writes without knowing the
+// cluster size, a sixth scales in mid-run, one scales out, and every replica
+// walks through the identical sequence of states.
+//
+//   $ ./replicated_kv_demo
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "app/replicated_kv.hpp"
+#include "net/sync_simulator.hpp"
+
+int main() {
+  using namespace idonly;
+
+  SyncSimulator sim;
+  const std::vector<NodeId> founders{101, 215, 333, 478, 592};
+  for (NodeId id : founders) {
+    sim.add_process(std::make_unique<ReplicatedKvProcess>(id, /*founder=*/true));
+  }
+  auto node = [&sim](NodeId id) { return sim.get<ReplicatedKvProcess>(id); };
+  sim.run_rounds(3);
+
+  std::printf("replicated KV: 5 founders; writes while scaling in/out\n\n");
+
+  // Burst of writes from different replicas, including same-key conflicts.
+  node(101)->submit_set(1, 100);
+  sim.run_rounds(1);
+  node(215)->submit_set(2, 200);
+  node(478)->submit_set(1, 150);  // same round as 215's write, different key
+  sim.run_rounds(1);
+  node(333)->submit_set(1, 175);  // later write to key 1 — must win
+  sim.run_rounds(2);
+
+  // Scale in a new replica; scale out an old one; keep writing.
+  sim.add_process(std::make_unique<ReplicatedKvProcess>(733, /*founder=*/false));
+  sim.run_rounds(6);
+  node(592)->request_leave();
+  node(215)->submit_set(3, 300);
+  sim.run_rounds(80);
+
+  std::printf("%-8s %-9s %-30s\n", "replica", "version", "store {key:value}");
+  bool consistent = true;
+  const auto& reference = node(101)->store();
+  for (NodeId id : {101u, 215u, 333u, 478u, 733u}) {
+    auto* replica = node(id);
+    std::string dump;
+    for (const auto& [key, value] : replica->store()) {
+      dump += "{" + std::to_string(key) + ":" + std::to_string(value) + "} ";
+    }
+    std::printf("%-8llu %-9zu %-30s\n", static_cast<unsigned long long>(id),
+                replica->version(), dump.c_str());
+    if (id != 733u) consistent = consistent && replica->store() == reference;
+  }
+
+  const bool winner_ok = node(101)->get(1) == 175u;
+  std::printf("\nfounder replicas identical : %s\n", consistent ? "yes" : "NO");
+  std::printf("conflict winner (key 1)    : %s\n", winner_ok ? "175 (latest write)" : "WRONG");
+  std::printf("scaled-out replica done    : %s\n",
+              node(592) == nullptr || node(592)->done() ? "yes" : "draining");
+  std::printf("note: the scaled-in replica orders the suffix from its join; a\n"
+              "production system pairs this with a state snapshot (see app/).\n");
+  return consistent && winner_ok ? 0 : 1;
+}

@@ -1,0 +1,41 @@
+// scenario_sim — run a scenario-script file (see src/harness/script.hpp for
+// the DSL) and report each expectation. Exit code 0 iff all expectations
+// hold. Sample scripts live in scenarios/.
+//
+//   $ ./scenario_sim ../scenarios/consensus_twofaced.scn
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <variant>
+
+#include "harness/script.hpp"
+
+int main(int argc, char** argv) {
+  using namespace idonly;
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: scenario_sim <script-file>\n");
+    return 2;
+  }
+  std::ifstream file(argv[1]);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+
+  const auto parsed = parse_script(buffer.str());
+  if (const auto* error = std::get_if<ParseError>(&parsed)) {
+    std::fprintf(stderr, "%s:%d: %s\n", argv[1], error->line, error->message.c_str());
+    return 2;
+  }
+  const auto& script = std::get<ScenarioScript>(parsed);
+  const ScriptRun run = run_script(script);
+
+  std::printf("%s\n", run.summary.c_str());
+  for (const auto& outcome : run.outcomes) {
+    std::printf("  expect %-12s : %s (%s)\n", to_string(outcome.expectation).c_str(),
+                outcome.satisfied ? "ok" : "FAILED", outcome.detail.c_str());
+  }
+  return run.all_satisfied ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+// udp_node — ONE consensus node as its own OS process. Launch n of these
+// (different --port, same --peers list) and they reach agreement over real
+// UDP without any process knowing how many peers exist at the protocol
+// level. The truly multi-process deployment (udp_cluster uses threads).
+//
+//   $ ./udp_node --id 101 --port 9101 --peers 9101,9102,9103,9104
+//                --input 1 --round-ms 50 --start-in-ms 500   (one line)
+//
+// All nodes must share the same --start-in-ms wall-clock margin (the round
+// epoch is "now + start-in-ms"; launch them within that margin, e.g. from
+// one shell loop). Exit code 0 on decision.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/consensus.hpp"
+#include "runtime/round_driver.hpp"
+#include "runtime/udp_transport.hpp"
+
+int main(int argc, char** argv) {
+  using namespace idonly;
+  using namespace std::chrono;
+
+  NodeId id = 0;
+  std::uint16_t port = 0;
+  std::vector<std::uint16_t> peers;
+  double input = 0.0;
+  int round_ms = 50;
+  int start_in_ms = 500;
+  int max_rounds = 200;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--id") id = std::strtoull(next(), nullptr, 10);
+    else if (flag == "--port") port = static_cast<std::uint16_t>(std::atoi(next()));
+    else if (flag == "--peers") {
+      std::string list = next();
+      for (std::size_t pos = 0; pos < list.size();) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string item = list.substr(pos, comma - pos);
+        peers.push_back(static_cast<std::uint16_t>(std::atoi(item.c_str())));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else if (flag == "--input") input = std::atof(next());
+    else if (flag == "--round-ms") round_ms = std::atoi(next());
+    else if (flag == "--start-in-ms") start_in_ms = std::atoi(next());
+    else if (flag == "--max-rounds") max_rounds = std::atoi(next());
+    else {
+      std::fprintf(stderr,
+                   "usage: udp_node --id N --port P --peers P1,P2,... --input X "
+                   "[--round-ms 50] [--start-in-ms 500] [--max-rounds 200]\n");
+      return 2;
+    }
+  }
+  if (id == 0 || port == 0 || peers.empty()) {
+    std::fprintf(stderr, "--id, --port and --peers are required\n");
+    return 2;
+  }
+
+  RoundDriverConfig config;
+  config.epoch = steady_clock::now() + milliseconds(start_in_ms);
+  config.round_duration = milliseconds(round_ms);
+  config.max_rounds = max_rounds;
+
+  RoundDriver driver(std::make_unique<ConsensusProcess>(id, Value::real(input)),
+                     std::make_unique<UdpTransport>(port, peers), config);
+  const Round rounds = driver.run();
+  auto& p = dynamic_cast<ConsensusProcess&>(driver.process());
+  if (p.output().has_value()) {
+    std::printf("node %llu decided %s in %lld rounds (dropped=%llu late=%llu)\n",
+                static_cast<unsigned long long>(id), p.output()->to_string().c_str(),
+                static_cast<long long>(rounds),
+                static_cast<unsigned long long>(driver.frames_dropped()),
+                static_cast<unsigned long long>(driver.frames_late()));
+    return 0;
+  }
+  std::printf("node %llu did NOT decide within %lld rounds\n",
+              static_cast<unsigned long long>(id), static_cast<long long>(rounds));
+  return 1;
+}

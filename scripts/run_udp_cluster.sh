@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Launch an N-node consensus cluster as SEPARATE OS PROCESSES over UDP
+# loopback. Usage: scripts/run_udp_cluster.sh [N] [base_port]
+set -euo pipefail
+
+N="${1:-5}"
+BASE="${2:-9500}"
+BIN="$(dirname "$0")/../build/examples/udp_node"
+[ -x "$BIN" ] || { echo "build first: cmake --build build" >&2; exit 1; }
+
+PEERS=""
+for i in $(seq 1 "$N"); do
+  PEERS="${PEERS:+$PEERS,}$((BASE + i))"
+done
+
+PIDS=()
+for i in $(seq 1 "$N"); do
+  "$BIN" --id $((100 + i)) --port $((BASE + i)) --peers "$PEERS" \
+         --input $((i % 2)) --round-ms 50 --start-in-ms 1000 &
+  PIDS+=($!)
+done
+
+STATUS=0
+for pid in "${PIDS[@]}"; do
+  wait "$pid" || STATUS=1
+done
+exit "$STATUS"

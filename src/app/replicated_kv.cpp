@@ -1,0 +1,47 @@
+#include "app/replicated_kv.hpp"
+
+#include <cmath>
+
+namespace idonly {
+
+namespace {
+constexpr double kKeyScale = 16777216.0;  // 2^24
+}
+
+double encode_op(KvOp op) noexcept {
+  return static_cast<double>(op.key) * kKeyScale + static_cast<double>(op.value);
+}
+
+KvOp decode_op(double payload) noexcept {
+  const auto raw = static_cast<std::uint64_t>(payload);
+  KvOp op;
+  op.key = static_cast<std::uint32_t>(raw / static_cast<std::uint64_t>(kKeyScale));
+  op.value = static_cast<std::uint32_t>(raw % static_cast<std::uint64_t>(kKeyScale));
+  return op;
+}
+
+ReplicatedKvProcess::ReplicatedKvProcess(NodeId self, bool founder)
+    : Process(self), ordering_(self, founder) {}
+
+void ReplicatedKvProcess::submit_set(std::uint32_t key, std::uint32_t value) {
+  ordering_.submit_event(encode_op(KvOp{key, value}));
+}
+
+std::optional<std::uint32_t> ReplicatedKvProcess::get(std::uint32_t key) const {
+  const auto it = store_.find(key);
+  return it == store_.end() ? std::nullopt : std::optional<std::uint32_t>(it->second);
+}
+
+void ReplicatedKvProcess::on_round(RoundInfo round, std::span<const Message> inbox,
+                                   std::vector<Outgoing>& out) {
+  ordering_.on_round(round, inbox, out);
+  // Apply newly finalized chain entries in order. The chain is append-only
+  // up to finality, so replaying from `applied_` is exact.
+  const auto& chain = ordering_.chain();
+  for (; applied_ < chain.size(); ++applied_) {
+    const KvOp op = decode_op(chain[applied_].event);
+    store_[op.key] = op.value;
+  }
+}
+
+}  // namespace idonly

@@ -1,0 +1,63 @@
+// Replicated key-value store on top of the dynamic total-ordering protocol —
+// the paper's opening motivation ("a database cluster that requires frequent
+// node scaling") made concrete.
+//
+// Every replica submits its writes as events; the total-order chain
+// (chain-prefix + chain-growth, Theorem 6) is applied in order to a local
+// map, so all replicas pass through the SAME sequence of states. Writes are
+// last-writer-wins in chain order; concurrent writes in one round are
+// ordered deterministically by witness id (the protocol's tie-break).
+//
+// Scope note: a replica that joins late orders and applies only the suffix
+// of the chain from its join round — production systems pair this with a
+// state-transfer snapshot, which is orthogonal to the agreement layer and
+// out of scope here (the tests pin the exact guarantee: suffix-consistency).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "core/total_order.hpp"
+#include "net/process.hpp"
+
+namespace idonly {
+
+/// Writes travel as event payloads (doubles). Key and value are packed into
+/// the 2^53-exact integer range: op = key · 2^24 + value.
+struct KvOp {
+  std::uint32_t key = 0;    ///< < 2^24
+  std::uint32_t value = 0;  ///< < 2^24
+};
+
+[[nodiscard]] double encode_op(KvOp op) noexcept;
+[[nodiscard]] KvOp decode_op(double payload) noexcept;
+
+class ReplicatedKvProcess final : public Process {
+ public:
+  ReplicatedKvProcess(NodeId self, bool founder);
+
+  void on_round(RoundInfo round, std::span<const Message> inbox,
+                std::vector<Outgoing>& out) override;
+  [[nodiscard]] bool done() const override { return ordering_.done(); }
+
+  /// Queue a write; it is broadcast next round and lands in the store once
+  /// its chain position is final.
+  void submit_set(std::uint32_t key, std::uint32_t value);
+  void request_leave() { ordering_.request_leave(); }
+
+  [[nodiscard]] std::optional<std::uint32_t> get(std::uint32_t key) const;
+  [[nodiscard]] const std::map<std::uint32_t, std::uint32_t>& store() const noexcept {
+    return store_;
+  }
+  /// Number of chain entries applied so far (the replica's state version).
+  [[nodiscard]] std::size_t version() const noexcept { return applied_; }
+  [[nodiscard]] const TotalOrderProcess& ordering() const noexcept { return ordering_; }
+
+ private:
+  TotalOrderProcess ordering_;
+  std::map<std::uint32_t, std::uint32_t> store_;
+  std::size_t applied_ = 0;
+};
+
+}  // namespace idonly

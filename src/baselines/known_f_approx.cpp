@@ -1,0 +1,48 @@
+#include "baselines/known_f_approx.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/value.hpp"
+
+namespace idonly {
+
+std::optional<double> known_f_approx_step(std::vector<double> received, std::size_t f) {
+  if (received.size() <= 2 * f) return std::nullopt;  // cannot trim safely
+  std::sort(received.begin(), received.end());
+  const double lo = received[f];
+  const double hi = received[received.size() - 1 - f];
+  return (lo + hi) / 2.0;
+}
+
+KnownFApproxProcess::KnownFApproxProcess(NodeId self, double input, std::size_t f, int iterations)
+    : Process(self), value_(input), f_(f), iterations_(iterations) {}
+
+void KnownFApproxProcess::on_round(RoundInfo round, std::span<const Message> inbox,
+                                   std::vector<Outgoing>& out) {
+  if (done_) return;
+  if (round.local >= 2) {
+    std::vector<double> received;
+    std::set<NodeId> seen;
+    for (const Message& m : inbox) {
+      if (m.kind != MsgKind::kApproxValue || m.value.is_bot()) continue;
+      if (!seen.insert(m.sender).second) continue;
+      received.push_back(m.value.as_real());
+    }
+    if (const auto next = known_f_approx_step(std::move(received), f_); next.has_value()) {
+      value_ = *next;
+    }
+    trajectory_.push_back(value_);
+    completed_ += 1;
+    if (completed_ >= iterations_) {
+      done_ = true;
+      return;
+    }
+  }
+  Message m;
+  m.kind = MsgKind::kApproxValue;
+  m.value = Value::real(value_);
+  broadcast(out, m);
+}
+
+}  // namespace idonly

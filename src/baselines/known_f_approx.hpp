@@ -1,0 +1,42 @@
+// Classical approximate agreement (Dolev et al.) with KNOWN f.
+//
+// Baseline for experiment E4: one exchange round per iteration, discard
+// exactly f smallest and f largest received values (f is known), output the
+// midpoint of the rest. Comparing iterations-to-ε against the id-only
+// variant (which trims ⌊n_v/3⌋ ≥ f per side) measures the paper's claim
+// that the convergence rate is unchanged.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/process.hpp"
+
+namespace idonly {
+
+/// Pure rule: trim `f` per side and take the midpoint.
+[[nodiscard]] std::optional<double> known_f_approx_step(std::vector<double> received,
+                                                        std::size_t f);
+
+class KnownFApproxProcess final : public Process {
+ public:
+  KnownFApproxProcess(NodeId self, double input, std::size_t f, int iterations = 1);
+
+  void on_round(RoundInfo round, std::span<const Message> inbox,
+                std::vector<Outgoing>& out) override;
+
+  [[nodiscard]] bool done() const override { return done_; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] const std::vector<double>& trajectory() const noexcept { return trajectory_; }
+
+ private:
+  double value_;
+  std::size_t f_;
+  int iterations_;
+  int completed_ = 0;
+  bool done_ = false;
+  std::vector<double> trajectory_;
+};
+
+}  // namespace idonly

@@ -1,0 +1,70 @@
+#include "baselines/phase_king.hpp"
+
+namespace idonly {
+
+PhaseKingProcess::PhaseKingProcess(NodeId self, Value input, std::vector<NodeId> roster,
+                                   std::size_t f)
+    : Process(self), x_v_(input), roster_(std::move(roster)), n_(roster_.size()), f_(f) {}
+
+QuorumCounter<Value> PhaseKingProcess::tally(std::span<const Message> inbox, MsgKind kind) const {
+  QuorumCounter<Value> counts;
+  for (const Message& m : inbox) {
+    if (m.kind == kind) counts.add(m.value, m.sender);
+  }
+  return counts;
+}
+
+void PhaseKingProcess::on_round(RoundInfo round, std::span<const Message> inbox,
+                                std::vector<Outgoing>& out) {
+  if (output_.has_value()) return;
+
+  const std::int64_t phase = (round.local - 1) / 4 + 1;
+  const std::int64_t phase_round = (round.local - 1) % 4 + 1;
+  const NodeId king = roster_[static_cast<std::size_t>(phase - 1) % roster_.size()];
+
+  auto send = [&out](MsgKind kind, const Value& v) {
+    Message m;
+    m.kind = kind;
+    m.value = v;
+    broadcast(out, m);
+  };
+
+  switch (phase_round) {
+    case 1:
+      send(MsgKind::kInput, x_v_);
+      break;
+    case 2: {
+      const auto best = tally(inbox, MsgKind::kInput).best();
+      if (best.has_value() && best->second >= n_ - f_) send(MsgKind::kPrefer, best->first);
+      break;
+    }
+    case 3: {
+      const auto best = tally(inbox, MsgKind::kPrefer).best();
+      if (best.has_value() && best->second >= f_ + 1) x_v_ = best->first;
+      if (best.has_value() && best->second >= n_ - f_) send(MsgKind::kStrongPrefer, best->first);
+      if (id() == king) send(MsgKind::kOpinion, x_v_);
+      break;
+    }
+    case 4: {
+      strongprefer_tally_ = tally(inbox, MsgKind::kStrongPrefer);
+      const auto best = strongprefer_tally_.best();
+      const std::size_t count = best.has_value() ? best->second : 0;
+      if (count < f_ + 1) {
+        for (const Message& m : inbox) {
+          if (m.kind == MsgKind::kOpinion && m.sender == king) {
+            x_v_ = m.value;
+            break;
+          }
+        }
+      }
+      if (best.has_value() && count >= n_ - f_) {
+        output_ = best->first;
+        decision_phase_ = phase;
+      }
+      break;
+    }
+    default: break;
+  }
+}
+
+}  // namespace idonly

@@ -1,0 +1,51 @@
+// Classical phase-king consensus (Berman–Garay style) with KNOWN n, f and a
+// KNOWN roster of identifiers.
+//
+// Baseline for experiments E3/E9. Same phase skeleton as the paper's Alg. 3
+// (which generalizes it), but with the classical constants: prefer at n−f
+// matching inputs, adopt at f+1 prefers, strong-prefer at n−f prefers,
+// decide at n−f strong-prefers; the coordinator of phase p is simply the
+// p-th id of the known roster — the whole rotor machinery disappears when n,
+// f and the roster are common knowledge, which is exactly the gap the paper
+// closes.
+//
+// Phases are 4 rounds: input / prefer / strongprefer+king-opinion / resolve.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "common/value.hpp"
+#include "core/participant_tracker.hpp"
+#include "net/process.hpp"
+
+namespace idonly {
+
+class PhaseKingProcess final : public Process {
+ public:
+  /// `roster` must be identical (same order) at every node.
+  PhaseKingProcess(NodeId self, Value input, std::vector<NodeId> roster, std::size_t f);
+
+  void on_round(RoundInfo round, std::span<const Message> inbox,
+                std::vector<Outgoing>& out) override;
+
+  [[nodiscard]] bool done() const override { return output_.has_value(); }
+  [[nodiscard]] std::optional<Value> output() const noexcept { return output_; }
+  [[nodiscard]] std::optional<std::int64_t> decision_phase() const noexcept {
+    return decision_phase_;
+  }
+
+ private:
+  [[nodiscard]] QuorumCounter<Value> tally(std::span<const Message> inbox, MsgKind kind) const;
+
+  Value x_v_;
+  std::vector<NodeId> roster_;
+  std::size_t n_;
+  std::size_t f_;
+  QuorumCounter<Value> strongprefer_tally_;
+  std::optional<Value> output_;
+  std::optional<std::int64_t> decision_phase_;
+};
+
+}  // namespace idonly

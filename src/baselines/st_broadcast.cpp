@@ -1,0 +1,52 @@
+#include "baselines/st_broadcast.hpp"
+
+namespace idonly {
+
+StBroadcastProcess::StBroadcastProcess(NodeId self, NodeId source, Value payload, std::size_t f)
+    : Process(self), source_(source), payload_(payload), f_(f) {}
+
+void StBroadcastProcess::on_round(RoundInfo round, std::span<const Message> inbox,
+                                  std::vector<Outgoing>& out) {
+  for (const Message& m : inbox) {
+    if (m.kind == MsgKind::kEcho && m.subject == source_) echoes_.add(m.value, m.sender);
+  }
+
+  auto echo_msg = [this](const Value& v) {
+    Message m;
+    m.kind = MsgKind::kEcho;
+    m.subject = source_;
+    m.value = v;
+    return m;
+  };
+
+  if (round.local == 1) {
+    if (id() == source_) {
+      Message m;
+      m.kind = MsgKind::kPayload;
+      m.subject = source_;
+      m.value = payload_;
+      broadcast(out, m);
+    }
+    // Known n: no `present` announcement needed.
+    return;
+  }
+  if (round.local == 2) {
+    for (const Message& m : inbox) {
+      if (m.kind == MsgKind::kPayload && m.sender == source_ && m.subject == source_) {
+        broadcast(out, echo_msg(m.value));
+        break;
+      }
+    }
+    return;
+  }
+  for (const auto& [payload, senders] : echoes_.all()) {
+    if (accepted_payload_.has_value()) break;
+    if (senders.size() >= f_ + 1) broadcast(out, echo_msg(payload));
+    if (senders.size() >= 2 * f_ + 1) {
+      accepted_payload_ = payload;
+      accept_round_ = round.local;
+    }
+  }
+}
+
+}  // namespace idonly

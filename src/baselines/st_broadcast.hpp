@@ -1,0 +1,40 @@
+// Classical Srikanth–Toueg reliable broadcast with KNOWN n and f.
+//
+// Baseline for experiment E1: identical message pattern to Alg. 1 except the
+// relay/accept thresholds are the classical f+1 / 2f+1 constants (and no
+// `present` round is needed — n is known, so the protocol does not have to
+// manufacture the n_v ≥ g guarantee). Comparing this against the id-only
+// algorithm quantifies the paper's §Discussion claim that "the message
+// complexity of reliable broadcast is unaffected".
+#pragma once
+
+#include <optional>
+
+#include "common/types.hpp"
+#include "common/value.hpp"
+#include "core/participant_tracker.hpp"
+#include "net/process.hpp"
+
+namespace idonly {
+
+class StBroadcastProcess final : public Process {
+ public:
+  StBroadcastProcess(NodeId self, NodeId source, Value payload, std::size_t f);
+
+  void on_round(RoundInfo round, std::span<const Message> inbox,
+                std::vector<Outgoing>& out) override;
+
+  [[nodiscard]] bool accepted() const noexcept { return accepted_payload_.has_value(); }
+  [[nodiscard]] std::optional<Value> accepted_payload() const noexcept { return accepted_payload_; }
+  [[nodiscard]] std::optional<Round> accept_round() const noexcept { return accept_round_; }
+
+ private:
+  NodeId source_;
+  Value payload_;
+  std::size_t f_;
+  QuorumCounter<Value> echoes_;
+  std::optional<Value> accepted_payload_;
+  std::optional<Round> accept_round_;
+};
+
+}  // namespace idonly

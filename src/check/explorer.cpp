@@ -1,0 +1,98 @@
+#include "check/explorer.hpp"
+
+namespace idonly {
+
+ScriptedByzantine::ScriptedByzantine(NodeId id, ByzSchedule schedule)
+    : ByzantineProcess(id), schedule_(std::move(schedule)) {}
+
+void ScriptedByzantine::on_round(RoundInfo round, std::span<const Message>,
+                                 std::vector<Outgoing>& out) {
+  const auto idx = static_cast<std::size_t>(round.local - 1);
+  if (idx >= schedule_.size()) return;
+  const ByzAction& action = schedule_[idx];
+  for (NodeId target : action.targets) unicast(out, target, action.msg);
+}
+
+ExplorationResult explore_all(const ExplorationConfig& config,
+                              const std::function<bool(const ByzSchedule&)>& verdict) {
+  ExplorationResult result;
+  const std::size_t rounds = config.menus.size();
+  for (const auto& menu : config.menus) {
+    if (menu.empty()) return result;  // empty menu ⇒ empty space
+  }
+
+  // Odometer enumeration over the product of the per-round menus.
+  std::vector<std::size_t> index(rounds, 0);
+  ByzSchedule schedule(rounds);
+  while (true) {
+    for (std::size_t r = 0; r < rounds; ++r) schedule[r] = config.menus[r][index[r]];
+    result.schedules_explored += 1;
+    if (!verdict(schedule)) {
+      result.violations += 1;
+      if (!result.first_violation.has_value()) result.first_violation = schedule;
+    }
+    if (result.schedules_explored >= config.max_schedules) {
+      result.exhausted = false;
+      return result;
+    }
+    // Increment the odometer.
+    std::size_t r = 0;
+    while (r < rounds) {
+      index[r] += 1;
+      if (index[r] < config.menus[r].size()) break;
+      index[r] = 0;
+      r += 1;
+    }
+    if (r == rounds) return result;  // wrapped — space exhausted
+  }
+}
+
+ByzSchedule shrink_witness(const ExplorationConfig& config, ByzSchedule witness,
+                           const std::function<bool(const ByzSchedule&)>& verdict) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t r = 0; r < witness.size() && r < config.menus.size(); ++r) {
+      if (config.menus[r].empty()) continue;
+      const ByzAction& neutral = config.menus[r].front();
+      // Already neutral? (Compare by message + targets.)
+      if (witness[r].msg == neutral.msg && witness[r].targets == neutral.targets) continue;
+      ByzSchedule candidate = witness;
+      candidate[r] = neutral;
+      if (!verdict(candidate)) {  // still violating — keep the simpler one
+        witness = std::move(candidate);
+        changed = true;
+      }
+    }
+  }
+  return witness;
+}
+
+std::vector<std::vector<NodeId>> all_subsets(const std::vector<NodeId>& ids) {
+  std::vector<std::vector<NodeId>> subsets;
+  const std::size_t count = std::size_t{1} << ids.size();
+  subsets.reserve(count);
+  for (std::size_t mask = 0; mask < count; ++mask) {
+    std::vector<NodeId> subset;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if ((mask >> i) & 1) subset.push_back(ids[i]);
+    }
+    subsets.push_back(std::move(subset));
+  }
+  return subsets;
+}
+
+std::vector<ByzAction> menu_from(const std::vector<Message>& messages,
+                                 const std::vector<NodeId>& recipients) {
+  std::vector<ByzAction> menu;
+  menu.push_back(ByzAction{});  // silence
+  for (const Message& msg : messages) {
+    for (auto& subset : all_subsets(recipients)) {
+      if (subset.empty()) continue;  // silence already included once
+      menu.push_back(ByzAction{msg, subset});
+    }
+  }
+  return menu;
+}
+
+}  // namespace idonly

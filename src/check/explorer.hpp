@@ -1,0 +1,87 @@
+// Bounded-exhaustive adversary exploration ("model checker lite").
+//
+// The property sweeps and the randomized fuzzer sample the adversary's
+// behaviour space; for tiny configurations we can do better and enumerate it
+// EXHAUSTIVELY over a bounded horizon: the Byzantine node picks, each round,
+// one action from a menu (a message and a recipient subset — per-recipient
+// equivocation included), and every possible schedule is executed against a
+// fresh simulation whose verdict callback checks the protocol's properties.
+//
+// A pass means: no adversary strategy expressible in the menu violates the
+// property within the horizon — much stronger evidence than sampling, and
+// exactly the kind of check a theory-paper reproduction owes its lemmas.
+// (The menus are still a subspace of full Byzantine behaviour: exhaustive
+// checking of the unrestricted space is exponential in message *content*
+// too; the menus capture the decisive choices — which lie, to whom, when.)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "adversary/strategies.hpp"
+#include "common/types.hpp"
+#include "net/process.hpp"
+
+namespace idonly {
+
+/// One adversary action: send `msg` to every id in `targets` (empty targets
+/// = stay silent this round).
+struct ByzAction {
+  Message msg;
+  std::vector<NodeId> targets;
+};
+
+/// One complete adversary behaviour over the horizon: schedule[r] is the
+/// action taken in local round r+1.
+using ByzSchedule = std::vector<ByzAction>;
+
+/// Replays a fixed schedule inside the engine.
+class ScriptedByzantine final : public ByzantineProcess {
+ public:
+  ScriptedByzantine(NodeId id, ByzSchedule schedule);
+  void on_round(RoundInfo round, std::span<const Message> inbox,
+                std::vector<Outgoing>& out) override;
+
+ private:
+  ByzSchedule schedule_;
+};
+
+/// Per-round action menus: menus[r] lists the actions available in local
+/// round r+1. The exploration space is Π |menus[r]|.
+struct ExplorationConfig {
+  std::vector<std::vector<ByzAction>> menus;
+  /// Safety valve: abort (and report) after this many schedules.
+  std::uint64_t max_schedules = 10'000'000;
+};
+
+struct ExplorationResult {
+  std::uint64_t schedules_explored = 0;
+  std::uint64_t violations = 0;
+  std::optional<ByzSchedule> first_violation;  ///< a witness, for debugging
+  bool exhausted = true;                       ///< false if max_schedules hit
+};
+
+/// Runs `verdict` (true = properties hold) on every schedule in the menu
+/// space.
+[[nodiscard]] ExplorationResult explore_all(
+    const ExplorationConfig& config, const std::function<bool(const ByzSchedule&)>& verdict);
+
+/// Shrink a violating schedule: greedily replace each round's action with
+/// the first action of that round's menu (conventionally silence) while the
+/// verdict still fails, iterating to a fixpoint. The result is a minimal-ish
+/// witness — the actual decisive messages of the attack.
+[[nodiscard]] ByzSchedule shrink_witness(const ExplorationConfig& config, ByzSchedule witness,
+                                         const std::function<bool(const ByzSchedule&)>& verdict);
+
+/// Convenience: all non-empty subsets of `ids` plus the empty subset — the
+/// recipient-choice dimension of a menu.
+[[nodiscard]] std::vector<std::vector<NodeId>> all_subsets(const std::vector<NodeId>& ids);
+
+/// Build a menu where each of `messages` may go to each subset of
+/// `recipients` (plus the all-silent action, once).
+[[nodiscard]] std::vector<ByzAction> menu_from(const std::vector<Message>& messages,
+                                               const std::vector<NodeId>& recipients);
+
+}  // namespace idonly

@@ -1,0 +1,29 @@
+#include "common/metrics.hpp"
+
+#include <numeric>
+#include <sstream>
+
+namespace idonly {
+
+std::uint64_t MessageCounters::total_sent() const noexcept {
+  return std::accumulate(sent.begin(), sent.end(), std::uint64_t{0});
+}
+
+std::uint64_t MessageCounters::total_delivered() const noexcept {
+  return std::accumulate(delivered.begin(), delivered.end(), std::uint64_t{0});
+}
+
+void Metrics::reset() {
+  messages = MessageCounters{};
+  rounds_executed = 0;
+  done_round.clear();
+}
+
+std::string Metrics::summary() const {
+  std::ostringstream os;
+  os << "rounds=" << rounds_executed << " sent=" << messages.total_sent()
+     << " delivered=" << messages.total_delivered() << " done_nodes=" << done_round.size();
+  return os.str();
+}
+
+}  // namespace idonly

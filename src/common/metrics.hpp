@@ -1,0 +1,40 @@
+// Run metrics collected by the simulators.
+//
+// The benchmark harness reproduces the paper's complexity *claims* (round
+// complexity, message complexity, convergence rate) rather than testbed
+// numbers, so the engine counts everything relevant: messages sent/delivered
+// per kind, rounds executed, and per-node decision rounds.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace idonly {
+
+/// Indexed by MsgKind (see net/message.hpp); kept as raw counters so the hot
+/// path in the simulator is a single array increment.
+struct MessageCounters {
+  static constexpr std::size_t kKinds = 16;
+  std::array<std::uint64_t, kKinds> sent{};
+  std::array<std::uint64_t, kKinds> delivered{};
+
+  [[nodiscard]] std::uint64_t total_sent() const noexcept;
+  [[nodiscard]] std::uint64_t total_delivered() const noexcept;
+};
+
+struct Metrics {
+  MessageCounters messages;
+  Round rounds_executed = 0;
+  /// Round at which each node reported done() (protocol termination).
+  std::map<NodeId, Round> done_round;
+
+  void reset();
+  /// Human-readable one-line summary used by examples and benches.
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace idonly

@@ -1,0 +1,41 @@
+#include "common/observer.hpp"
+
+#include <sstream>
+
+namespace idonly {
+
+ProtocolObserver::~ProtocolObserver() = default;
+
+namespace {
+const char* type_name(ProtocolEvent::Type type) {
+  switch (type) {
+    case ProtocolEvent::Type::kAccepted: return "accepted";
+    case ProtocolEvent::Type::kDecided: return "decided";
+    case ProtocolEvent::Type::kOpinionAdopted: return "opinion_adopted";
+    case ProtocolEvent::Type::kCoordinatorSelected: return "coordinator_selected";
+    case ProtocolEvent::Type::kGoodOpinionAccepted: return "good_opinion_accepted";
+    case ProtocolEvent::Type::kChainExtended: return "chain_extended";
+  }
+  return "unknown";
+}
+}  // namespace
+
+std::string ProtocolEvent::to_string() const {
+  std::ostringstream os;
+  os << type_name(type) << "{node=" << node << " r=" << round;
+  if (!value.is_bot()) os << " value=" << value.to_string();
+  if (subject != 0) os << " subject=" << subject;
+  if (phase != 0) os << " phase=" << phase;
+  os << "}";
+  return os.str();
+}
+
+std::vector<ProtocolEvent> EventLog::of_type(ProtocolEvent::Type type) const {
+  std::vector<ProtocolEvent> out;
+  for (const ProtocolEvent& event : events_) {
+    if (event.type == type) out.push_back(event);
+  }
+  return out;
+}
+
+}  // namespace idonly

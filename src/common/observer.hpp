@@ -1,0 +1,56 @@
+// Protocol event instrumentation.
+//
+// Core processes emit structured events (acceptance, decisions, coordinator
+// changes, chain growth) to an optional, non-owning observer. Production
+// deployments hang metrics/logging off this; tests assert on exact event
+// streams instead of poking at internals.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "common/value.hpp"
+
+namespace idonly {
+
+struct ProtocolEvent {
+  enum class Type : std::uint8_t {
+    kAccepted,             ///< reliable broadcast: (m, s) accepted (value = m, subject = s)
+    kDecided,              ///< consensus: output fixed (value; phase set)
+    kOpinionAdopted,       ///< consensus: x_v changed by a quorum or coordinator
+    kCoordinatorSelected,  ///< rotor: subject = selected coordinator
+    kGoodOpinionAccepted,  ///< rotor: accepted opinion from previous coordinator (subject)
+    kChainExtended,        ///< total order: chain grew (phase = new length)
+  };
+
+  Type type{};
+  NodeId node = 0;          ///< emitting process
+  Round round = 0;          ///< local round of the event
+  Value value;              ///< payload / opinion when applicable
+  NodeId subject = 0;       ///< source / coordinator when applicable
+  std::int64_t phase = 0;   ///< phase or auxiliary count
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+class ProtocolObserver {
+ public:
+  virtual ~ProtocolObserver();
+  virtual void on_event(const ProtocolEvent& event) = 0;
+};
+
+/// Simple collecting observer for tests and tools.
+class EventLog final : public ProtocolObserver {
+ public:
+  void on_event(const ProtocolEvent& event) override { events_.push_back(event); }
+  [[nodiscard]] const std::vector<ProtocolEvent>& events() const noexcept { return events_; }
+  [[nodiscard]] std::vector<ProtocolEvent> of_type(ProtocolEvent::Type type) const;
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<ProtocolEvent> events_;
+};
+
+}  // namespace idonly

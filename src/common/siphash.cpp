@@ -1,0 +1,80 @@
+#include "common/siphash.hpp"
+
+namespace idonly {
+
+namespace {
+
+constexpr std::uint64_t rotl64(std::uint64_t x, int b) noexcept {
+  return (x << b) | (x >> (64 - b));
+}
+
+std::uint64_t load_le64(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+struct SipState {
+  std::uint64_t v0, v1, v2, v3;
+
+  void round() noexcept {
+    v0 += v1;
+    v1 = rotl64(v1, 13);
+    v1 ^= v0;
+    v0 = rotl64(v0, 32);
+    v2 += v3;
+    v3 = rotl64(v3, 16);
+    v3 ^= v2;
+    v0 += v3;
+    v3 = rotl64(v3, 21);
+    v3 ^= v0;
+    v2 += v1;
+    v1 = rotl64(v1, 17);
+    v1 ^= v2;
+    v2 = rotl64(v2, 32);
+  }
+};
+
+}  // namespace
+
+std::uint64_t siphash24(const void* data, std::size_t size, const SipHashKey& key) {
+  const auto* in = static_cast<const std::uint8_t*>(data);
+  const std::uint64_t k0 = load_le64(key.data());
+  const std::uint64_t k1 = load_le64(key.data() + 8);
+
+  SipState s{0x736f6d6570736575ULL ^ k0, 0x646f72616e646f6dULL ^ k1,
+             0x6c7967656e657261ULL ^ k0, 0x7465646279746573ULL ^ k1};
+
+  const std::size_t blocks = size / 8;
+  for (std::size_t i = 0; i < blocks; ++i) {
+    const std::uint64_t m = load_le64(in + 8 * i);
+    s.v3 ^= m;
+    s.round();
+    s.round();
+    s.v0 ^= m;
+  }
+
+  // Final block: remaining bytes + length in the top byte.
+  std::uint64_t last = static_cast<std::uint64_t>(size & 0xFF) << 56;
+  const std::size_t tail = size & 7;
+  for (std::size_t i = 0; i < tail; ++i) {
+    last |= static_cast<std::uint64_t>(in[blocks * 8 + i]) << (8 * i);
+  }
+  s.v3 ^= last;
+  s.round();
+  s.round();
+  s.v0 ^= last;
+
+  s.v2 ^= 0xFF;
+  s.round();
+  s.round();
+  s.round();
+  s.round();
+  return s.v0 ^ s.v1 ^ s.v2 ^ s.v3;
+}
+
+std::uint64_t siphash24(std::span<const std::byte> data, const SipHashKey& key) {
+  return siphash24(data.data(), data.size(), key);
+}
+
+}  // namespace idonly

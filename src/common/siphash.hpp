@@ -1,0 +1,22 @@
+// SipHash-2-4 — the standard short-input keyed PRF (Aumasson & Bernstein),
+// implemented from the reference specification, no external dependencies.
+// Used by the runtime's authenticating transport to tag frames with a group
+// key. Tested against the reference test vectors.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace idonly {
+
+using SipHashKey = std::array<std::uint8_t, 16>;
+
+/// 64-bit SipHash-2-4 of `data` under `key`.
+[[nodiscard]] std::uint64_t siphash24(std::span<const std::byte> data, const SipHashKey& key);
+
+/// Convenience for raw byte buffers.
+[[nodiscard]] std::uint64_t siphash24(const void* data, std::size_t size, const SipHashKey& key);
+
+}  // namespace idonly

@@ -1,0 +1,45 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace idonly {
+
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  if (q <= 0) return sorted.front();
+  if (q >= 1) return sorted.back();
+  // Nearest-rank: smallest index i with (i+1)/n >= q.
+  const auto rank = static_cast<std::size_t>(std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+Summary summarize(std::vector<double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  double sum = 0;
+  for (double x : samples) sum += x;
+  s.mean = sum / static_cast<double>(samples.size());
+  double sq = 0;
+  for (double x : samples) sq += (x - s.mean) * (x - s.mean);
+  s.stddev = samples.size() > 1
+                 ? std::sqrt(sq / static_cast<double>(samples.size() - 1))
+                 : 0.0;
+  s.min = samples.front();
+  s.max = samples.back();
+  s.p50 = percentile_sorted(samples, 0.50);
+  s.p95 = percentile_sorted(samples, 0.95);
+  return s;
+}
+
+std::string Summary::to_string() const {
+  std::ostringstream os;
+  os << "n=" << count << " mean=" << mean << " sd=" << stddev << " min=" << min
+     << " p50=" << p50 << " p95=" << p95 << " max=" << max;
+  return os.str();
+}
+
+}  // namespace idonly

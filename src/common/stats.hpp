@@ -1,0 +1,31 @@
+// Small descriptive-statistics helpers for the benches and the experiment
+// CLI: summarize seeded runs as mean / stddev / min / percentiles without
+// dragging in a stats library.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace idonly {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double max = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Summarize samples (empty input → all-zero summary). Percentiles use the
+/// nearest-rank method on a sorted copy.
+[[nodiscard]] Summary summarize(std::vector<double> samples);
+
+/// Exact percentile helper (q in [0, 1]) on already-sorted data.
+[[nodiscard]] double percentile_sorted(const std::vector<double>& sorted, double q);
+
+}  // namespace idonly

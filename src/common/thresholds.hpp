@@ -1,0 +1,43 @@
+// Exact integer arithmetic for the paper's quorum thresholds.
+//
+// Every acceptance rule in the paper is of the form "received at least
+// n_v/3 (resp. 2*n_v/3) messages", where n_v is the number of distinct nodes
+// that have sent at least one message to v so far. Evaluating these with
+// floating point would silently change the protocol (e.g. n_v = 4 requires
+// 2 echoes for the n_v/3 rule, not 1.33 rounded down), so all comparisons go
+// through these helpers, which cross-multiply in 64-bit integers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace idonly {
+
+/// True iff count >= n/3 exactly (i.e. 3*count >= n).
+[[nodiscard]] constexpr bool at_least_one_third(std::size_t count, std::size_t n) noexcept {
+  return 3 * static_cast<std::uint64_t>(count) >= static_cast<std::uint64_t>(n);
+}
+
+/// True iff count >= 2n/3 exactly (i.e. 3*count >= 2n).
+[[nodiscard]] constexpr bool at_least_two_thirds(std::size_t count, std::size_t n) noexcept {
+  return 3 * static_cast<std::uint64_t>(count) >= 2 * static_cast<std::uint64_t>(n);
+}
+
+/// True iff count < n/3 exactly (the consensus "switch to coordinator" rule).
+[[nodiscard]] constexpr bool less_than_one_third(std::size_t count, std::size_t n) noexcept {
+  return !at_least_one_third(count, n);
+}
+
+/// floor(n/3) — the number of extreme values discarded on each side by the
+/// approximate-agreement algorithm.
+[[nodiscard]] constexpr std::size_t floor_third(std::size_t n) noexcept { return n / 3; }
+
+/// Maximum f tolerated for a given n under the optimal resiliency n > 3f.
+[[nodiscard]] constexpr std::size_t max_tolerated_faults(std::size_t n) noexcept {
+  return n == 0 ? 0 : (n - 1) / 3;
+}
+
+/// True iff the configuration satisfies the paper's resiliency assumption.
+[[nodiscard]] constexpr bool resilient(std::size_t n, std::size_t f) noexcept { return n > 3 * f; }
+
+}  // namespace idonly

@@ -1,0 +1,30 @@
+// Fundamental identifier and round types shared by every module.
+//
+// The paper's "id-only" model gives each node a unique but *not necessarily
+// consecutive* identifier; all protocol logic must work with an arbitrary
+// sparse id space, so NodeId is a plain 64-bit integer and nothing in the
+// library ever assumes ids form a contiguous range.
+#pragma once
+
+#include <cstdint>
+
+namespace idonly {
+
+/// Unique node identifier. Unforgeable on direct sends (the simulator stamps
+/// it); Byzantine nodes may still *claim* things about other ids in payloads.
+using NodeId = std::uint64_t;
+
+/// 1-based synchronous round counter. Round r messages are delivered at r+1.
+using Round = std::int64_t;
+
+/// Tag distinguishing concurrently running consensus instances (the dynamic
+/// total-ordering protocol starts one parallel-consensus instance per round
+/// and tags its messages with the starting round). 0 means "untagged".
+using InstanceTag = std::uint32_t;
+
+/// Identifier of an input pair in parallel consensus ((id, x) pairs, paper
+/// §"Parallel Consensus"). In the total-ordering application this is the id
+/// of the node that witnessed the event.
+using PairId = std::uint64_t;
+
+}  // namespace idonly

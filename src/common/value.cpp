@@ -1,0 +1,14 @@
+#include "common/value.hpp"
+
+#include <sstream>
+
+namespace idonly {
+
+std::string Value::to_string() const {
+  if (is_bot_) return "⊥";
+  std::ostringstream os;
+  os << real_;
+  return os.str();
+}
+
+}  // namespace idonly

@@ -1,0 +1,58 @@
+#include "core/approx_agreement.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/thresholds.hpp"
+
+namespace idonly {
+
+std::optional<double> approx_agree_step(std::vector<double> received) {
+  if (received.empty()) return std::nullopt;
+  std::sort(received.begin(), received.end());
+  const std::size_t n_v = received.size();
+  const std::size_t trim = floor_third(n_v);
+  // n_v - 2*trim >= 1 for all n_v >= 1, so the window below is non-empty.
+  const double lo = received[trim];
+  const double hi = received[n_v - 1 - trim];
+  return (lo + hi) / 2.0;
+}
+
+ApproxAgreementProcess::ApproxAgreementProcess(NodeId self, double input, int iterations)
+    : Process(self), value_(input), iterations_(iterations) {}
+
+void ApproxAgreementProcess::reduce(std::span<const Message> inbox) {
+  // One value per sender: a Byzantine node sending several distinct values
+  // in a round only gets its first counted (any fixed rule is equivalent —
+  // the adversary controls the value either way).
+  std::vector<double> received;
+  std::set<NodeId> seen;
+  for (const Message& m : inbox) {
+    if (m.kind != MsgKind::kApproxValue || m.value.is_bot()) continue;
+    if (!seen.insert(m.sender).second) continue;
+    received.push_back(m.value.as_real());
+  }
+  if (const auto next = approx_agree_step(std::move(received)); next.has_value()) {
+    value_ = *next;
+  }
+  trajectory_.push_back(value_);
+  completed_ += 1;
+  if (completed_ >= iterations_) done_ = true;
+}
+
+void ApproxAgreementProcess::on_round(RoundInfo round, std::span<const Message> inbox,
+                                      std::vector<Outgoing>& out) {
+  if (done_) return;
+  // Each iteration: fold in the previous round's values (rounds >= 2), then
+  // broadcast the current estimate for the next iteration.
+  if (round.local >= 2) {
+    reduce(inbox);
+    if (done_) return;
+  }
+  Message m;
+  m.kind = MsgKind::kApproxValue;
+  m.value = Value::real(value_);
+  broadcast(out, m);
+}
+
+}  // namespace idonly

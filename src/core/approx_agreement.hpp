@@ -1,0 +1,62 @@
+// Approximate agreement in the id-only model (paper §Approximate Agreement,
+// Alg. 4).
+//
+// Each correct node holds a real input; outputs must (1) lie within the
+// range of correct inputs and (2) span a strictly smaller range than the
+// inputs did. The id-only algorithm is one exchange round: broadcast your
+// value, receive the multiset R_v (one value per sender, n_v = |R_v|),
+// discard the ⌊n_v/3⌋ smallest and ⌊n_v/3⌋ largest, output the midpoint of
+// what remains. Theorem 4: with n > 3f the output range is at most HALF the
+// input range — iterating the rule converges exponentially, which is what
+// experiment E4 measures (and compares against the classical known-f
+// algorithm).
+//
+// The same process works unchanged in dynamic networks (§Application to
+// Dynamic Networks): membership may change between iterations, the
+// guarantees hold per-round as long as n > 3f holds per-round.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "common/value.hpp"
+#include "net/process.hpp"
+
+namespace idonly {
+
+/// Pure single-round reduction rule, exposed for direct use and testing:
+/// given the received values (one per sender), apply the trim-and-midpoint
+/// rule. Returns nullopt when the input is empty.
+[[nodiscard]] std::optional<double> approx_agree_step(std::vector<double> received);
+
+class ApproxAgreementProcess final : public Process {
+ public:
+  /// Runs `iterations` exchange rounds (1 = the paper's single-shot
+  /// algorithm), then reports done() with output().
+  ApproxAgreementProcess(NodeId self, double input, int iterations = 1);
+
+  void on_round(RoundInfo round, std::span<const Message> inbox,
+                std::vector<Outgoing>& out) override;
+
+  [[nodiscard]] bool done() const override { return done_; }
+  [[nodiscard]] std::optional<double> output() const noexcept {
+    return done_ ? std::optional<double>(value_) : std::nullopt;
+  }
+  /// Current estimate (after however many iterations ran so far).
+  [[nodiscard]] double value() const noexcept { return value_; }
+  /// Estimates after each completed iteration, for convergence-rate
+  /// experiments.
+  [[nodiscard]] const std::vector<double>& trajectory() const noexcept { return trajectory_; }
+
+ private:
+  void reduce(std::span<const Message> inbox);
+
+  double value_;
+  int iterations_;
+  int completed_ = 0;
+  bool done_ = false;
+  std::vector<double> trajectory_;
+};
+
+}  // namespace idonly

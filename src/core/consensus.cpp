@@ -1,0 +1,176 @@
+#include "core/consensus.hpp"
+
+#include "common/thresholds.hpp"
+
+namespace idonly {
+
+namespace {
+Message opinion_msg(MsgKind kind, const Value& v) {
+  Message m;
+  m.kind = kind;
+  m.value = v;
+  return m;
+}
+}  // namespace
+
+ConsensusProcess::ConsensusProcess(NodeId self, Value input)
+    : Process(self), x_v_(input), rotor_(self) {}
+
+QuorumCounter<Value> ConsensusProcess::count_phase_messages(
+    std::span<const Message> inbox, MsgKind kind, std::optional<MsgKind> heard_marker) const {
+  QuorumCounter<Value> tally;
+  std::set<NodeId> heard;
+  for (const Message& m : inbox) {
+    if (!membership_.knows(m.sender)) continue;  // discard non-members (Alg. 3 caption)
+    if (m.kind == kind) {
+      tally.add(m.value, m.sender);
+      heard.insert(m.sender);
+    } else if (heard_marker.has_value() && m.kind == *heard_marker) {
+      heard.insert(m.sender);  // explicit "no quorum" — do NOT substitute
+    }
+  }
+  // Substitution: every member that stayed COMPLETELY silent (terminated or
+  // crashed — live nodes always send the kind or its marker) is assumed to
+  // have sent the same message v itself sent in the previous round (if v
+  // sent one of this kind).
+  const std::optional<Value>* mine = nullptr;
+  switch (kind) {
+    case MsgKind::kInput: mine = &my_last_input_; break;
+    case MsgKind::kPrefer: mine = &my_last_prefer_; break;
+    case MsgKind::kStrongPrefer: mine = &my_last_strongprefer_; break;
+    default: return tally;
+  }
+  if (mine->has_value()) {
+    for (NodeId member : membership_.ids()) {
+      if (!heard.contains(member)) tally.add(**mine, member);
+    }
+  }
+  return tally;
+}
+
+void ConsensusProcess::on_round(RoundInfo round, std::span<const Message> inbox,
+                                std::vector<Outgoing>& out) {
+  if (output_.has_value()) return;  // terminated — stay silent
+
+  rotor_.absorb(inbox);
+  if (!membership_frozen_) membership_.note(inbox);
+
+  std::vector<Message> msgs;
+
+  // Rounds 1–2: rotor-coordinator initialization; everyone transmits, which
+  // is what seeds every node's membership view.
+  if (round.local == 1) {
+    rotor_.round1(msgs);
+    for (Message& m : msgs) broadcast(out, std::move(m));
+    return;
+  }
+  if (round.local == 2) {
+    rotor_.round2(inbox, msgs);
+    for (Message& m : msgs) broadcast(out, std::move(m));
+    return;
+  }
+
+  // Round 3 starts phase 1; membership is frozen once the full set of
+  // initialization-round senders has been observed (round-2 echoes arrive
+  // in round 3's inbox).
+  if (!membership_frozen_) membership_frozen_ = true;
+
+  const std::size_t n_v = membership_.n_v();
+  const std::int64_t phase = (round.local - 3) / 5 + 1;
+  const std::int64_t phase_round = (round.local - 3) % 5 + 1;
+
+  switch (phase_round) {
+    case 1: {  // P1: broadcast input
+      broadcast(out, opinion_msg(MsgKind::kInput, x_v_));
+      my_last_input_ = x_v_;
+      my_last_prefer_.reset();
+      my_last_strongprefer_.reset();
+      strongprefer_tally_.clear();
+      phase_coordinator_.reset();
+      break;
+    }
+    case 2: {  // P2: 2n_v/3 input(x) → prefer(x), else say "no preference"
+      const auto tally = count_phase_messages(inbox, MsgKind::kInput, std::nullopt);
+      const auto best = tally.best();
+      if (best.has_value() && at_least_two_thirds(best->second, n_v)) {
+        broadcast(out, opinion_msg(MsgKind::kPrefer, best->first));
+        my_last_prefer_ = best->first;
+      } else {
+        broadcast(out, opinion_msg(MsgKind::kNoPreference, Value::bot()));
+      }
+      my_last_input_.reset();
+      break;
+    }
+    case 3: {  // P3: n_v/3 prefer → adopt; 2n_v/3 prefer → strongprefer
+      const auto tally = count_phase_messages(inbox, MsgKind::kPrefer, MsgKind::kNoPreference);
+      const auto best = tally.best();
+      if (best.has_value() && at_least_one_third(best->second, n_v)) {
+        if (observer_ != nullptr && !(x_v_ == best->first)) {
+          observer_->on_event({ProtocolEvent::Type::kOpinionAdopted, id(), round.local,
+                               best->first, 0, phase});
+        }
+        x_v_ = best->first;
+      }
+      if (best.has_value() && at_least_two_thirds(best->second, n_v)) {
+        broadcast(out, opinion_msg(MsgKind::kStrongPrefer, best->first));
+        my_last_strongprefer_ = best->first;
+      } else {
+        broadcast(out, opinion_msg(MsgKind::kNoStrongPref, Value::bot()));
+      }
+      my_last_prefer_.reset();
+      break;
+    }
+    case 4: {  // P4: rotor step (+ collect strongprefer counts sent in P3)
+      strongprefer_tally_ =
+          count_phase_messages(inbox, MsgKind::kStrongPrefer, MsgKind::kNoStrongPref);
+      my_last_strongprefer_.reset();
+      auto result = rotor_.step(n_v, phase - 1);
+      phase_coordinator_ = result.coordinator;
+      msgs = std::move(result.relay);
+      // Embedded rotor never terminates on re-selection; the consensus
+      // termination rule owns the exit.
+      if (result.coordinator == id()) {
+        msgs.push_back(opinion_msg(MsgKind::kOpinion, x_v_));
+      }
+      for (Message& m : msgs) broadcast(out, std::move(m));
+      break;
+    }
+    case 5: {  // P5: resolve via coordinator or terminate
+      std::optional<Value> coordinator_opinion;
+      if (phase_coordinator_.has_value()) {
+        for (const Message& m : inbox) {
+          if (m.kind == MsgKind::kOpinion && m.sender == *phase_coordinator_) {
+            coordinator_opinion = m.value;
+            break;
+          }
+        }
+      }
+      const auto best = strongprefer_tally_.best();
+      const std::size_t best_count = best.has_value() ? best->second : 0;
+      if (less_than_one_third(best_count, n_v)) {
+        // No strong preference anywhere near quorum — defer to the
+        // coordinator. A silent/fake coordinator yields no opinion; keeping
+        // x_v then is equivalent to a Byzantine coordinator echoing x_v.
+        if (coordinator_opinion.has_value()) {
+          if (observer_ != nullptr && !(x_v_ == *coordinator_opinion)) {
+            observer_->on_event({ProtocolEvent::Type::kOpinionAdopted, id(), round.local,
+                                 *coordinator_opinion, phase_coordinator_.value_or(0), phase});
+          }
+          x_v_ = *coordinator_opinion;
+        }
+      }
+      if (best.has_value() && at_least_two_thirds(best_count, n_v)) {
+        output_ = best->first;
+        decision_phase_ = phase;
+        if (observer_ != nullptr) {
+          observer_->on_event(
+              {ProtocolEvent::Type::kDecided, id(), round.local, *output_, 0, phase});
+        }
+      }
+      break;
+    }
+    default: break;
+  }
+}
+
+}  // namespace idonly

@@ -1,0 +1,95 @@
+// Early-terminating consensus in the id-only model (paper §Consensus, Alg. 3).
+//
+// Every correct node holds a real-valued input; all correct nodes must
+// output a common value that was some correct node's input (validity +
+// agreement), within O(f) rounds, without knowing n or f.
+//
+// Structure: two rotor-coordinator initialization rounds, then 5-round
+// phases:
+//   P1  broadcast input(x_v)
+//   P2  some x reached 2n_v/3 inputs → broadcast prefer(x)
+//   P3  x reached n_v/3 prefers → adopt x; 2n_v/3 → broadcast strongprefer(x)
+//   P4  one rotor-coordinator step (coordinator broadcasts opinion x_v);
+//       strongprefer counts (sent in P3) are collected here
+//   P5  opinion c arrives; fewer than n_v/3 strongprefers → x_v = c;
+//       2n_v/3 strongprefer(x) → terminate with output x
+//
+// Membership discipline (Alg. 3 caption): n_v is frozen after
+// initialization; messages from unknown ids are discarded; and if a member
+// goes COMPLETELY silent, v substitutes *its own* previous-round message for
+// the missing one — this is what makes already-terminated correct nodes
+// harmless to stragglers.
+//
+// Disambiguation (found by the bounded-exhaustive checker, see DESIGN.md):
+// the caption's substitution must apply only to members that sent *nothing*,
+// not to members that merely lacked a quorum this round — otherwise a single
+// node can manufacture a 2n_v/3 quorum out of its own substituted copies and
+// violate agreement. We therefore use the explicit `nopreference` /
+// `nostrongpreference` markers the paper itself introduces for Alg. 5: a
+// node without a quorum says so, and substitution only ever fills in for
+// terminated/crashed members.
+#pragma once
+
+#include <optional>
+
+#include "common/observer.hpp"
+#include "common/types.hpp"
+#include "common/value.hpp"
+#include "core/participant_tracker.hpp"
+#include "core/rotor_coordinator.hpp"
+#include "net/process.hpp"
+
+namespace idonly {
+
+class ConsensusProcess final : public Process {
+ public:
+  ConsensusProcess(NodeId self, Value input);
+
+  void on_round(RoundInfo round, std::span<const Message> inbox,
+                std::vector<Outgoing>& out) override;
+
+  [[nodiscard]] bool done() const override { return output_.has_value(); }
+  [[nodiscard]] std::optional<Value> output() const noexcept { return output_; }
+  /// Phase in which the node terminated (1-based), for the round-complexity
+  /// experiments.
+  [[nodiscard]] std::optional<std::int64_t> decision_phase() const noexcept {
+    return decision_phase_;
+  }
+  [[nodiscard]] std::size_t n_v() const noexcept { return membership_.n_v(); }
+  [[nodiscard]] Value current_opinion() const noexcept { return x_v_; }
+
+  /// Non-owning; must outlive the process. Receives kOpinionAdopted and
+  /// kDecided events.
+  void set_observer(ProtocolObserver* observer) noexcept { observer_ = observer; }
+
+ private:
+  /// Count `kind` messages from members in this inbox. Members that sent
+  /// `heard_marker` instead are considered heard (no substitution); members
+  /// that sent neither get this node's own previous-round message of the
+  /// kind substituted. Returns per-value distinct-member counts.
+  [[nodiscard]] QuorumCounter<Value> count_phase_messages(
+      std::span<const Message> inbox, MsgKind kind,
+      std::optional<MsgKind> heard_marker) const;
+
+  Value x_v_;
+  RotorCore rotor_;
+  ParticipantTracker membership_;  // frozen after initialization
+  bool membership_frozen_ = false;
+
+  // What this node itself sent in the previous round, per opinion-bearing
+  // kind — the substitution source. Reset as the phase advances.
+  std::optional<Value> my_last_input_;
+  std::optional<Value> my_last_prefer_;
+  std::optional<Value> my_last_strongprefer_;
+
+  // Strongprefer tally collected in P4 (messages were sent in P3), consumed
+  // in P5.
+  QuorumCounter<Value> strongprefer_tally_;
+  std::optional<NodeId> phase_coordinator_;  // selected in P4 of this phase
+
+  std::optional<Value> output_;
+  std::optional<std::int64_t> decision_phase_;
+  ProtocolObserver* observer_ = nullptr;
+};
+
+}  // namespace idonly

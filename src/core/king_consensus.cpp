@@ -1,0 +1,132 @@
+#include "core/king_consensus.hpp"
+
+#include "common/thresholds.hpp"
+
+namespace idonly {
+
+KingConsensusProcess::KingConsensusProcess(NodeId self, Value input)
+    : Process(self), x_v_(input), rotor_(self) {}
+
+void KingConsensusProcess::on_round(RoundInfo round, std::span<const Message> inbox,
+                                    std::vector<Outgoing>& out) {
+  if (output_.has_value()) return;
+
+  rotor_.absorb(inbox);
+  if (!membership_frozen_) membership_.note(inbox);
+
+  std::vector<Message> msgs;
+  if (round.local == 1) {
+    rotor_.round1(msgs);
+    for (Message& m : msgs) broadcast(out, std::move(m));
+    return;
+  }
+  if (round.local == 2) {
+    rotor_.round2(inbox, msgs);
+    for (Message& m : msgs) broadcast(out, std::move(m));
+    return;
+  }
+  if (!membership_frozen_) membership_frozen_ = true;
+
+  // Tally helper with the same silent-member substitution discipline as
+  // Alg. 3 (markers make "no quorum" distinguishable from "terminated";
+  // substitution only fills for the latter — see consensus.hpp).
+  auto tally = [&](MsgKind kind, std::optional<MsgKind> marker,
+                   const std::optional<Value>& mine) {
+    QuorumCounter<Value> counts;
+    std::set<NodeId> heard;
+    for (const Message& m : inbox) {
+      if (!membership_.knows(m.sender)) continue;
+      if (m.kind == kind) {
+        counts.add(m.value, m.sender);
+        heard.insert(m.sender);
+      } else if (marker.has_value() && m.kind == *marker) {
+        heard.insert(m.sender);
+      }
+    }
+    if (mine.has_value()) {
+      for (NodeId member : membership_.ids()) {
+        if (!heard.contains(member)) counts.add(*mine, member);
+      }
+    }
+    return counts;
+  };
+
+  const std::size_t n_v = membership_.n_v();
+  const std::int64_t phase = (round.local - 3) / 5 + 1;
+  const std::int64_t phase_round = (round.local - 3) % 5 + 1;
+
+  switch (phase_round) {
+    case 1: {
+      Message m;
+      m.kind = MsgKind::kInput;
+      m.value = x_v_;
+      broadcast(out, m);
+      my_last_input_ = x_v_;
+      my_last_support_.reset();
+      support_tally_.clear();
+      phase_coordinator_.reset();
+      break;
+    }
+    case 2: {
+      const auto counts = tally(MsgKind::kInput, std::nullopt, my_last_input_);
+      const auto best = counts.best();
+      if (best.has_value() && at_least_two_thirds(best->second, n_v)) {
+        Message m;
+        m.kind = MsgKind::kPrefer;  // "support" in the draft; reuse the kPrefer slot
+        m.value = best->first;
+        broadcast(out, m);
+        my_last_support_ = best->first;
+      } else {
+        Message m;
+        m.kind = MsgKind::kNoPreference;
+        broadcast(out, m);
+      }
+      my_last_input_.reset();
+      break;
+    }
+    case 3: {
+      support_tally_ = tally(MsgKind::kPrefer, MsgKind::kNoPreference, my_last_support_);
+      const auto best = support_tally_.best();
+      if (best.has_value() && at_least_one_third(best->second, n_v)) x_v_ = best->first;
+      my_last_support_.reset();
+      break;
+    }
+    case 4: {
+      auto result = rotor_.step(n_v, phase - 1);
+      if (result.repeated) {
+        // Rotor termination rule — the algorithm's own exit.
+        output_ = x_v_;
+        decision_phase_ = phase;
+        return;
+      }
+      phase_coordinator_ = result.coordinator;
+      msgs = std::move(result.relay);
+      if (result.coordinator == id()) {
+        Message m;
+        m.kind = MsgKind::kOpinion;
+        m.value = x_v_;
+        msgs.push_back(m);
+      }
+      for (Message& m : msgs) broadcast(out, std::move(m));
+      break;
+    }
+    case 5: {
+      const auto best = support_tally_.best();
+      const std::size_t count = best.has_value() ? best->second : 0;
+      if (!at_least_two_thirds(count, n_v)) {
+        if (phase_coordinator_.has_value()) {
+          for (const Message& m : inbox) {
+            if (m.kind == MsgKind::kOpinion && m.sender == *phase_coordinator_) {
+              x_v_ = m.value;
+              break;
+            }
+          }
+        }
+      }
+      break;
+    }
+    default: break;
+  }
+}
+
+}  // namespace idonly

@@ -1,0 +1,57 @@
+// Rotor-based "king" consensus — the paper draft's original consensus
+// construction (reconstructed from the authors' cut appendix material): the
+// Berman–Garay king algorithm with f+1 known kings replaced by the
+// rotor-coordinator, terminating when the rotor terminates (O(n) rounds)
+// rather than early (O(f), Alg. 3).
+//
+// Phase structure (5 local rounds, after the 2 rotor init rounds):
+//   P1  broadcast input(x_v)
+//   P2  some x reached 2n_v/3 inputs → broadcast support(x)
+//   P3  x reached n_v/3 supports → adopt x (support tally recorded)
+//   P4  rotor step: coordinator broadcasts opinion; if the rotor re-selects
+//       a coordinator (its termination rule) → output x_v and stop
+//   P5  support tally below 2n_v/3 → adopt the coordinator's opinion c
+//
+// Kept in the library as (a) the second consensus construction the paper
+// describes, and (b) the ablation partner for Alg. 3's early-termination
+// claim: on unanimous inputs Alg. 3 finishes in 1 phase while this runs a
+// full O(n) rotor schedule.
+#pragma once
+
+#include <optional>
+
+#include "common/types.hpp"
+#include "common/value.hpp"
+#include "core/participant_tracker.hpp"
+#include "core/rotor_coordinator.hpp"
+#include "net/process.hpp"
+
+namespace idonly {
+
+class KingConsensusProcess final : public Process {
+ public:
+  KingConsensusProcess(NodeId self, Value input);
+
+  void on_round(RoundInfo round, std::span<const Message> inbox,
+                std::vector<Outgoing>& out) override;
+
+  [[nodiscard]] bool done() const override { return output_.has_value(); }
+  [[nodiscard]] std::optional<Value> output() const noexcept { return output_; }
+  [[nodiscard]] std::optional<std::int64_t> decision_phase() const noexcept {
+    return decision_phase_;
+  }
+
+ private:
+  Value x_v_;
+  RotorCore rotor_;
+  ParticipantTracker membership_;
+  bool membership_frozen_ = false;
+  std::optional<Value> my_last_input_;
+  std::optional<Value> my_last_support_;
+  QuorumCounter<Value> support_tally_;
+  std::optional<NodeId> phase_coordinator_;
+  std::optional<Value> output_;
+  std::optional<std::int64_t> decision_phase_;
+};
+
+}  // namespace idonly

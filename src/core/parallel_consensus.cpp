@@ -1,0 +1,266 @@
+#include "core/parallel_consensus.hpp"
+
+#include "common/thresholds.hpp"
+
+namespace idonly {
+
+namespace {
+Message pair_msg(MsgKind kind, InstanceTag tag, PairId pair, const Value& v) {
+  Message m;
+  m.kind = kind;
+  m.subject = pair;
+  m.instance = tag;
+  m.value = v;
+  return m;
+}
+}  // namespace
+
+ParallelConsensusMachine::ParallelConsensusMachine(
+    NodeId self, InstanceTag tag, std::vector<InputPair> inputs,
+    std::optional<std::set<NodeId>> membership_restriction)
+    : self_(self),
+      tag_(tag),
+      pending_inputs_(std::move(inputs)),
+      restriction_(std::move(membership_restriction)),
+      rotor_(self, tag) {}
+
+bool ParallelConsensusMachine::accepts(const Message& m) const {
+  if (m.instance != tag_) return false;
+  if (restriction_.has_value() && !restriction_->contains(m.sender)) return false;
+  if (membership_frozen_ && !membership_.knows(m.sender)) return false;
+  return true;
+}
+
+ParallelConsensusMachine::Instance& ParallelConsensusMachine::activate(PairId id, Value initial) {
+  auto [it, inserted] = instances_.try_emplace(id);
+  if (inserted) it->second.x = initial;
+  return it->second;
+}
+
+QuorumCounter<Value> ParallelConsensusMachine::tally(std::span<const Message> inbox, PairId pair,
+                                                     MsgKind kind, std::optional<MsgKind> heard_marker,
+                                                     std::optional<Value> fill) const {
+  QuorumCounter<Value> counts;
+  std::set<NodeId> heard;
+  for (const Message& m : inbox) {
+    if (!accepts(m) || m.subject != pair) continue;
+    if (m.kind == kind) {
+      counts.add(m.value, m.sender);
+      heard.insert(m.sender);
+    } else if (heard_marker.has_value() && m.kind == *heard_marker) {
+      heard.insert(m.sender);  // explicit "no quorum" — do not fill for this member
+    }
+  }
+  if (fill.has_value()) {
+    for (NodeId member : membership_.ids()) {
+      if (!heard.contains(member)) counts.add(*fill, member);
+    }
+  }
+  return counts;
+}
+
+void ParallelConsensusMachine::phase_round_1(std::vector<Message>& out) {
+  // Own input pairs activate their instances at the start of phase 1.
+  for (const InputPair& input : pending_inputs_) activate(input.id, input.value);
+  pending_inputs_.clear();
+  for (auto& [id, inst] : instances_) {
+    if (inst.terminated) continue;
+    if (!inst.x.is_bot()) out.push_back(pair_msg(MsgKind::kInput, tag_, id, inst.x));
+    inst.my_last_prefer.reset();
+    inst.my_last_strongpref.reset();
+    inst.sp_tally.clear();
+  }
+  phase_coordinator_.reset();
+}
+
+void ParallelConsensusMachine::phase_round_2(std::span<const Message> inbox, std::int64_t phase,
+                                             std::vector<Message>& out) {
+  // Late adoption: an id first heard via id:input in round 2 of phase 1
+  // starts an instance here with opinion ⊥.
+  if (phase == 1) {
+    for (const Message& m : inbox) {
+      if (accepts(m) && m.kind == MsgKind::kInput && !instances_.contains(m.subject)) {
+        activate(m.subject, Value::bot());
+      }
+    }
+  }
+  for (auto& [id, inst] : instances_) {
+    if (inst.terminated) continue;
+    // Fill rule: phase 1 → input(⊥) for silent members (first hearing of the
+    // type); later phases → my own current opinion (what I broadcast — or
+    // stayed silent with — in the previous round).
+    const Value fill = phase == 1 ? Value::bot() : inst.x;
+    const auto counts = tally(inbox, id, MsgKind::kInput, std::nullopt, fill);
+    const auto best = counts.best();
+    if (best.has_value() && at_least_two_thirds(best->second, membership_.n_v())) {
+      out.push_back(pair_msg(MsgKind::kPrefer, tag_, id, best->first));
+      inst.my_last_prefer = best->first;
+    } else {
+      out.push_back(pair_msg(MsgKind::kNoPreference, tag_, id, Value::bot()));
+      inst.my_last_prefer.reset();
+    }
+  }
+}
+
+void ParallelConsensusMachine::phase_round_3(std::span<const Message> inbox, std::int64_t phase,
+                                             std::vector<Message>& out) {
+  if (phase == 1) {
+    for (const Message& m : inbox) {
+      if (accepts(m) && m.kind == MsgKind::kPrefer && !instances_.contains(m.subject)) {
+        activate(m.subject, Value::bot());
+      }
+    }
+  }
+  for (auto& [id, inst] : instances_) {
+    if (inst.terminated) continue;
+    const std::optional<Value> fill = phase == 1 ? std::optional<Value>(Value::bot())
+                                                 : inst.my_last_prefer;
+    const auto counts = tally(inbox, id, MsgKind::kPrefer, MsgKind::kNoPreference, fill);
+    const auto best = counts.best();
+    const std::size_t n_v = membership_.n_v();
+    if (best.has_value() && at_least_one_third(best->second, n_v)) inst.x = best->first;
+    if (best.has_value() && at_least_two_thirds(best->second, n_v)) {
+      out.push_back(pair_msg(MsgKind::kStrongPrefer, tag_, id, best->first));
+      inst.my_last_strongpref = best->first;
+    } else {
+      out.push_back(pair_msg(MsgKind::kNoStrongPref, tag_, id, Value::bot()));
+      inst.my_last_strongpref.reset();
+    }
+  }
+}
+
+void ParallelConsensusMachine::phase_round_4(std::span<const Message> inbox, std::int64_t phase,
+                                             std::vector<Message>& out) {
+  // Strongprefers sent in round 3 arrive here; collect them per instance.
+  // Ids first heard via strongprefer at the rotor round are discarded (they
+  // become adoption triggers only in round 5).
+  for (auto& [id, inst] : instances_) {
+    if (inst.terminated) continue;
+    const std::optional<Value> fill = phase == 1 ? std::optional<Value>(Value::bot())
+                                                 : inst.my_last_strongpref;
+    inst.sp_tally = tally(inbox, id, MsgKind::kStrongPrefer, MsgKind::kNoStrongPref, fill);
+  }
+  // One shared rotor step per phase; the coordinator publishes its opinion
+  // for every live instance.
+  auto result = rotor_.step(membership_.n_v(), phase - 1);
+  phase_coordinator_ = result.coordinator;
+  for (Message& m : result.relay) out.push_back(std::move(m));
+  if (result.coordinator == self_) {
+    for (auto& [id, inst] : instances_) {
+      if (!inst.terminated) out.push_back(pair_msg(MsgKind::kOpinion, tag_, id, inst.x));
+    }
+  }
+}
+
+void ParallelConsensusMachine::phase_round_5(std::span<const Message> inbox, std::int64_t phase) {
+  // Late adoption via strongprefer (round 5 of phase 1 only): the node joins,
+  // fills strongprefer(⊥) for every silent member, and — since only
+  // Byzantine nodes ever sent anything for this id — terminates without
+  // output below.
+  if (phase == 1) {
+    for (const Message& m : inbox) {
+      if (accepts(m) && m.kind == MsgKind::kStrongPrefer && !instances_.contains(m.subject)) {
+        Instance& inst = activate(m.subject, Value::bot());
+        inst.sp_tally =
+            tally(inbox, m.subject, MsgKind::kStrongPrefer, MsgKind::kNoStrongPref, Value::bot());
+      }
+    }
+  }
+  for (auto& [id, inst] : instances_) {
+    if (inst.terminated) continue;
+    std::optional<Value> coordinator_opinion;
+    if (phase_coordinator_.has_value()) {
+      for (const Message& m : inbox) {
+        if (accepts(m) && m.kind == MsgKind::kOpinion && m.subject == id &&
+            m.sender == *phase_coordinator_) {
+          coordinator_opinion = m.value;
+          break;
+        }
+      }
+    }
+    const auto best = inst.sp_tally.best();
+    const std::size_t n_v = membership_.n_v();
+    const std::size_t best_count = best.has_value() ? best->second : 0;
+    if (less_than_one_third(best_count, n_v)) {
+      if (coordinator_opinion.has_value()) inst.x = *coordinator_opinion;
+    }
+    if (best.has_value() && at_least_two_thirds(best_count, n_v)) {
+      inst.terminated = true;
+      inst.decided = best->first;
+    }
+  }
+}
+
+void ParallelConsensusMachine::on_round(std::span<const Message> inbox, std::vector<Message>& out) {
+  local_round_ += 1;
+  rotor_.absorb(inbox);  // rotor echoes are tagged; absorb filters by tag
+  if (!membership_frozen_) {
+    for (const Message& m : inbox) {
+      if (restriction_.has_value() && !restriction_->contains(m.sender)) continue;
+      membership_.note(m.sender);
+    }
+  }
+
+  if (local_round_ == 1) {
+    rotor_.round1(out);
+    return;
+  }
+  if (local_round_ == 2) {
+    std::vector<Message> echoes;
+    rotor_.round2(inbox, echoes);
+    for (Message& m : echoes) {
+      if (!restriction_.has_value() || restriction_->contains(m.subject)) out.push_back(m);
+    }
+    return;
+  }
+  if (!membership_frozen_) {
+    membership_.note(self_);  // self always counts (broadcast is self-inclusive)
+    membership_frozen_ = true;
+  }
+
+  const std::int64_t phase = (local_round_ - 3) / 5 + 1;
+  const std::int64_t phase_round = (local_round_ - 3) % 5 + 1;
+  switch (phase_round) {
+    case 1: phase_round_1(out); break;
+    case 2: phase_round_2(inbox, phase, out); break;
+    case 3: phase_round_3(inbox, phase, out); break;
+    case 4: phase_round_4(inbox, phase, out); break;
+    case 5: phase_round_5(inbox, phase); break;
+    default: break;
+  }
+}
+
+bool ParallelConsensusMachine::terminated() const noexcept {
+  // No new instance can appear after phase 1 (local rounds 3..7), and every
+  // known instance must have decided.
+  if (local_round_ < 7) return false;
+  for (const auto& [id, inst] : instances_) {
+    if (!inst.terminated) return false;
+  }
+  return true;
+}
+
+std::vector<OutputPair> ParallelConsensusMachine::outputs() const {
+  std::vector<OutputPair> out;
+  for (const auto& [id, inst] : instances_) {
+    if (inst.terminated && inst.decided.has_value() && !inst.decided->is_bot()) {
+      out.push_back(OutputPair{id, *inst.decided});
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+ParallelConsensusProcess::ParallelConsensusProcess(NodeId self, std::vector<InputPair> inputs)
+    : Process(self), machine_(self, /*tag=*/0, std::move(inputs)) {}
+
+void ParallelConsensusProcess::on_round(RoundInfo, std::span<const Message> inbox,
+                                        std::vector<Outgoing>& out) {
+  if (machine_.terminated()) return;
+  std::vector<Message> msgs;
+  machine_.on_round(inbox, msgs);
+  for (Message& m : msgs) broadcast(out, std::move(m));
+}
+
+}  // namespace idonly

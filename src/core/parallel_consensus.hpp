@@ -1,0 +1,132 @@
+// Parallel consensus in the id-only model (paper §Parallel Consensus, Alg. 5).
+//
+// Every correct node inputs a SET of (pair-id, value) pairs; nodes need not
+// agree up front on which pair-ids exist. Guarantees:
+//   * Validity    — a pair (id, x), x ≠ ⊥, input at EVERY correct node is
+//                   output by every correct node;
+//   * Agreement   — any pair output by one correct node is output by all;
+//   * Termination — finite rounds (O(f) per instance).
+//
+// One EarlyConsensus(id) instance runs per pair-id, all sharing a common
+// round/phase clock and one rotor-coordinator. The machinery that removes
+// the "agree on the instance set first" chicken-and-egg:
+//   * explicit id:nopreference / id:nostrongpreference markers so silence
+//     is distinguishable from "no quorum";
+//   * ⊥-filling — during phase 1, a node that first hears a message type for
+//     an id fills the missing copies from other members with that type's ⊥
+//     message; in later phases it fills with what it itself sent last;
+//   * late adoption — a node unaware of id starts the instance if it first
+//     hears id:input / id:prefer / id:strongprefer in rounds 2 / 3 / 5 of
+//     phase 1; anything about an unknown id after phase 1 is discarded.
+//
+// ParallelConsensusMachine is the embeddable engine (the dynamic
+// total-ordering protocol runs one machine per round, tagged by instance);
+// ParallelConsensusProcess adapts it to the simulator.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/types.hpp"
+#include "common/value.hpp"
+#include "core/participant_tracker.hpp"
+#include "core/rotor_coordinator.hpp"
+#include "net/process.hpp"
+
+namespace idonly {
+
+struct InputPair {
+  PairId id = 0;
+  Value value;
+};
+
+struct OutputPair {
+  PairId id = 0;
+  Value value;
+  friend bool operator==(const OutputPair&, const OutputPair&) = default;
+  friend bool operator<(const OutputPair& a, const OutputPair& b) {
+    if (a.id != b.id) return a.id < b.id;
+    return a.value < b.value;
+  }
+};
+
+class ParallelConsensusMachine {
+ public:
+  /// `membership_restriction` — the total-ordering protocol records its view
+  /// S at instance start and only accepts messages from S; empty optional
+  /// means "no restriction" (standalone use).
+  ParallelConsensusMachine(NodeId self, InstanceTag tag, std::vector<InputPair> inputs,
+                           std::optional<std::set<NodeId>> membership_restriction = std::nullopt);
+
+  /// Advance one local round. `inbox` is this round's full inbox (the
+  /// machine filters by instance tag and membership itself); outgoing
+  /// messages (already instance-tagged) are appended to `out`.
+  void on_round(std::span<const Message> inbox, std::vector<Message>& out);
+
+  [[nodiscard]] bool terminated() const noexcept;
+  /// Agreed output pairs, sorted by pair id (⊥-valued pairs already
+  /// discarded). Stable once terminated().
+  [[nodiscard]] std::vector<OutputPair> outputs() const;
+
+  [[nodiscard]] Round local_round() const noexcept { return local_round_; }
+  [[nodiscard]] std::size_t n_v() const noexcept { return membership_.n_v(); }
+  [[nodiscard]] std::size_t instance_count() const noexcept { return instances_.size(); }
+
+ private:
+  struct Instance {
+    Value x;                  ///< current opinion (⊥ allowed)
+    bool terminated = false;
+    std::optional<Value> decided;            ///< set at termination (may be ⊥)
+    std::optional<Value> my_last_prefer;     ///< what I sent in P2 (prefer only)
+    std::optional<Value> my_last_strongpref; ///< what I sent in P3
+    QuorumCounter<Value> sp_tally;           ///< strongprefers collected in P4
+  };
+
+  [[nodiscard]] bool accepts(const Message& m) const;
+  Instance& activate(PairId id, Value initial);
+  /// Tally `kind` messages (by pair id) from this inbox for one instance,
+  /// with heard-markers and the fill rule. `fill` is the value attributed to
+  /// silent members (nullopt → no filling).
+  [[nodiscard]] QuorumCounter<Value> tally(std::span<const Message> inbox, PairId pair,
+                                           MsgKind kind, std::optional<MsgKind> heard_marker,
+                                           std::optional<Value> fill) const;
+
+  void phase_round_1(std::vector<Message>& out);
+  void phase_round_2(std::span<const Message> inbox, std::int64_t phase,
+                     std::vector<Message>& out);
+  void phase_round_3(std::span<const Message> inbox, std::int64_t phase,
+                     std::vector<Message>& out);
+  void phase_round_4(std::span<const Message> inbox, std::int64_t phase,
+                     std::vector<Message>& out);
+  void phase_round_5(std::span<const Message> inbox, std::int64_t phase);
+
+  NodeId self_;
+  InstanceTag tag_;
+  std::vector<InputPair> pending_inputs_;
+  std::optional<std::set<NodeId>> restriction_;
+  RotorCore rotor_;
+  ParticipantTracker membership_;
+  bool membership_frozen_ = false;
+  Round local_round_ = 0;
+  std::map<PairId, Instance> instances_;
+  std::optional<NodeId> phase_coordinator_;
+};
+
+/// Standalone Alg. 5 as a simulator process.
+class ParallelConsensusProcess final : public Process {
+ public:
+  ParallelConsensusProcess(NodeId self, std::vector<InputPair> inputs);
+
+  void on_round(RoundInfo round, std::span<const Message> inbox,
+                std::vector<Outgoing>& out) override;
+  [[nodiscard]] bool done() const override { return machine_.terminated(); }
+  [[nodiscard]] std::vector<OutputPair> outputs() const { return machine_.outputs(); }
+  [[nodiscard]] const ParallelConsensusMachine& machine() const noexcept { return machine_; }
+
+ private:
+  ParallelConsensusMachine machine_;
+};
+
+}  // namespace idonly

@@ -1,0 +1,9 @@
+#include "core/participant_tracker.hpp"
+
+namespace idonly {
+
+void ParticipantTracker::note(std::span<const Message> inbox) {
+  for (const Message& m : inbox) seen_.insert(m.sender);
+}
+
+}  // namespace idonly

@@ -1,0 +1,78 @@
+// Quorum bookkeeping shared by every protocol in the library.
+//
+// The paper's central observation is that the unknown quantity n can be
+// replaced by n_v — "the number of nodes that sent at least one message to v
+// until the current round" — and f by n_v/3. ParticipantTracker maintains
+// n_v; QuorumCounter counts *distinct* senders per key (message identity),
+// cumulatively across rounds, which is the reading under which Lemmas 1–4 of
+// the paper hold (a correct node echoes a given message once per round at
+// most, and per-round duplicates are already dropped by the engine).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/types.hpp"
+#include "net/message.hpp"
+
+namespace idonly {
+
+/// Tracks the set of nodes v has ever heard from; n_v = size().
+class ParticipantTracker {
+ public:
+  /// Record the senders of this round's inbox (call once per round, before
+  /// evaluating any threshold).
+  void note(std::span<const Message> inbox);
+
+  /// Record a single id (e.g. self — a node always counts itself once it
+  /// broadcast, because broadcast is self-inclusive).
+  void note(NodeId id) { seen_.insert(id); }
+
+  [[nodiscard]] std::size_t n_v() const noexcept { return seen_.size(); }
+  [[nodiscard]] bool knows(NodeId id) const { return seen_.contains(id); }
+  [[nodiscard]] const std::unordered_set<NodeId>& ids() const noexcept { return seen_; }
+
+ private:
+  std::unordered_set<NodeId> seen_;
+};
+
+/// Counts distinct senders per key, cumulatively across rounds. Key is the
+/// message identity relevant to a protocol: (s, m) for reliable broadcast,
+/// candidate id p for the rotor, an opinion Value for consensus phases, ...
+template <typename Key, typename Compare = std::less<Key>>
+class QuorumCounter {
+ public:
+  /// Returns true when this (key, sender) pair is new.
+  bool add(const Key& key, NodeId sender) { return senders_[key].insert(sender).second; }
+
+  [[nodiscard]] std::size_t count(const Key& key) const {
+    auto it = senders_.find(key);
+    return it == senders_.end() ? 0 : it->second.size();
+  }
+
+  /// Key with the largest distinct-sender count (ties → smallest key), or
+  /// nothing when empty. Used for "received at least t copies of *some*
+  /// message m" style rules where at most one m can pass the threshold.
+  [[nodiscard]] std::optional<std::pair<Key, std::size_t>> best() const {
+    std::optional<std::pair<Key, std::size_t>> out;
+    for (const auto& [key, senders] : senders_) {
+      if (!out.has_value() || senders.size() > out->second) out = {key, senders.size()};
+    }
+    return out;
+  }
+
+  [[nodiscard]] const std::map<Key, std::set<NodeId>, Compare>& all() const noexcept {
+    return senders_;
+  }
+
+  void clear() { senders_.clear(); }
+
+ private:
+  std::map<Key, std::set<NodeId>, Compare> senders_;
+};
+
+}  // namespace idonly

@@ -1,0 +1,67 @@
+// Reliable broadcast in the id-only model (paper §Reliable Broadcast, Alg. 1).
+//
+// A designated node s broadcasts (m, s); the abstraction guarantees, for
+// n > 3f and WITHOUT any node knowing n or f:
+//   * Correctness   — if s is correct, every correct node accepts (m, s)
+//                     (by round 3);
+//   * Unforgeability — if a correct node accepts (m, s) and s is correct,
+//                     then s really broadcast (m, s);
+//   * Relay         — if a correct node accepts in round r, every correct
+//                     node accepts by round r+1.
+//
+// The unknown-n trick: thresholds use n_v — the number of distinct nodes v
+// has heard from so far — in place of n. Round 1 makes every correct node
+// transmit (`present` from non-senders), which is what makes n_v ≥ g and the
+// Lemma 2/4 counting work.
+//
+// The algorithm deliberately never terminates (it is a building block; the
+// callers — rotor, renaming — own termination), so the process just runs
+// until the simulator stops stepping it.
+#pragma once
+
+#include <optional>
+
+#include "common/observer.hpp"
+#include "common/types.hpp"
+#include "common/value.hpp"
+#include "core/participant_tracker.hpp"
+#include "net/process.hpp"
+
+namespace idonly {
+
+class ReliableBroadcastProcess final : public Process {
+ public:
+  /// `source` is the designated sender s; `payload` is m (only read when
+  /// self == source).
+  ReliableBroadcastProcess(NodeId self, NodeId source, Value payload);
+
+  void on_round(RoundInfo round, std::span<const Message> inbox,
+                std::vector<Outgoing>& out) override;
+
+  /// Whether (m, s) has been accepted, for which m (Byzantine sources can
+  /// get an arbitrary — but then *unique per node pair run* — m accepted).
+  [[nodiscard]] bool accepted() const noexcept { return accepted_payload_.has_value(); }
+  [[nodiscard]] std::optional<Value> accepted_payload() const noexcept { return accepted_payload_; }
+  [[nodiscard]] std::optional<Round> accept_round() const noexcept { return accept_round_; }
+
+  /// Current n_v — exposed for tests asserting the counting lemmas.
+  [[nodiscard]] std::size_t n_v() const noexcept { return tracker_.n_v(); }
+
+  /// Non-owning; must outlive the process. Receives kAccepted events.
+  void set_observer(ProtocolObserver* observer) noexcept { observer_ = observer; }
+
+ private:
+  NodeId source_;
+  Value payload_;
+  ParticipantTracker tracker_;
+  /// Distinct senders of echo(m, s), keyed by the echoed payload m (the
+  /// source s is fixed per run; Byzantine sources may put several m in
+  /// flight, each counted independently).
+  QuorumCounter<Value> echoes_;
+  bool sent_initial_echo_ = false;
+  std::optional<Value> accepted_payload_;
+  std::optional<Round> accept_round_;
+  ProtocolObserver* observer_ = nullptr;
+};
+
+}  // namespace idonly

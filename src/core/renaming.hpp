@@ -1,0 +1,46 @@
+// Byzantine renaming in the id-only model (reconstructed from the paper's
+// appendix draft).
+//
+// Nodes have unique but possibly huge, sparse identifiers; the task is to
+// consistently assign every correct node a small name in 1..|S|. Each node
+// reliably-broadcast-accumulates announced ids into an ordered set S; once S
+// has been quiet for two consecutive rounds the node proposes termination
+// with a terminate(k) message, which itself propagates in reliable-broadcast
+// fashion (n_v/3 relay, 2n_v/3 accept). The appendix lemma shows all correct
+// nodes terminate within O(f) rounds holding identical S, so "my rank in S"
+// is a consistent renaming.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/participant_tracker.hpp"
+#include "net/process.hpp"
+
+namespace idonly {
+
+class RenamingProcess final : public Process {
+ public:
+  explicit RenamingProcess(NodeId self);
+
+  void on_round(RoundInfo round, std::span<const Message> inbox,
+                std::vector<Outgoing>& out) override;
+
+  [[nodiscard]] bool done() const override { return terminated_; }
+  /// This node's new name (1-based rank of its id in the agreed S).
+  [[nodiscard]] std::optional<std::size_t> new_name() const;
+  /// The agreed id set (meaningful once done()).
+  [[nodiscard]] const std::set<NodeId>& id_set() const noexcept { return s_; }
+
+ private:
+  ParticipantTracker tracker_;
+  QuorumCounter<NodeId> echoes_;              // announced id -> distinct echoers
+  QuorumCounter<std::uint32_t> terminates_;   // k -> distinct terminate(k) senders
+  std::set<NodeId> s_;
+  Round last_change_round_ = 0;  // latest loop round in which S grew
+  bool terminated_ = false;
+};
+
+}  // namespace idonly

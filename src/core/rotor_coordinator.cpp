@@ -1,0 +1,134 @@
+#include "core/rotor_coordinator.hpp"
+
+#include <algorithm>
+
+#include "common/thresholds.hpp"
+
+namespace idonly {
+
+void RotorCore::round1(std::vector<Message>& out) const {
+  Message init;
+  init.kind = MsgKind::kInit;
+  init.instance = instance_;
+  out.push_back(init);
+}
+
+void RotorCore::round2(std::span<const Message> inbox, std::vector<Message>& out) const {
+  for (const Message& m : inbox) {
+    if (m.kind != MsgKind::kInit || m.instance != instance_) continue;
+    Message echo;
+    echo.kind = MsgKind::kEcho;
+    echo.subject = m.sender;  // candidate id — taken from the unforgeable sender stamp
+    echo.instance = instance_;
+    out.push_back(echo);
+  }
+}
+
+void RotorCore::absorb(std::span<const Message> inbox) {
+  for (const Message& m : inbox) {
+    if (m.kind == MsgKind::kEcho && m.instance == instance_ && m.value.is_bot()) {
+      echoes_.add(m.subject, m.sender);
+    }
+  }
+}
+
+RotorCore::StepResult RotorCore::step(std::size_t n_v, std::int64_t r) {
+  StepResult result;
+
+  // Candidate maintenance in reliable-broadcast fashion (Alg. 2 lines 8–11).
+  for (const auto& [candidate, senders] : echoes_.all()) {
+    if (candidate_set_.contains(candidate)) continue;
+    if (at_least_one_third(senders.size(), n_v)) {
+      Message echo;
+      echo.kind = MsgKind::kEcho;
+      echo.subject = candidate;
+      echo.instance = instance_;
+      result.relay.push_back(echo);
+    }
+    if (at_least_two_thirds(senders.size(), n_v)) {
+      candidate_set_.insert(candidate);
+      candidates_.insert(std::lower_bound(candidates_.begin(), candidates_.end(), candidate),
+                         candidate);
+    }
+  }
+
+  // Selection: p = C_v[r mod |C_v|] (Alg. 2 line 12).
+  if (!candidates_.empty()) {
+    const std::size_t idx =
+        static_cast<std::size_t>(r % static_cast<std::int64_t>(candidates_.size()));
+    const NodeId p = candidates_[idx];
+    result.coordinator = p;
+    if (selected_.contains(p)) {
+      result.repeated = true;  // caller decides whether to terminate
+    } else {
+      selected_.insert(p);
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+
+RotorProcess::RotorProcess(NodeId self, Value opinion)
+    : Process(self), opinion_(opinion), core_(self) {}
+
+void RotorProcess::on_round(RoundInfo round, std::span<const Message> inbox,
+                            std::vector<Outgoing>& out) {
+  if (terminated_) return;
+  tracker_.note(inbox);
+  core_.absorb(inbox);
+
+  std::vector<Message> msgs;
+  if (round.local == 1) {
+    core_.round1(msgs);
+  } else if (round.local == 2) {
+    core_.round2(inbox, msgs);
+  } else {
+    const std::int64_t r = round.local - 3;  // rotor rounds are 0-based
+    RoundRecord record;
+    record.rotor_round = r;
+
+    // Accept the previous coordinator's opinion (Alg. 2 lines 14–16): this
+    // happens BEFORE the termination check, so the opinion from the last
+    // distinct coordinator still lands.
+    if (prev_coordinator_.has_value()) {
+      for (const Message& m : inbox) {
+        if (m.kind == MsgKind::kOpinion && m.sender == *prev_coordinator_) {
+          record.accepted_opinion = m.value;
+          record.accepted_from = m.sender;
+          if (observer_ != nullptr) {
+            observer_->on_event({ProtocolEvent::Type::kGoodOpinionAccepted, id(), round.local,
+                                 m.value, m.sender, r});
+          }
+          break;
+        }
+      }
+    }
+
+    RotorCore::StepResult result = core_.step(tracker_.n_v(), r);
+    record.selected = result.coordinator;
+    msgs = std::move(result.relay);
+    if (observer_ != nullptr && result.coordinator.has_value()) {
+      observer_->on_event({ProtocolEvent::Type::kCoordinatorSelected, id(), round.local, Value{},
+                           *result.coordinator, r});
+    }
+
+    if (result.repeated) {
+      history_.push_back(record);
+      terminated_ = true;
+      return;  // break — B_v of this round is not sent (matches Alg. 2)
+    }
+    prev_coordinator_ = result.coordinator;
+    if (result.coordinator == id()) {
+      Message op;
+      op.kind = MsgKind::kOpinion;
+      op.value = opinion_;
+      msgs.push_back(op);
+    }
+    history_.push_back(record);
+  }
+
+  for (Message& m : msgs) broadcast(out, std::move(m));
+}
+
+}  // namespace idonly

@@ -1,0 +1,44 @@
+#include "core/terminating_rb.hpp"
+
+namespace idonly {
+
+TerminatingRbProcess::TerminatingRbProcess(NodeId self, NodeId source, Value payload)
+    : Process(self), source_(source), payload_(payload) {}
+
+bool TerminatingRbProcess::done() const { return consensus_ != nullptr && consensus_->done(); }
+
+std::optional<Value> TerminatingRbProcess::output() const {
+  return consensus_ != nullptr ? consensus_->output() : std::nullopt;
+}
+
+void TerminatingRbProcess::on_round(RoundInfo round, std::span<const Message> inbox,
+                                    std::vector<Outgoing>& out) {
+  if (round.local == 1) {
+    if (id() == source_) {
+      Message m;
+      m.kind = MsgKind::kPayload;
+      m.subject = source_;
+      m.value = payload_;
+      broadcast(out, m);
+    } else {
+      broadcast(out, Message{.kind = MsgKind::kPresent});
+    }
+    return;
+  }
+  if (consensus_ == nullptr) {
+    // Round 2: fix the consensus input from what (if anything) the source
+    // sent us directly, then run Alg. 3 with a one-round offset.
+    Value x = Value::bot();
+    for (const Message& m : inbox) {
+      if (m.kind == MsgKind::kPayload && m.sender == source_ && m.subject == source_) {
+        x = m.value;
+        break;
+      }
+    }
+    consensus_ = std::make_unique<ConsensusProcess>(id(), x);
+  }
+  RoundInfo shifted{round.global, round.local - 1};
+  consensus_->on_round(shifted, inbox, out);
+}
+
+}  // namespace idonly

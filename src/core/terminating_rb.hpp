@@ -1,0 +1,42 @@
+// Terminating reliable broadcast (reconstructed from the paper's appendix
+// draft).
+//
+// Plain reliable broadcast (Alg. 1) never terminates — with a Byzantine
+// source, correct nodes cannot know whether an acceptance is still coming.
+// The terminating variant adds a common *decision*: every correct node
+// outputs the same (possibly empty, ⊥) payload within O(f) rounds:
+//   round 1: the source broadcasts (m, s); everyone else announces;
+//   round 2: x_v = m if (m, s) arrived directly from s, else ⊥;
+//   then run Alg. 3 consensus on x_v.
+// Correctness/unforgeability/relay follow from consensus validity/agreement
+// (appendix lemma); termination from Theorem 3.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "common/types.hpp"
+#include "common/value.hpp"
+#include "core/consensus.hpp"
+#include "net/process.hpp"
+
+namespace idonly {
+
+class TerminatingRbProcess final : public Process {
+ public:
+  TerminatingRbProcess(NodeId self, NodeId source, Value payload);
+
+  void on_round(RoundInfo round, std::span<const Message> inbox,
+                std::vector<Outgoing>& out) override;
+
+  [[nodiscard]] bool done() const override;
+  /// The agreed payload; Value::bot() means "the source broadcast nothing".
+  [[nodiscard]] std::optional<Value> output() const;
+
+ private:
+  NodeId source_;
+  Value payload_;
+  std::unique_ptr<ConsensusProcess> consensus_;  // created in round 2
+};
+
+}  // namespace idonly

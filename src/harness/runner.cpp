@@ -1,0 +1,275 @@
+#include "harness/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/approx_agreement.hpp"
+#include "core/consensus.hpp"
+#include "core/reliable_broadcast.hpp"
+#include "baselines/known_f_approx.hpp"
+#include "net/sync_simulator.hpp"
+
+namespace idonly {
+
+namespace {
+/// Range (max - min) of a non-empty vector.
+double range_of(const std::vector<double>& xs) {
+  const auto [lo, hi] = std::minmax_element(xs.begin(), xs.end());
+  return *hi - *lo;
+}
+}  // namespace
+
+ConsensusRun run_consensus(const ScenarioConfig& config, const std::vector<double>& inputs,
+                           Round max_rounds) {
+  const Scenario scenario = make_scenario(config);
+  SyncSimulator sim;
+  auto factory = [&](NodeId id, std::size_t index) -> std::unique_ptr<Process> {
+    const double input = index < config.n_correct
+                             ? inputs[index % inputs.size()]
+                             : static_cast<double>(index % 2);  // adversary faces alternate
+    return std::make_unique<ConsensusProcess>(id, Value::real(input));
+  };
+  populate(sim, scenario, factory);
+  ConsensusRun run;
+  run.all_decided = sim.run_until_all_correct_done(max_rounds);
+  run.rounds = sim.round();
+  run.messages = sim.metrics().messages.total_sent();
+
+  for (NodeId id : scenario.correct_ids) {
+    auto* p = sim.get<ConsensusProcess>(id);
+    if (p == nullptr || !p->output().has_value()) continue;
+    run.outputs.push_back(*p->output());
+    if (p->decision_phase().has_value()) {
+      run.max_decision_phase = std::max(run.max_decision_phase, *p->decision_phase());
+    }
+  }
+  run.agreement = run.outputs.size() == scenario.correct_ids.size() &&
+                  std::all_of(run.outputs.begin(), run.outputs.end(),
+                              [&](const Value& v) { return v == run.outputs.front(); });
+  if (run.agreement && !run.outputs.empty()) {
+    const Value& decided = run.outputs.front();
+    run.validity = false;
+    for (std::size_t i = 0; i < config.n_correct; ++i) {
+      if (Value::real(inputs[i % inputs.size()]) == decided) run.validity = true;
+    }
+  }
+  return run;
+}
+
+ReliableBroadcastRun run_reliable_broadcast(const ScenarioConfig& config, double payload,
+                                            bool byzantine_source, Round run_rounds) {
+  const Scenario scenario = make_scenario(config);
+  const NodeId source = byzantine_source && !scenario.byzantine_ids.empty()
+                            ? scenario.byzantine_ids.front()
+                            : scenario.correct_ids.front();
+  SyncSimulator sim;
+  auto factory = [&](NodeId id, std::size_t index) -> std::unique_ptr<Process> {
+    // Adversary faces (crash inners, two-faced personas) get distinct
+    // payloads so an equivocating source really equivocates.
+    const double p = index < config.n_correct
+                         ? payload
+                         : payload + 100.0 * static_cast<double>(index - config.n_correct + 1);
+    return std::make_unique<ReliableBroadcastProcess>(id, source, Value::real(p));
+  };
+  populate(sim, scenario, factory);
+  sim.run_rounds(run_rounds);
+
+  ReliableBroadcastRun run;
+  run.source_correct = !byzantine_source;
+  run.rounds = sim.round();
+  run.messages = sim.metrics().messages.total_sent();
+  std::vector<Value> payloads;
+  for (NodeId id : scenario.correct_ids) {
+    auto* p = sim.get<ReliableBroadcastProcess>(id);
+    if (p == nullptr || !p->accepted()) continue;
+    run.accepted_count += 1;
+    payloads.push_back(*p->accepted_payload());
+    const Round accept = *p->accept_round();
+    run.first_accept_round = run.first_accept_round.has_value()
+                                 ? std::min(*run.first_accept_round, accept)
+                                 : accept;
+    run.last_accept_round =
+        run.last_accept_round.has_value() ? std::max(*run.last_accept_round, accept) : accept;
+  }
+  run.agreement = std::all_of(payloads.begin(), payloads.end(),
+                              [&](const Value& v) { return v == payloads.front(); });
+  run.relay_ok = !run.first_accept_round.has_value() ||
+                 (run.accepted_count == scenario.correct_ids.size() &&
+                  *run.last_accept_round - *run.first_accept_round <= 1);
+  return run;
+}
+
+ApproxRun run_approx_agreement(const ScenarioConfig& config, const std::vector<double>& inputs,
+                               int iterations) {
+  const Scenario scenario = make_scenario(config);
+  SyncSimulator sim;
+  auto factory = [&](NodeId id, std::size_t index) -> std::unique_ptr<Process> {
+    const double input = inputs[index % inputs.size()];
+    return std::make_unique<ApproxAgreementProcess>(id, input, iterations);
+  };
+  populate(sim, scenario, factory);
+  sim.run_until_all_correct_done(/*max_rounds=*/iterations + 4);
+
+  ApproxRun run;
+  run.rounds = sim.round();
+  run.messages = sim.metrics().messages.total_sent();
+  std::vector<double> correct_inputs;
+  for (std::size_t i = 0; i < config.n_correct; ++i) {
+    correct_inputs.push_back(inputs[i % inputs.size()]);
+  }
+  run.input_range = range_of(correct_inputs);
+
+  std::vector<std::vector<double>> trajectories;
+  std::vector<double> outputs;
+  for (NodeId id : scenario.correct_ids) {
+    auto* p = sim.get<ApproxAgreementProcess>(id);
+    if (p == nullptr) continue;
+    outputs.push_back(p->value());
+    trajectories.push_back(p->trajectory());
+  }
+  run.output_range = outputs.empty() ? 0.0 : range_of(outputs);
+  const double lo = *std::min_element(correct_inputs.begin(), correct_inputs.end());
+  const double hi = *std::max_element(correct_inputs.begin(), correct_inputs.end());
+  run.within_input_range = std::all_of(outputs.begin(), outputs.end(), [&](double o) {
+    return o >= lo - 1e-12 && o <= hi + 1e-12;
+  });
+  for (int it = 0; it < iterations; ++it) {
+    std::vector<double> at_iter;
+    for (const auto& trajectory : trajectories) {
+      if (static_cast<std::size_t>(it) < trajectory.size()) at_iter.push_back(trajectory[it]);
+    }
+    if (!at_iter.empty()) run.range_per_iteration.push_back(range_of(at_iter));
+  }
+  return run;
+}
+
+ApproxRun run_known_f_approx(std::size_t n_correct, std::size_t f,
+                             const std::vector<double>& inputs, int iterations,
+                             std::uint64_t seed) {
+  ScenarioConfig config;
+  config.n_correct = n_correct;
+  config.n_byzantine = f;
+  config.adversary = f == 0 ? AdversaryKind::kNone : AdversaryKind::kExtreme;
+  config.seed = seed;
+  const Scenario scenario = make_scenario(config);
+  SyncSimulator sim;
+  auto factory = [&](NodeId id, std::size_t index) -> std::unique_ptr<Process> {
+    return std::make_unique<KnownFApproxProcess>(id, inputs[index % inputs.size()],
+                                                 config.n_byzantine, iterations);
+  };
+  populate(sim, scenario, factory);
+  sim.run_until_all_correct_done(/*max_rounds=*/iterations + 4);
+
+  ApproxRun run;
+  run.rounds = sim.round();
+  run.messages = sim.metrics().messages.total_sent();
+  std::vector<double> correct_inputs;
+  for (std::size_t i = 0; i < n_correct; ++i) correct_inputs.push_back(inputs[i % inputs.size()]);
+  run.input_range = range_of(correct_inputs);
+  std::vector<std::vector<double>> trajectories;
+  std::vector<double> outputs;
+  for (NodeId id : scenario.correct_ids) {
+    auto* p = sim.get<KnownFApproxProcess>(id);
+    if (p == nullptr) continue;
+    outputs.push_back(p->value());
+    trajectories.push_back(p->trajectory());
+  }
+  run.output_range = outputs.empty() ? 0.0 : range_of(outputs);
+  const double lo = *std::min_element(correct_inputs.begin(), correct_inputs.end());
+  const double hi = *std::max_element(correct_inputs.begin(), correct_inputs.end());
+  run.within_input_range = std::all_of(outputs.begin(), outputs.end(), [&](double o) {
+    return o >= lo - 1e-12 && o <= hi + 1e-12;
+  });
+  for (int it = 0; it < iterations; ++it) {
+    std::vector<double> at_iter;
+    for (const auto& trajectory : trajectories) {
+      if (static_cast<std::size_t>(it) < trajectory.size()) at_iter.push_back(trajectory[it]);
+    }
+    if (!at_iter.empty()) run.range_per_iteration.push_back(range_of(at_iter));
+  }
+  return run;
+}
+
+RotorRun run_rotor(const ScenarioConfig& config, Round max_rounds) {
+  const Scenario scenario = make_scenario(config);
+  SyncSimulator sim;
+  auto factory = [&](NodeId id, std::size_t index) -> std::unique_ptr<Process> {
+    return std::make_unique<RotorProcess>(id, Value::real(static_cast<double>(index)));
+  };
+  populate(sim, scenario, factory);
+  RotorRun run;
+  run.all_terminated = sim.run_until_all_correct_done(max_rounds);
+  run.rounds = sim.round();
+  run.messages = sim.metrics().messages.total_sent();
+
+  // Collect per-node histories to find a good round: a rotor round where
+  // every correct node selected the same CORRECT coordinator.
+  std::vector<const RotorProcess*> nodes;
+  for (NodeId id : scenario.correct_ids) {
+    if (auto* p = sim.get<RotorProcess>(id); p != nullptr) nodes.push_back(p);
+  }
+  if (nodes.empty()) return run;
+  std::size_t min_len = nodes.front()->history().size();
+  for (const auto* p : nodes) min_len = std::min(min_len, p->history().size());
+  const auto is_correct = [&](NodeId id) {
+    return std::binary_search(scenario.correct_ids.begin(), scenario.correct_ids.end(), id);
+  };
+  for (std::size_t r = 0; r < min_len && !run.good_round_witnessed; ++r) {
+    const auto& first = nodes.front()->history()[r].selected;
+    if (!first.has_value() || !is_correct(*first)) continue;
+    bool common = true;
+    for (const auto* p : nodes) {
+      common = common && p->history()[r].selected == first;
+    }
+    if (!common) continue;
+    run.good_round_witnessed = true;
+    run.first_good_round = static_cast<std::int64_t>(r);
+    // Theorem 2's payoff: in the round after a good round, every correct
+    // node accepts the good coordinator's opinion.
+    bool all_accepted = true;
+    for (const auto* p : nodes) {
+      const bool has_next = r + 1 < p->history().size();
+      all_accepted = all_accepted && has_next &&
+                     p->history()[r + 1].accepted_from == first &&
+                     p->history()[r + 1].accepted_opinion.has_value();
+    }
+    run.good_opinion_accepted = all_accepted;
+  }
+  for (const auto& [id, round] : sim.metrics().done_round) {
+    if (is_correct(id)) run.max_termination_round = std::max(run.max_termination_round, round);
+  }
+  return run;
+}
+
+ParallelRun run_parallel_consensus(const ScenarioConfig& config,
+                                   const std::vector<std::vector<InputPair>>& inputs_per_node,
+                                   Round max_rounds) {
+  const Scenario scenario = make_scenario(config);
+  SyncSimulator sim;
+  auto factory = [&](NodeId id, std::size_t index) -> std::unique_ptr<Process> {
+    std::vector<InputPair> inputs;
+    if (index < inputs_per_node.size()) inputs = inputs_per_node[index];
+    return std::make_unique<ParallelConsensusProcess>(id, std::move(inputs));
+  };
+  populate(sim, scenario, factory);
+  ParallelRun run;
+  run.all_terminated = sim.run_until_all_correct_done(max_rounds);
+  run.rounds = sim.round();
+  run.messages = sim.metrics().messages.total_sent();
+
+  std::vector<std::vector<OutputPair>> outputs;
+  for (NodeId id : scenario.correct_ids) {
+    if (auto* p = sim.get<ParallelConsensusProcess>(id); p != nullptr) {
+      auto pairs = p->outputs();
+      std::sort(pairs.begin(), pairs.end());
+      outputs.push_back(std::move(pairs));
+    }
+  }
+  run.agreement = !outputs.empty() &&
+                  std::all_of(outputs.begin(), outputs.end(),
+                              [&](const auto& o) { return o == outputs.front(); });
+  if (run.agreement) run.common_output = outputs.front();
+  return run;
+}
+
+}  // namespace idonly

@@ -1,0 +1,150 @@
+#include "harness/scenario.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace idonly {
+
+std::string to_string(AdversaryKind kind) {
+  switch (kind) {
+    case AdversaryKind::kNone: return "none";
+    case AdversaryKind::kSilent: return "silent";
+    case AdversaryKind::kCrash: return "crash";
+    case AdversaryKind::kTwoFaced: return "twofaced";
+    case AdversaryKind::kNoise: return "noise";
+    case AdversaryKind::kForgedEcho: return "forgedecho";
+    case AdversaryKind::kRotorStuffer: return "rotorstuffer";
+    case AdversaryKind::kVoteSplit: return "votesplit";
+    case AdversaryKind::kExtreme: return "extreme";
+    case AdversaryKind::kEchoChamber: return "echochamber";
+    case AdversaryKind::kReplay: return "replay";
+  }
+  return "unknown";
+}
+
+const std::vector<AdversaryKind>& all_adversaries() {
+  static const std::vector<AdversaryKind> kinds = {
+      AdversaryKind::kSilent,     AdversaryKind::kCrash,        AdversaryKind::kTwoFaced,
+      AdversaryKind::kNoise,      AdversaryKind::kForgedEcho,   AdversaryKind::kRotorStuffer,
+      AdversaryKind::kVoteSplit,  AdversaryKind::kExtreme,      AdversaryKind::kEchoChamber,
+      AdversaryKind::kReplay};
+  return kinds;
+}
+
+std::vector<NodeId> Scenario::all_ids() const {
+  std::vector<NodeId> ids = correct_ids;
+  ids.insert(ids.end(), byzantine_ids.begin(), byzantine_ids.end());
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+AdversaryContext Scenario::context() const {
+  return AdversaryContext{all_ids(), correct_ids};
+}
+
+Scenario make_scenario(const ScenarioConfig& config) {
+  Scenario scenario;
+  scenario.config = config;
+  const std::size_t n_byz =
+      (config.adversary == AdversaryKind::kNone && config.adversary_mix.empty())
+          ? 0
+          : config.n_byzantine;
+  const std::size_t total = config.n_correct + n_byz;
+
+  // Sparse, non-consecutive ids in [100, 100 + 64*total): deterministic in
+  // the seed, strictly increasing gaps of 1..64.
+  Rng rng(derive_seed(config.seed, 0xabcdef));
+  std::set<NodeId> ids;
+  NodeId next = 100;
+  while (ids.size() < total) {
+    next += 1 + rng.below(64);
+    ids.insert(next);
+  }
+  // Interleave correct/Byzantine assignment pseudo-randomly so Byzantine
+  // nodes hold both small and large ids across seeds (id order matters to
+  // the rotor's schedule).
+  std::vector<NodeId> shuffled(ids.begin(), ids.end());
+  rng.shuffle(shuffled);
+  scenario.correct_ids.assign(shuffled.begin(),
+                              shuffled.begin() + static_cast<std::ptrdiff_t>(config.n_correct));
+  scenario.byzantine_ids.assign(shuffled.begin() + static_cast<std::ptrdiff_t>(config.n_correct),
+                                shuffled.end());
+  std::sort(scenario.correct_ids.begin(), scenario.correct_ids.end());
+  std::sort(scenario.byzantine_ids.begin(), scenario.byzantine_ids.end());
+  return scenario;
+}
+
+AdversaryKind adversary_kind_for(const ScenarioConfig& config, std::size_t byz_index) {
+  if (!config.adversary_mix.empty()) {
+    return config.adversary_mix[byz_index % config.adversary_mix.size()];
+  }
+  return config.adversary;
+}
+
+std::unique_ptr<Process> make_adversary(const Scenario& scenario, AdversaryKind kind, NodeId id,
+                                        std::size_t byz_index, Rng& rng,
+                                        const CorrectFactory& correct_factory) {
+  const AdversaryContext context = scenario.context();
+  const std::size_t n_correct = scenario.correct_ids.size();
+  switch (kind) {
+    case AdversaryKind::kNone:
+    case AdversaryKind::kSilent:
+      return std::make_unique<SilentAdversary>(id);
+    case AdversaryKind::kCrash: {
+      // Behaves like a correct node with a synthetic input, then crashes.
+      auto inner = correct_factory(id, n_correct + byz_index);
+      return std::make_unique<CrashAdversary>(std::move(inner), scenario.config.crash_round);
+    }
+    case AdversaryKind::kTwoFaced: {
+      auto face_a = correct_factory(id, n_correct + 2 * byz_index);
+      auto face_b = correct_factory(id, n_correct + 2 * byz_index + 1);
+      // Partition recipients by parity of their rank among all ids — a
+      // stable split independent of id magnitudes.
+      std::vector<NodeId> all = scenario.all_ids();
+      auto side_a = [all](NodeId to) {
+        const auto it = std::lower_bound(all.begin(), all.end(), to);
+        return it != all.end() && ((it - all.begin()) % 2 == 0);
+      };
+      return std::make_unique<TwoFacedAdversary>(std::move(face_a), std::move(face_b),
+                                                 std::move(side_a), context);
+    }
+    case AdversaryKind::kNoise:
+      return std::make_unique<RandomNoiseAdversary>(id, context, rng.fork());
+    case AdversaryKind::kForgedEcho: {
+      // Forge on behalf of the smallest correct id (a node that exists but
+      // never sent the forged payload).
+      const NodeId victim = scenario.correct_ids.front();
+      return std::make_unique<ForgedEchoAdversary>(id, victim, Value::real(666.0));
+    }
+    case AdversaryKind::kRotorStuffer: {
+      std::vector<NodeId> fakes;
+      for (std::uint64_t i = 0; i < 8; ++i) fakes.push_back(5'000'000 + 64 * byz_index + i);
+      return std::make_unique<RotorStufferAdversary>(id, std::move(fakes));
+    }
+    case AdversaryKind::kVoteSplit:
+      return std::make_unique<VoteSplitAdversary>(id, context);
+    case AdversaryKind::kExtreme:
+      return std::make_unique<ExtremeValueAdversary>(id, context, -1e6, 1e6);
+    case AdversaryKind::kEchoChamber:
+      return std::make_unique<EchoChamberAdversary>(id, context);
+    case AdversaryKind::kReplay:
+      return std::make_unique<ReplayAdversary>(id, /*lag=*/2 + byz_index);
+  }
+  return std::make_unique<SilentAdversary>(id);
+}
+
+void populate(SyncSimulator& sim, const Scenario& scenario,
+              const CorrectFactory& correct_factory) {
+  for (std::size_t i = 0; i < scenario.correct_ids.size(); ++i) {
+    sim.add_process(correct_factory(scenario.correct_ids[i], i));
+  }
+  Rng rng(derive_seed(scenario.config.seed, 0x5eed));
+  for (std::size_t i = 0; i < scenario.byzantine_ids.size(); ++i) {
+    const AdversaryKind kind = adversary_kind_for(scenario.config, i);
+    sim.add_process(
+        make_adversary(scenario, kind, scenario.byzantine_ids[i], i, rng, correct_factory));
+  }
+}
+
+}  // namespace idonly

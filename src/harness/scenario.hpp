@@ -1,0 +1,87 @@
+// Scenario construction shared by tests, benchmarks, and examples.
+//
+// A scenario fixes: the correct/Byzantine split, sparse non-consecutive node
+// ids (the id-only model never grants consecutive ids, so neither do we),
+// the adversary strategy, and the randomness seed. Everything downstream is
+// deterministic in (config, seed).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adversary/strategies.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/process.hpp"
+#include "net/sync_simulator.hpp"
+
+namespace idonly {
+
+enum class AdversaryKind {
+  kNone,         ///< n_byzantine ignored — all-correct run
+  kSilent,       ///< never announces itself
+  kCrash,        ///< correct behaviour, then silence mid-protocol
+  kTwoFaced,     ///< split-brain equivocation (strongest generic attack)
+  kNoise,        ///< random well-formed garbage
+  kForgedEcho,   ///< reliable-broadcast forgery attempt
+  kRotorStuffer, ///< fake-candidate drip against the rotor
+  kVoteSplit,    ///< consensus quorum splitting
+  kExtreme,      ///< approximate-agreement range pulling
+  kEchoChamber,  ///< per-target opinion mirroring (breaks consensus at n = 3f)
+  kReplay,       ///< re-broadcasts stale traffic a few rounds late
+};
+
+[[nodiscard]] std::string to_string(AdversaryKind kind);
+
+/// All adversary kinds, for parameterized property sweeps.
+[[nodiscard]] const std::vector<AdversaryKind>& all_adversaries();
+
+struct ScenarioConfig {
+  std::size_t n_correct = 7;
+  std::size_t n_byzantine = 2;
+  AdversaryKind adversary = AdversaryKind::kSilent;
+  /// When non-empty, overrides `adversary`: Byzantine node i runs
+  /// adversary_mix[i % size()] — heterogeneous attacks in one run.
+  std::vector<AdversaryKind> adversary_mix;
+  std::uint64_t seed = 1;
+  /// Crash round for kCrash adversaries (local round at which they go mute).
+  Round crash_round = 5;
+};
+
+struct Scenario {
+  ScenarioConfig config;
+  std::vector<NodeId> correct_ids;    ///< sorted, sparse
+  std::vector<NodeId> byzantine_ids;  ///< sorted, sparse, disjoint from correct
+  [[nodiscard]] std::vector<NodeId> all_ids() const;
+  [[nodiscard]] AdversaryContext context() const;
+  [[nodiscard]] std::size_t n() const { return correct_ids.size() + byzantine_ids.size(); }
+};
+
+/// Deterministically draw sparse distinct ids and split them.
+[[nodiscard]] Scenario make_scenario(const ScenarioConfig& config);
+
+/// Factory producing the correct-protocol process for a node; `index` is the
+/// node's position among correct nodes (handy for assigning inputs).
+using CorrectFactory = std::function<std::unique_ptr<Process>(NodeId id, std::size_t index)>;
+
+/// Build one adversary instance of the given kind. For kCrash and kTwoFaced
+/// the adversary wraps instances produced by `correct_factory` (fed
+/// adversarial inputs via distinct indices beyond the correct range).
+[[nodiscard]] std::unique_ptr<Process> make_adversary(const Scenario& scenario,
+                                                      AdversaryKind kind, NodeId id,
+                                                      std::size_t byz_index, Rng& rng,
+                                                      const CorrectFactory& correct_factory);
+
+/// Kind assigned to Byzantine node `byz_index` under this config (respects
+/// adversary_mix).
+[[nodiscard]] AdversaryKind adversary_kind_for(const ScenarioConfig& config,
+                                               std::size_t byz_index);
+
+/// Populate a simulator with the full scenario: correct processes from the
+/// factory plus adversaries per the config.
+void populate(SyncSimulator& sim, const Scenario& scenario,
+              const CorrectFactory& correct_factory);
+
+}  // namespace idonly

@@ -1,0 +1,326 @@
+#include "harness/script.hpp"
+
+#include <memory>
+#include <sstream>
+#include <variant>
+
+#include "core/king_consensus.hpp"
+#include "core/renaming.hpp"
+#include "harness/runner.hpp"
+#include "net/sync_simulator.hpp"
+
+namespace idonly {
+
+std::string to_string(ScriptProtocol protocol) {
+  switch (protocol) {
+    case ScriptProtocol::kConsensus: return "consensus";
+    case ScriptProtocol::kKing: return "king";
+    case ScriptProtocol::kRb: return "rb";
+    case ScriptProtocol::kApprox: return "approx";
+    case ScriptProtocol::kRotor: return "rotor";
+    case ScriptProtocol::kRenaming: return "renaming";
+  }
+  return "unknown";
+}
+
+std::string to_string(Expectation expectation) {
+  switch (expectation) {
+    case Expectation::kTermination: return "termination";
+    case Expectation::kAgreement: return "agreement";
+    case Expectation::kValidity: return "validity";
+    case Expectation::kAcceptance: return "acceptance";
+    case Expectation::kGoodRound: return "good-round";
+    case Expectation::kWithinRange: return "within-range";
+    case Expectation::kContraction: return "contraction";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::optional<ScriptProtocol> parse_protocol(const std::string& word) {
+  if (word == "consensus") return ScriptProtocol::kConsensus;
+  if (word == "king") return ScriptProtocol::kKing;
+  if (word == "rb") return ScriptProtocol::kRb;
+  if (word == "approx") return ScriptProtocol::kApprox;
+  if (word == "rotor") return ScriptProtocol::kRotor;
+  if (word == "renaming") return ScriptProtocol::kRenaming;
+  return std::nullopt;
+}
+
+std::optional<Expectation> parse_expectation(const std::string& word) {
+  if (word == "termination") return Expectation::kTermination;
+  if (word == "agreement") return Expectation::kAgreement;
+  if (word == "validity") return Expectation::kValidity;
+  if (word == "acceptance") return Expectation::kAcceptance;
+  if (word == "good-round") return Expectation::kGoodRound;
+  if (word == "within-range") return Expectation::kWithinRange;
+  if (word == "contraction") return Expectation::kContraction;
+  return std::nullopt;
+}
+
+std::optional<AdversaryKind> parse_adversary_name(const std::string& word) {
+  for (AdversaryKind kind : all_adversaries()) {
+    if (to_string(kind) == word) return kind;
+  }
+  if (word == "none") return AdversaryKind::kNone;
+  return std::nullopt;
+}
+
+std::vector<std::string> split(const std::string& text, char separator) {
+  std::vector<std::string> parts;
+  std::string part;
+  std::istringstream stream(text);
+  while (std::getline(stream, part, separator)) parts.push_back(part);
+  return parts;
+}
+
+}  // namespace
+
+std::variant<ScenarioScript, ParseError> parse_script(const std::string& text) {
+  ScenarioScript script;
+  script.config.n_byzantine = 0;
+  script.config.adversary = AdversaryKind::kNone;
+
+  std::istringstream stream(text);
+  std::string line;
+  int line_number = 0;
+  auto fail = [&](const std::string& message) {
+    return ParseError{line_number, message};
+  };
+
+  while (std::getline(stream, line)) {
+    line_number += 1;
+    // Strip comments and whitespace.
+    if (const auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
+    std::istringstream words(line);
+    std::string keyword;
+    if (!(words >> keyword)) continue;  // blank line
+
+    if (keyword == "protocol") {
+      std::string name;
+      if (!(words >> name)) return fail("protocol: missing name");
+      const auto protocol = parse_protocol(name);
+      if (!protocol.has_value()) return fail("protocol: unknown '" + name + "'");
+      script.protocol = *protocol;
+    } else if (keyword == "nodes") {
+      // Note: istream happily wraps "-3" into a huge unsigned value, so a
+      // sanity ceiling doubles as the negative-input check.
+      if (!(words >> script.config.n_correct) || script.config.n_correct == 0 ||
+          script.config.n_correct > 10'000) {
+        return fail("nodes: expected a positive count (at most 10000)");
+      }
+    } else if (keyword == "inputs") {
+      std::string list;
+      if (!(words >> list)) return fail("inputs: missing list");
+      script.inputs.clear();
+      for (const std::string& item : split(list, ',')) {
+        try {
+          script.inputs.push_back(std::stod(item));
+        } catch (...) {
+          return fail("inputs: bad number '" + item + "'");
+        }
+      }
+      if (script.inputs.empty()) return fail("inputs: empty list");
+    } else if (keyword == "byzantine") {
+      std::string kinds;
+      if (!(words >> script.config.n_byzantine) || !(words >> kinds)) {
+        return fail("byzantine: expected <count> <kind>[,<kind>...]");
+      }
+      script.config.adversary_mix.clear();
+      for (const std::string& name : split(kinds, ',')) {
+        const auto kind = parse_adversary_name(name);
+        if (!kind.has_value()) return fail("byzantine: unknown adversary '" + name + "'");
+        script.config.adversary_mix.push_back(*kind);
+      }
+      if (!script.config.adversary_mix.empty()) {
+        script.config.adversary = script.config.adversary_mix.front();
+      }
+    } else if (keyword == "seed") {
+      if (!(words >> script.config.seed)) return fail("seed: expected a number");
+    } else if (keyword == "max-rounds") {
+      if (!(words >> script.max_rounds) || script.max_rounds <= 0) {
+        return fail("max-rounds: expected a positive number");
+      }
+    } else if (keyword == "iterations") {
+      if (!(words >> script.iterations) || script.iterations <= 0) {
+        return fail("iterations: expected a positive number");
+      }
+    } else if (keyword == "crash-round") {
+      if (!(words >> script.config.crash_round)) return fail("crash-round: expected a number");
+    } else if (keyword == "byz-source") {
+      script.byz_source = true;
+    } else if (keyword == "expect") {
+      std::string name;
+      if (!(words >> name)) return fail("expect: missing expectation");
+      const auto expectation = parse_expectation(name);
+      if (!expectation.has_value()) return fail("expect: unknown '" + name + "'");
+      script.expectations.push_back(*expectation);
+    } else {
+      return fail("unknown keyword '" + keyword + "'");
+    }
+    std::string extra;
+    if (words >> extra) return fail("trailing token '" + extra + "'");
+  }
+  return script;
+}
+
+namespace {
+
+void check(ScriptRun& run, Expectation expectation, bool satisfied, std::string detail) {
+  run.outcomes.push_back(ExpectationOutcome{expectation, satisfied, std::move(detail)});
+  run.all_satisfied = run.all_satisfied && satisfied;
+}
+
+bool wants(const ScenarioScript& script, Expectation expectation) {
+  for (Expectation e : script.expectations) {
+    if (e == expectation) return true;
+  }
+  return false;
+}
+
+ScriptRun run_consensus_like(const ScenarioScript& script) {
+  ScriptRun result;
+  // The king variant shares the harness shape; run it through a local
+  // simulator, the early-terminating one through the standard runner.
+  bool all_decided = false;
+  bool agreement = false;
+  bool validity = false;
+  if (script.protocol == ScriptProtocol::kConsensus) {
+    const auto run = run_consensus(script.config, script.inputs, script.max_rounds);
+    all_decided = run.all_decided;
+    agreement = run.agreement;
+    validity = run.validity;
+    result.rounds = run.rounds;
+    result.messages = run.messages;
+  } else {
+    const Scenario scenario = make_scenario(script.config);
+    SyncSimulator sim;
+    auto factory = [&](NodeId id, std::size_t index) -> std::unique_ptr<Process> {
+      const double input = script.inputs[index % script.inputs.size()];
+      return std::make_unique<KingConsensusProcess>(id, Value::real(input));
+    };
+    populate(sim, scenario, factory);
+    all_decided = sim.run_until_all_correct_done(script.max_rounds);
+    result.rounds = sim.round();
+    result.messages = sim.metrics().messages.total_sent();
+    std::optional<Value> first;
+    agreement = true;
+    for (NodeId id : scenario.correct_ids) {
+      auto* p = sim.get<KingConsensusProcess>(id);
+      if (p == nullptr || !p->output().has_value()) continue;
+      if (!first.has_value()) first = *p->output();
+      agreement = agreement && *p->output() == *first;
+    }
+    if (first.has_value()) {
+      for (double input : script.inputs) {
+        validity = validity || Value::real(input) == *first;
+      }
+    }
+    agreement = agreement && all_decided;
+  }
+  if (wants(script, Expectation::kTermination)) {
+    check(result, Expectation::kTermination, all_decided, "all correct nodes decided");
+  }
+  if (wants(script, Expectation::kAgreement)) {
+    check(result, Expectation::kAgreement, agreement, "identical outputs");
+  }
+  if (wants(script, Expectation::kValidity)) {
+    check(result, Expectation::kValidity, validity, "output is a correct input");
+  }
+  return result;
+}
+
+}  // namespace
+
+ScriptRun run_script(const ScenarioScript& script) {
+  ScriptRun result;
+  switch (script.protocol) {
+    case ScriptProtocol::kConsensus:
+    case ScriptProtocol::kKing:
+      result = run_consensus_like(script);
+      break;
+    case ScriptProtocol::kRb: {
+      const auto run = run_reliable_broadcast(script.config, script.inputs.front(),
+                                              script.byz_source,
+                                              std::min<Round>(script.max_rounds, 60));
+      result.rounds = run.rounds;
+      result.messages = run.messages;
+      if (wants(script, Expectation::kAcceptance)) {
+        check(result, Expectation::kAcceptance, run.accepted_count == script.config.n_correct,
+              "all correct nodes accepted");
+      }
+      if (wants(script, Expectation::kAgreement)) {
+        check(result, Expectation::kAgreement, run.agreement && run.relay_ok,
+              "acceptance uniform within one round");
+      }
+      break;
+    }
+    case ScriptProtocol::kApprox: {
+      const auto run = run_approx_agreement(script.config, script.inputs, script.iterations);
+      result.rounds = run.rounds;
+      result.messages = run.messages;
+      if (wants(script, Expectation::kWithinRange)) {
+        check(result, Expectation::kWithinRange, run.within_input_range,
+              "outputs inside correct input range");
+      }
+      if (wants(script, Expectation::kContraction)) {
+        const bool contracted =
+            run.input_range == 0.0 || run.output_range <= run.input_range / 2.0 + 1e-12;
+        check(result, Expectation::kContraction, contracted, "range at least halved");
+      }
+      break;
+    }
+    case ScriptProtocol::kRotor: {
+      const auto run = run_rotor(script.config, script.max_rounds);
+      result.rounds = run.rounds;
+      result.messages = run.messages;
+      if (wants(script, Expectation::kTermination)) {
+        check(result, Expectation::kTermination, run.all_terminated, "rotor terminated");
+      }
+      if (wants(script, Expectation::kGoodRound)) {
+        check(result, Expectation::kGoodRound,
+              run.good_round_witnessed && run.good_opinion_accepted,
+              "common correct coordinator witnessed and its opinion accepted");
+      }
+      break;
+    }
+    case ScriptProtocol::kRenaming: {
+      const Scenario scenario = make_scenario(script.config);
+      SyncSimulator sim;
+      auto factory = [](NodeId id, std::size_t) { return std::make_unique<RenamingProcess>(id); };
+      populate(sim, scenario, factory);
+      const bool done = sim.run_until_all_correct_done(script.max_rounds);
+      result.rounds = sim.round();
+      result.messages = sim.metrics().messages.total_sent();
+      bool consistent = done;
+      std::optional<std::set<NodeId>> reference;
+      for (NodeId id : scenario.correct_ids) {
+        auto* p = sim.get<RenamingProcess>(id);
+        if (p == nullptr || !p->done()) {
+          consistent = false;
+          continue;
+        }
+        if (!reference.has_value()) reference = p->id_set();
+        consistent = consistent && p->id_set() == *reference;
+      }
+      if (wants(script, Expectation::kTermination)) {
+        check(result, Expectation::kTermination, done, "all renamed");
+      }
+      if (wants(script, Expectation::kAgreement)) {
+        check(result, Expectation::kAgreement, consistent, "identical id sets");
+      }
+      break;
+    }
+  }
+
+  std::ostringstream summary;
+  summary << to_string(script.protocol) << " n=" << script.config.n_correct << "+"
+          << script.config.n_byzantine << " seed=" << script.config.seed
+          << " rounds=" << result.rounds << " msgs=" << result.messages << " — "
+          << (result.all_satisfied ? "OK" : "EXPECTATION FAILED");
+  result.summary = summary.str();
+  return result;
+}
+
+}  // namespace idonly

@@ -1,0 +1,89 @@
+// Scenario script DSL: a tiny line-oriented language describing a run —
+// protocol, sizes, adversary, seed, expectations — so experiments and bug
+// reports are a text file instead of a C++ program.
+//
+//   # seven nodes, two two-faced Byzantine, mixed inputs
+//   protocol consensus
+//   nodes 7
+//   inputs 0,1
+//   byzantine 2 twofaced
+//   seed 42
+//   max-rounds 200
+//   expect termination
+//   expect agreement
+//   expect validity
+//
+// Keywords:
+//   protocol  consensus | king | rb | approx | rotor | renaming
+//   nodes     <count of correct nodes>
+//   inputs    <comma-separated reals, cycled over nodes>   (consensus/king/approx)
+//   byzantine <count> <adversary-name>[,<adversary-name>…] (mix round-robins)
+//   seed, max-rounds, iterations, crash-round              (numbers)
+//   byz-source                                             (rb: Byzantine sender)
+//   expect    termination | agreement | validity | acceptance | good-round |
+//             within-range | contraction
+//
+// parse() reports errors with line numbers; run() executes and evaluates
+// every expectation.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "harness/scenario.hpp"
+
+namespace idonly {
+
+enum class ScriptProtocol { kConsensus, kKing, kRb, kApprox, kRotor, kRenaming };
+
+enum class Expectation {
+  kTermination,
+  kAgreement,
+  kValidity,
+  kAcceptance,
+  kGoodRound,
+  kWithinRange,
+  kContraction,
+};
+
+[[nodiscard]] std::string to_string(ScriptProtocol protocol);
+[[nodiscard]] std::string to_string(Expectation expectation);
+
+struct ScenarioScript {
+  ScriptProtocol protocol = ScriptProtocol::kConsensus;
+  ScenarioConfig config;
+  std::vector<double> inputs{0.0, 1.0};
+  int iterations = 1;
+  bool byz_source = false;
+  Round max_rounds = 500;
+  std::vector<Expectation> expectations;
+};
+
+struct ParseError {
+  int line = 0;
+  std::string message;
+};
+
+/// Parse the DSL; on failure returns the first error.
+[[nodiscard]] std::variant<ScenarioScript, ParseError> parse_script(const std::string& text);
+
+struct ExpectationOutcome {
+  Expectation expectation;
+  bool satisfied = false;
+  std::string detail;
+};
+
+struct ScriptRun {
+  bool all_satisfied = true;
+  std::vector<ExpectationOutcome> outcomes;
+  Round rounds = 0;
+  std::uint64_t messages = 0;
+  std::string summary;  ///< human-readable result line
+};
+
+/// Execute a parsed script and evaluate its expectations.
+[[nodiscard]] ScriptRun run_script(const ScenarioScript& script);
+
+}  // namespace idonly

@@ -1,0 +1,115 @@
+#include "impossibility/async_partition.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.hpp"
+
+namespace idonly {
+
+TimeoutConsensusProcess::TimeoutConsensusProcess(NodeId id, double input, Time timeout)
+    : AsyncProcess(id), input_(input), timeout_(timeout) {}
+
+void TimeoutConsensusProcess::on_start(Time, std::vector<AsyncOutgoing>& out) {
+  Message m;
+  m.kind = MsgKind::kInput;
+  m.value = Value::real(input_);
+  out.push_back(AsyncOutgoing{std::nullopt, m});
+  heard_.push_back(input_);  // a node knows its own input
+}
+
+void TimeoutConsensusProcess::on_message(Time, const Message& msg, std::vector<AsyncOutgoing>&) {
+  if (decision_.has_value()) return;
+  if (msg.kind == MsgKind::kInput && !msg.value.is_bot() && msg.sender != id()) {
+    heard_.push_back(msg.value.as_real());
+  }
+}
+
+void TimeoutConsensusProcess::on_timer(Time, std::vector<AsyncOutgoing>&) {
+  if (decision_.has_value()) return;
+  // Majority of everything heard; ties broken toward the smaller value so
+  // all nodes break ties identically.
+  std::map<double, std::size_t> votes;
+  for (double v : heard_) votes[v] += 1;
+  auto best = votes.begin();
+  for (auto it = votes.begin(); it != votes.end(); ++it) {
+    if (it->second > best->second) best = it;
+  }
+  decision_ = Value::real(best->first);
+}
+
+std::optional<Time> TimeoutConsensusProcess::timer_deadline() const {
+  return decision_.has_value() ? std::nullopt : std::optional<Time>(timeout_);
+}
+
+PartitionResult run_partition_execution(const PartitionConfig& config) {
+  // Ids 1..n_a are partition A (input 1); n_a+1 .. n_a+n_b are B (input 0).
+  const auto in_a = [&](NodeId id) { return id <= config.n_a; };
+  DelayModel delay = [&](NodeId from, NodeId to, const Message&, Time) -> Time {
+    return in_a(from) == in_a(to) ? config.intra_delay : config.cross_delay;
+  };
+  AsyncSimulator sim(delay);
+  for (std::size_t i = 1; i <= config.n_a + config.n_b; ++i) {
+    const double input = i <= config.n_a ? 1.0 : 0.0;
+    sim.add_process(std::make_unique<TimeoutConsensusProcess>(i, input, config.decide_timeout));
+  }
+  sim.run(config.horizon);
+
+  PartitionResult result;
+  result.all_decided = true;
+  for (NodeId id : sim.ids()) {
+    auto* p = sim.find(id);
+    if (!p->decided()) {
+      result.all_decided = false;
+      continue;
+    }
+    const double d = p->decision().real_or(-1.0);
+    (in_a(id) ? result.decisions_a : result.decisions_b).push_back(d);
+  }
+  auto disagrees = [](const std::vector<double>& xs, double v) {
+    return std::any_of(xs.begin(), xs.end(), [v](double x) { return x != v; });
+  };
+  if (!result.decisions_a.empty()) {
+    const double first = result.decisions_a.front();
+    result.disagreement = disagrees(result.decisions_a, first) ||
+                          disagrees(result.decisions_b, first);
+  }
+  return result;
+}
+
+double semi_sync_disagreement_rate(std::size_t n_a, std::size_t n_b, Time delta, Time timeout,
+                                   int trials, std::uint64_t seed) {
+  int disagreements = 0;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(derive_seed(seed, static_cast<std::uint64_t>(t)));
+    const auto in_a = [&](NodeId id) { return id <= n_a; };
+    // Semi-synchronous adversary: intra-partition messages are fast; the
+    // adversary stretches cross-partition delays toward the (legal) bound Δ.
+    DelayModel delay = [&](NodeId from, NodeId to, const Message&, Time) -> Time {
+      if (in_a(from) == in_a(to)) return rng.uniform(0.01, 0.1 * delta);
+      return rng.uniform(0.8 * delta, delta);
+    };
+    AsyncSimulator sim(delay);
+    for (std::size_t i = 1; i <= n_a + n_b; ++i) {
+      const double input = i <= n_a ? 1.0 : 0.0;
+      sim.add_process(std::make_unique<TimeoutConsensusProcess>(i, input, timeout));
+    }
+    sim.run(/*horizon=*/10.0 * (delta + timeout));
+    std::optional<double> common;
+    bool disagreement = false;
+    for (NodeId id : sim.ids()) {
+      auto* p = sim.find(id);
+      if (!p->decided()) continue;
+      const double d = p->decision().real_or(-1.0);
+      if (!common.has_value()) {
+        common = d;
+      } else if (*common != d) {
+        disagreement = true;
+      }
+    }
+    disagreements += disagreement ? 1 : 0;
+  }
+  return trials == 0 ? 0.0 : static_cast<double>(disagreements) / trials;
+}
+
+}  // namespace idonly

@@ -1,0 +1,77 @@
+// Realizing the paper's impossibility arguments (§Synchrony is Necessary).
+//
+// Both lemmas are indistinguishability constructions: partition the network
+// into A (inputs 1) and B (inputs 0), delay all cross-partition traffic past
+// each side's decision point, and each side — unable to distinguish the run
+// from one where the other side does not exist, because it knows neither n
+// nor f — decides its own value. This module builds those executions on the
+// AsyncSimulator and measures how often they produce disagreement:
+//   * asynchronous case: cross delays unbounded → disagreement certain once
+//     both sides decide locally;
+//   * semi-synchronous case: delays bounded by Δ unknown to the nodes; any
+//     finite local decision timeout T loses once Δ > T (the lemma's
+//     inductive construction), while T ≥ Δ would be safe — but no node can
+//     know Δ, so no safe T exists. The experiment sweeps Δ/T and shows the
+//     sharp transition.
+//
+// The protocol under test is the natural "decide after a quiet window"
+// rule — the best a node can do without n or f: broadcast the input, collect
+// values, decide the majority of everything heard by the timeout.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "common/value.hpp"
+#include "net/async_simulator.hpp"
+
+namespace idonly {
+
+/// Timeout-based consensus attempt (knows neither n nor f): broadcast input,
+/// decide the majority of received values at time T.
+class TimeoutConsensusProcess final : public AsyncProcess {
+ public:
+  TimeoutConsensusProcess(NodeId id, double input, Time timeout);
+
+  void on_start(Time now, std::vector<AsyncOutgoing>& out) override;
+  void on_message(Time now, const Message& msg, std::vector<AsyncOutgoing>& out) override;
+  void on_timer(Time now, std::vector<AsyncOutgoing>& out) override;
+  [[nodiscard]] std::optional<Time> timer_deadline() const override;
+  [[nodiscard]] bool decided() const override { return decision_.has_value(); }
+  [[nodiscard]] Value decision() const override { return decision_.value_or(Value::bot()); }
+
+ private:
+  double input_;
+  Time timeout_;
+  std::vector<double> heard_;
+  std::optional<Value> decision_;
+};
+
+struct PartitionConfig {
+  std::size_t n_a = 4;          ///< nodes with input 1
+  std::size_t n_b = 4;          ///< nodes with input 0
+  Time intra_delay = 1.0;       ///< latency within a partition
+  Time cross_delay = 1000.0;    ///< latency across partitions (Δ_s in the lemma)
+  Time decide_timeout = 10.0;   ///< the nodes' quiet-window guess T
+  Time horizon = 5000.0;
+};
+
+struct PartitionResult {
+  bool all_decided = false;
+  bool disagreement = false;
+  std::vector<double> decisions_a;
+  std::vector<double> decisions_b;
+};
+
+/// Deterministic single execution of the partition construction.
+[[nodiscard]] PartitionResult run_partition_execution(const PartitionConfig& config);
+
+/// Randomized semi-synchronous trials: message delays uniform in
+/// (0, delta] — cross-partition traffic near the bound — against timeout T;
+/// returns the fraction of trials ending in disagreement.
+[[nodiscard]] double semi_sync_disagreement_rate(std::size_t n_a, std::size_t n_b, Time delta,
+                                                 Time timeout, int trials, std::uint64_t seed);
+
+}  // namespace idonly

@@ -1,0 +1,102 @@
+#include "net/codec.hpp"
+
+#include <bit>
+#include <cstring>
+#include <limits>
+
+namespace idonly {
+
+namespace {
+constexpr std::uint8_t kFlagBot = 0x01;
+constexpr int kMaxKind = 15;  // MsgKind is a dense enum 0..15
+}  // namespace
+
+void put_varint(std::uint64_t value, std::vector<std::byte>& out) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::byte>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::byte>(value));
+}
+
+std::optional<std::uint64_t> get_varint(std::span<const std::byte> bytes, std::size_t& offset) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (offset < bytes.size()) {
+    const auto b = static_cast<std::uint8_t>(bytes[offset]);
+    offset += 1;
+    if (shift == 63 && (b & 0x7E) != 0) return std::nullopt;  // overflow
+    if (shift > 63) return std::nullopt;
+    value |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) {
+      if (b == 0 && shift != 0) return std::nullopt;  // non-canonical padding
+      return value;
+    }
+    shift += 7;
+  }
+  return std::nullopt;  // truncated
+}
+
+std::size_t encode(const Message& msg, std::vector<std::byte>& out) {
+  const std::size_t start = out.size();
+  out.push_back(static_cast<std::byte>(kWireVersion));
+  out.push_back(static_cast<std::byte>(msg.kind));
+  out.push_back(static_cast<std::byte>(msg.value.is_bot() ? kFlagBot : 0));
+  put_varint(msg.sender, out);
+  put_varint(msg.subject, out);
+  put_varint(msg.instance, out);
+  put_varint(msg.round_tag, out);
+  if (!msg.value.is_bot()) {
+    const auto bits = std::bit_cast<std::uint64_t>(msg.value.as_real());
+    for (int i = 0; i < 8; ++i) {
+      out.push_back(static_cast<std::byte>((bits >> (8 * i)) & 0xFF));
+    }
+  }
+  return out.size() - start;
+}
+
+std::vector<std::byte> encode(const Message& msg) {
+  std::vector<std::byte> out;
+  encode(msg, out);
+  return out;
+}
+
+std::optional<Message> decode(std::span<const std::byte> bytes) {
+  if (bytes.size() < 3) return std::nullopt;
+  if (static_cast<std::uint8_t>(bytes[0]) != kWireVersion) return std::nullopt;
+  const auto kind_raw = static_cast<std::uint8_t>(bytes[1]);
+  if (kind_raw > kMaxKind) return std::nullopt;
+  const auto flags = static_cast<std::uint8_t>(bytes[2]);
+  if ((flags & ~kFlagBot) != 0) return std::nullopt;
+
+  Message msg;
+  msg.kind = static_cast<MsgKind>(kind_raw);
+  std::size_t offset = 3;
+  const auto sender = get_varint(bytes, offset);
+  const auto subject = get_varint(bytes, offset);
+  const auto instance = get_varint(bytes, offset);
+  const auto round_tag = get_varint(bytes, offset);
+  if (!sender || !subject || !instance || !round_tag) return std::nullopt;
+  if (*instance > std::numeric_limits<InstanceTag>::max()) return std::nullopt;
+  if (*round_tag > std::numeric_limits<std::uint32_t>::max()) return std::nullopt;
+  msg.sender = *sender;
+  msg.subject = *subject;
+  msg.instance = static_cast<InstanceTag>(*instance);
+  msg.round_tag = static_cast<std::uint32_t>(*round_tag);
+
+  if ((flags & kFlagBot) != 0) {
+    msg.value = Value::bot();
+  } else {
+    if (bytes.size() - offset < 8) return std::nullopt;
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) {
+      bits |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(bytes[offset + i])) << (8 * i);
+    }
+    offset += 8;
+    msg.value = Value::real(std::bit_cast<double>(bits));
+  }
+  if (offset != bytes.size()) return std::nullopt;  // trailing bytes
+  return msg;
+}
+
+}  // namespace idonly

@@ -1,0 +1,51 @@
+// Wire codec for Message.
+//
+// The simulators exchange in-memory structs, but a deployment of these
+// protocols sends bytes; this codec fixes the frame format so protocol state
+// machines can be lifted onto a real transport unchanged. Format (version-
+// prefixed, little-endian varints):
+//
+//   byte 0      format version (kWireVersion)
+//   byte 1      MsgKind
+//   byte 2      flags (bit 0: value is ⊥)
+//   varint      sender
+//   varint      subject
+//   varint      instance
+//   varint      round_tag
+//   8 bytes     IEEE-754 value payload (omitted when ⊥)
+//
+// decode() is total: any input that is not a well-formed frame yields
+// nullopt (never UB, never a partial message) — a Byzantine peer controls
+// these bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace idonly {
+
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// Append the encoded frame to `out`; returns the encoded size.
+std::size_t encode(const Message& msg, std::vector<std::byte>& out);
+
+/// Encode into a fresh buffer.
+[[nodiscard]] std::vector<std::byte> encode(const Message& msg);
+
+/// Decode one frame occupying the whole span. Returns nullopt on any
+/// malformation: wrong version, unknown kind, truncation, trailing bytes,
+/// or non-canonical varints.
+[[nodiscard]] std::optional<Message> decode(std::span<const std::byte> bytes);
+
+/// LEB128-style unsigned varint used by the codec (exposed for tests).
+void put_varint(std::uint64_t value, std::vector<std::byte>& out);
+/// Reads a varint at `offset`, advancing it; nullopt on truncation/overflow.
+[[nodiscard]] std::optional<std::uint64_t> get_varint(std::span<const std::byte> bytes,
+                                                      std::size_t& offset);
+
+}  // namespace idonly

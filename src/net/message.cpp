@@ -1,0 +1,40 @@
+#include "net/message.hpp"
+
+#include <sstream>
+
+namespace idonly {
+
+std::string to_string(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kPresent: return "present";
+    case MsgKind::kInit: return "init";
+    case MsgKind::kEcho: return "echo";
+    case MsgKind::kPayload: return "payload";
+    case MsgKind::kOpinion: return "opinion";
+    case MsgKind::kInput: return "input";
+    case MsgKind::kPrefer: return "prefer";
+    case MsgKind::kStrongPrefer: return "strongprefer";
+    case MsgKind::kNoPreference: return "nopreference";
+    case MsgKind::kNoStrongPref: return "nostrongpreference";
+    case MsgKind::kAck: return "ack";
+    case MsgKind::kAbsent: return "absent";
+    case MsgKind::kEvent: return "event";
+    case MsgKind::kTerminate: return "terminate";
+    case MsgKind::kApproxValue: return "approxvalue";
+    case MsgKind::kNoise: return "noise";
+  }
+  return "unknown";
+}
+
+std::string Message::to_string() const {
+  std::ostringstream os;
+  os << idonly::to_string(kind) << "{from=" << sender;
+  if (subject != 0) os << " subj=" << subject;
+  if (instance != 0) os << " inst=" << instance;
+  if (!value.is_bot()) os << " val=" << value.to_string();
+  if (round_tag != 0) os << " rtag=" << round_tag;
+  os << "}";
+  return os.str();
+}
+
+}  // namespace idonly

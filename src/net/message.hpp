@@ -1,0 +1,74 @@
+// The wire format of the id-only model.
+//
+// Model constraints (paper §Model) encoded here and in the simulator:
+//   * The sender id travels with every message and is stamped by the
+//     *engine*, never by the process — a Byzantine node cannot forge its own
+//     identity on a direct send.
+//   * Everything else is payload: a Byzantine node may claim echoes for
+//     non-existent ids (`subject`), attach arbitrary values, or tag arbitrary
+//     consensus instances. Protocols must tolerate all of it.
+//   * Duplicate identical messages from the same sender within one round are
+//     discarded by the receiver (the engine implements this).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/types.hpp"
+#include "common/value.hpp"
+
+namespace idonly {
+
+/// Message kinds across all protocols in the library. One flat enum keeps
+/// the simulator's metric counters trivial; each protocol uses its subset.
+enum class MsgKind : std::uint8_t {
+  kPresent = 0,        ///< "I exist" (RB round 1 of non-senders; dynamic join)
+  kInit = 1,           ///< rotor/renaming round-1 announcement
+  kEcho = 2,           ///< echo(subject[, value]) — RB / rotor / renaming
+  kPayload = 3,        ///< the broadcast message (m, s): subject = s, value = m
+  kOpinion = 4,        ///< coordinator opinion (rotor; subject = pair id in A5)
+  kInput = 5,          ///< consensus phase round 1
+  kPrefer = 6,         ///< consensus phase round 2
+  kStrongPrefer = 7,   ///< consensus phase round 3
+  kNoPreference = 8,   ///< A5 explicit "no 2/3 input quorum" marker
+  kNoStrongPref = 9,   ///< A5 explicit "no 2/3 prefer quorum" marker
+  kAck = 10,           ///< dynamic membership: (ack, round)
+  kAbsent = 11,        ///< dynamic membership: leave announcement
+  kEvent = 12,         ///< total ordering: witnessed event (m, round)
+  kTerminate = 13,     ///< renaming termination proposal terminate(k)
+  kApproxValue = 14,   ///< approximate agreement value broadcast
+  kNoise = 15,         ///< adversarial garbage with no protocol meaning
+};
+
+[[nodiscard]] std::string to_string(MsgKind kind);
+
+struct Message {
+  NodeId sender = 0;        ///< stamped by the simulator; unforgeable
+  MsgKind kind = MsgKind::kPresent;
+  NodeId subject = 0;       ///< echo(p) → p; (m,s) → s; A5 pair id
+  InstanceTag instance = 0; ///< parallel-consensus instance (0 = untagged)
+  Value value;              ///< opinion / input / event payload
+  std::uint32_t round_tag = 0;  ///< ack(r), terminate(k), event round
+
+  friend bool operator==(const Message& a, const Message& b) noexcept = default;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Hash over full message content (including sender) — used by the engine's
+/// per-round duplicate suppression.
+struct MessageHash {
+  [[nodiscard]] std::size_t operator()(const Message& m) const noexcept {
+    std::size_t h = std::hash<std::uint64_t>{}(m.sender);
+    auto mix = [&h](std::size_t x) { h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2); };
+    mix(static_cast<std::size_t>(m.kind));
+    mix(std::hash<std::uint64_t>{}(m.subject));
+    mix(m.instance);
+    mix(ValueHash{}(m.value));
+    mix(m.round_tag);
+    return h;
+  }
+};
+
+}  // namespace idonly

@@ -1,0 +1,7 @@
+#include "net/process.hpp"
+
+namespace idonly {
+
+Process::~Process() = default;
+
+}  // namespace idonly

@@ -1,0 +1,195 @@
+#include "net/sync_simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace idonly {
+
+void SyncSimulator::add_process(std::unique_ptr<Process> process) {
+  assert(process != nullptr);
+  pending_joins_.push_back(std::move(process));
+}
+
+void SyncSimulator::remove_process(NodeId id) { pending_removals_.push_back(id); }
+
+void SyncSimulator::route(NodeId from, const std::vector<Outgoing>& outbox) {
+  // Per-receiver duplicate suppression within this round: the model says
+  // "duplicate messages from the same node in a round are simply discarded".
+  // We stamp the sender first so the dedup key covers identity + content.
+  for (const Outgoing& out : outbox) {
+    Message msg = out.msg;
+    msg.sender = from;  // unforgeable identity
+    if (tracing_) {
+      if (trace_.size() >= trace_capacity_) trace_.pop_front();
+      trace_.push_back(TraceEntry{round_, from, out.to, msg});
+    }
+    const auto kind_idx = static_cast<std::size_t>(msg.kind);
+    auto deliver = [&](NodeId to, Member& member) {
+      metrics_.messages.sent[kind_idx] += 1;
+      if (delay_hook_) {
+        const Round extra = delay_hook_(from, to, msg, round_);
+        if (extra > 0) {
+          delayed_[round_ + 1 + extra].emplace_back(to, msg);
+          return;
+        }
+      }
+      member.inbox.push_back(msg);
+    };
+    if (out.to.has_value()) {
+      auto it = members_.find(*out.to);
+      if (it == members_.end()) continue;  // recipient gone — message lost
+      deliver(*out.to, it->second);
+    } else {
+      for (auto& [id, member] : members_) deliver(id, member);
+    }
+  }
+}
+
+void SyncSimulator::step() {
+  // Departures announced during the previous round take effect before this
+  // one begins: messages the leaver already sent were routed then, but it
+  // neither acts nor receives from here on. A node that was added and
+  // removed before ever stepping is purged from the pending-join queue too.
+  for (NodeId id : pending_removals_) {
+    members_.erase(id);
+    std::erase_if(pending_joins_,
+                  [id](const std::unique_ptr<Process>& p) { return p->id() == id; });
+  }
+  pending_removals_.clear();
+
+  // Joins announced before this round become effective now (the dynamic
+  // model lets the adversary admit nodes "before every round starts").
+  for (auto& joiner : pending_joins_) {
+    const NodeId id = joiner->id();
+    assert(members_.find(id) == members_.end() && "duplicate live node id");
+    Member member;
+    member.process = std::move(joiner);
+    member.joined_round = round_ + 1;
+    members_.emplace(id, std::move(member));
+  }
+  pending_joins_.clear();
+
+  round_ += 1;
+  metrics_.rounds_executed = round_;
+
+  // Deliver synchrony-fault-delayed messages that are due this round.
+  for (auto it = delayed_.begin(); it != delayed_.end() && it->first <= round_;) {
+    for (auto& [to, msg] : it->second) {
+      auto member = members_.find(to);
+      if (member != members_.end()) member->second.inbox.push_back(std::move(msg));
+    }
+    it = delayed_.erase(it);
+  }
+
+  // Swap out each member's pending inbox, then step in ascending id order.
+  // All sends of this round are routed after every process ran, preserving
+  // lock-step semantics (no same-round delivery).
+  std::vector<std::pair<NodeId, std::vector<Message>>> inboxes;
+  inboxes.reserve(members_.size());
+  for (auto& [id, member] : members_) {
+    // Receiver-side dedup: identical (sender, content) within one round.
+    std::unordered_set<Message, MessageHash> seen;
+    std::vector<Message> inbox;
+    inbox.reserve(member.inbox.size());
+    for (Message& m : member.inbox) {
+      if (seen.insert(m).second) inbox.push_back(std::move(m));
+    }
+    member.inbox.clear();
+    for (const Message& m : inbox) {
+      metrics_.messages.delivered[static_cast<std::size_t>(m.kind)] += 1;
+    }
+    inboxes.emplace_back(id, std::move(inbox));
+  }
+
+  std::vector<Outgoing> outbox;
+  for (auto& [id, inbox] : inboxes) {
+    auto it = members_.find(id);
+    if (it == members_.end()) continue;
+    Member& member = it->second;
+    const bool was_done = member.process->done();
+    outbox.clear();
+    RoundInfo info{round_, round_ - member.joined_round + 1};
+    member.process->on_round(info, std::span<const Message>(inbox), outbox);
+    route(id, outbox);
+    if (!was_done && member.process->done()) metrics_.done_round[id] = round_;
+  }
+}
+
+bool SyncSimulator::run_until(const std::function<bool()>& pred, Round max_rounds) {
+  for (Round i = 0; i < max_rounds; ++i) {
+    if (pred()) return true;
+    step();
+  }
+  return pred();
+}
+
+bool SyncSimulator::run_until_all_correct_done(Round max_rounds) {
+  return run_until(
+      [this] {
+        bool all = true;
+        bool any = false;
+        for (const auto& [id, member] : members_) {
+          if (member.process->byzantine()) continue;
+          any = true;
+          all = all && member.process->done();
+        }
+        return any && all;
+      },
+      max_rounds);
+}
+
+void SyncSimulator::run_rounds(Round count) {
+  for (Round i = 0; i < count; ++i) step();
+}
+
+Process* SyncSimulator::find(NodeId id) {
+  auto it = members_.find(id);
+  if (it != members_.end()) return it->second.process.get();
+  // Processes added but not yet stepped (joins become effective next round)
+  // are still addressable — callers often inspect state right after add.
+  for (const auto& pending : pending_joins_) {
+    if (pending->id() == id) return pending.get();
+  }
+  return nullptr;
+}
+
+const Process* SyncSimulator::find(NodeId id) const {
+  auto it = members_.find(id);
+  if (it != members_.end()) return it->second.process.get();
+  for (const auto& pending : pending_joins_) {
+    if (pending->id() == id) return pending.get();
+  }
+  return nullptr;
+}
+
+std::vector<NodeId> SyncSimulator::member_ids() const {
+  std::vector<NodeId> ids;
+  ids.reserve(members_.size());
+  for (const auto& [id, member] : members_) ids.push_back(id);
+  return ids;
+}
+
+void SyncSimulator::enable_trace(std::size_t capacity) {
+  tracing_ = true;
+  trace_capacity_ = capacity == 0 ? 1 : capacity;
+}
+
+std::string SyncSimulator::dump_trace(std::optional<Round> only_round) const {
+  std::string out;
+  for (const TraceEntry& entry : trace_) {
+    if (only_round.has_value() && entry.round != *only_round) continue;
+    out += "r" + std::to_string(entry.round) + " " + std::to_string(entry.from) + " -> ";
+    out += entry.to.has_value() ? std::to_string(*entry.to) : std::string("*");
+    out += " " + entry.msg.to_string() + "\n";
+  }
+  return out;
+}
+
+void SyncSimulator::for_each_correct(const std::function<void(Process&)>& fn) {
+  for (auto& [id, member] : members_) {
+    if (!member.process->byzantine()) fn(*member.process);
+  }
+}
+
+}  // namespace idonly

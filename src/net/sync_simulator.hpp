@@ -1,0 +1,124 @@
+// Synchronous round-based network simulator — the paper's system model.
+//
+// Semantics (paper §Model):
+//   * Computation proceeds in lock-step rounds; a message sent in round r is
+//     delivered at the start of round r+1.
+//   * Broadcast reaches *every* current member, including the sender (the
+//     self-inclusive reading is explicit in Alg. 4 and implicit in every
+//     quorum count of the proofs).
+//   * Duplicate identical messages from one sender within a round are
+//     discarded at the receiver.
+//   * Membership may change between rounds (dynamic networks, §Application
+//     to Dynamic Networks): joins become effective at the start of the next
+//     round, removals at the end of the current one.
+//
+// Determinism: processes are stepped in ascending id order and all protocol
+// randomness flows from explicit seeds, so a (scenario, seed) pair replays
+// bit-identically.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/types.hpp"
+#include "net/process.hpp"
+
+namespace idonly {
+
+class SyncSimulator {
+ public:
+  SyncSimulator() = default;
+
+  /// Register a process; it participates from the next executed round.
+  /// Precondition: no live process already holds this id.
+  void add_process(std::unique_ptr<Process> process);
+
+  /// Remove a process after the current round (its messages already sent
+  /// this round are still delivered). No-op when the id is unknown.
+  void remove_process(NodeId id);
+
+  /// Execute one synchronous round.
+  void step();
+
+  /// Execute rounds until `pred()` is true or `max_rounds` elapse; returns
+  /// true when the predicate fired.
+  bool run_until(const std::function<bool()>& pred, Round max_rounds);
+
+  /// Execute until every non-Byzantine process reports done(); returns true
+  /// on success within `max_rounds`.
+  bool run_until_all_correct_done(Round max_rounds);
+
+  void run_rounds(Round count);
+
+  [[nodiscard]] Round round() const noexcept { return round_; }
+  [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
+
+  /// One routed message as observed by the engine (post sender-stamping).
+  struct TraceEntry {
+    Round round = 0;                ///< round in which the message was SENT
+    NodeId from = 0;
+    std::optional<NodeId> to;       ///< empty → broadcast
+    Message msg;
+  };
+
+  /// Synchrony-fault injection: return how many EXTRA rounds to delay this
+  /// message (0 = normal next-round delivery). Delaying traffic between
+  /// correct nodes deliberately violates the paper's model — the hook exists
+  /// to demonstrate, constructively, that the algorithms *need* the
+  /// synchrony assumption (experiment E6). Unset by default.
+  using DelayHook =
+      std::function<Round(NodeId from, NodeId to, const Message& msg, Round sent_round)>;
+  void set_delay_hook(DelayHook hook) { delay_hook_ = std::move(hook); }
+
+  /// Start recording every routed message (ring-buffered at `capacity`).
+  /// Intended for tests and debugging; off by default.
+  void enable_trace(std::size_t capacity = 1 << 20);
+  [[nodiscard]] const std::deque<TraceEntry>& trace() const noexcept { return trace_; }
+  /// Render the trace (optionally restricted to one round) for debugging.
+  [[nodiscard]] std::string dump_trace(std::optional<Round> only_round = std::nullopt) const;
+
+  /// Live process lookup (nullptr when absent). The returned pointer stays
+  /// valid until the process is removed.
+  [[nodiscard]] Process* find(NodeId id);
+  [[nodiscard]] const Process* find(NodeId id) const;
+
+  /// Typed convenience lookup: `sim.get<ConsensusProcess>(id)`.
+  template <typename T>
+  [[nodiscard]] T* get(NodeId id) {
+    return dynamic_cast<T*>(find(id));
+  }
+
+  [[nodiscard]] std::vector<NodeId> member_ids() const;
+  [[nodiscard]] std::size_t member_count() const noexcept { return members_.size(); }
+
+  /// Iterate live correct (non-Byzantine) processes.
+  void for_each_correct(const std::function<void(Process&)>& fn);
+
+ private:
+  struct Member {
+    std::unique_ptr<Process> process;
+    Round joined_round = 0;           // global round of first participation
+    std::vector<Message> inbox;       // messages to deliver next step
+  };
+
+  void route(NodeId from, const std::vector<Outgoing>& outbox);
+
+  std::map<NodeId, Member> members_;                 // ordered → deterministic stepping
+  std::vector<std::unique_ptr<Process>> pending_joins_;
+  std::vector<NodeId> pending_removals_;
+  Round round_ = 0;
+  Metrics metrics_;
+  bool tracing_ = false;
+  std::size_t trace_capacity_ = 0;
+  std::deque<TraceEntry> trace_;
+  DelayHook delay_hook_;
+  std::map<Round, std::vector<std::pair<NodeId, Message>>> delayed_;  // due round → deliveries
+};
+
+}  // namespace idonly

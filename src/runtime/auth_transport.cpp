@@ -1,0 +1,43 @@
+#include "runtime/auth_transport.hpp"
+
+namespace idonly {
+
+namespace {
+constexpr std::size_t kTagBytes = 8;
+}
+
+AuthTransport::AuthTransport(std::unique_ptr<Transport> inner, SipHashKey group_key)
+    : inner_(std::move(inner)), key_(group_key) {}
+
+void AuthTransport::broadcast(std::span<const std::byte> frame) {
+  Frame tagged(frame.begin(), frame.end());
+  const std::uint64_t tag = siphash24(frame, key_);
+  for (std::size_t i = 0; i < kTagBytes; ++i) {
+    tagged.push_back(static_cast<std::byte>((tag >> (8 * i)) & 0xFF));
+  }
+  inner_->broadcast(tagged);
+}
+
+std::vector<Frame> AuthTransport::drain() {
+  std::vector<Frame> out;
+  for (Frame& frame : inner_->drain()) {
+    if (frame.size() < kTagBytes) {
+      rejected_ += 1;
+      continue;
+    }
+    const std::size_t body = frame.size() - kTagBytes;
+    std::uint64_t tag = 0;
+    for (std::size_t i = 0; i < kTagBytes; ++i) {
+      tag |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(frame[body + i])) << (8 * i);
+    }
+    if (siphash24(std::span(frame).first(body), key_) != tag) {
+      rejected_ += 1;
+      continue;
+    }
+    frame.resize(body);
+    out.push_back(std::move(frame));
+  }
+  return out;
+}
+
+}  // namespace idonly

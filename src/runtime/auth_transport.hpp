@@ -1,0 +1,40 @@
+// Group-key frame authentication for the runtime.
+//
+// Appends a SipHash-2-4 tag (keyed with a shared GROUP key) to every
+// outgoing frame and silently drops inbound frames whose tag does not
+// verify. Threat model — stated precisely, because it matters:
+//
+//   * PROTECTS against non-members injecting or corrupting traffic on the
+//     wire (the UDP spammer scenario): they lack the key, so their frames
+//     die here, before the codec even runs.
+//   * DOES NOT protect members from each other: a shared group key lets any
+//     key holder tag any sender id, so a Byzantine MEMBER can still forge
+//     identities at the wire level. The id-only model's unforgeable sender
+//     ids need per-sender asymmetric signatures in a hostile deployment —
+//     out of scope here; this decorator marks exactly where they plug in.
+#pragma once
+
+#include <memory>
+
+#include "common/siphash.hpp"
+#include "runtime/transport.hpp"
+
+namespace idonly {
+
+class AuthTransport final : public Transport {
+ public:
+  AuthTransport(std::unique_ptr<Transport> inner, SipHashKey group_key);
+
+  void broadcast(std::span<const std::byte> frame) override;
+  [[nodiscard]] std::vector<Frame> drain() override;
+
+  /// Inbound frames rejected for a missing/incorrect tag.
+  [[nodiscard]] std::uint64_t frames_rejected() const noexcept { return rejected_; }
+
+ private:
+  std::unique_ptr<Transport> inner_;
+  SipHashKey key_;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace idonly

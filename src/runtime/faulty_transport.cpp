@@ -1,0 +1,41 @@
+#include "runtime/faulty_transport.hpp"
+
+namespace idonly {
+
+FaultyTransport::FaultyTransport(std::unique_ptr<Transport> inner, FaultModel model, Rng rng)
+    : inner_(std::move(inner)), model_(model), rng_(rng) {}
+
+void FaultyTransport::broadcast(std::span<const std::byte> frame) {
+  // Faults are applied on the SEND side so every receiver sees the same
+  // mangled frame (wire-level corruption, not per-receiver Byzantine
+  // behaviour — that is what the adversary library is for).
+  std::scoped_lock lock(mutex_);
+  if (rng_.chance(model_.drop)) {
+    dropped_ += 1;
+    return;
+  }
+  Frame copy(frame.begin(), frame.end());
+  if (!copy.empty() && rng_.chance(model_.corrupt)) {
+    const std::size_t pos = rng_.below(copy.size());
+    copy[pos] ^= static_cast<std::byte>(1u << rng_.below(8));
+    corrupted_ += 1;
+  }
+  inner_->broadcast(copy);
+  if (rng_.chance(model_.duplicate)) inner_->broadcast(copy);
+}
+
+std::vector<Frame> FaultyTransport::drain() {
+  std::scoped_lock lock(mutex_);
+  std::vector<Frame> out = std::move(held_);
+  held_.clear();
+  for (Frame& frame : inner_->drain()) {
+    if (rng_.chance(model_.delay)) {
+      held_.push_back(std::move(frame));
+    } else {
+      out.push_back(std::move(frame));
+    }
+  }
+  return out;
+}
+
+}  // namespace idonly

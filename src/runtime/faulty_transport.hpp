@@ -1,0 +1,44 @@
+// Chaos decorator for any Transport: drops, duplicates, delays (holds until
+// a later drain), or corrupts frames with configured probabilities. Used to
+// test the runtime's behaviour when the wire misbehaves — corrupted frames
+// must die in decode(), duplicated ones in the engine-level per-round dedup
+// (or be harmless by protocol design), and delayed/lost ones consume the
+// f-budget like Byzantine omissions.
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "common/rng.hpp"
+#include "runtime/transport.hpp"
+
+namespace idonly {
+
+struct FaultModel {
+  double drop = 0.0;       ///< probability a frame disappears
+  double duplicate = 0.0;  ///< probability a frame is delivered twice
+  double delay = 0.0;      ///< probability a frame is held one drain cycle
+  double corrupt = 0.0;    ///< probability one byte is flipped
+};
+
+class FaultyTransport final : public Transport {
+ public:
+  FaultyTransport(std::unique_ptr<Transport> inner, FaultModel model, Rng rng);
+
+  void broadcast(std::span<const std::byte> frame) override;
+  [[nodiscard]] std::vector<Frame> drain() override;
+
+  [[nodiscard]] std::uint64_t frames_dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::uint64_t frames_corrupted() const noexcept { return corrupted_; }
+
+ private:
+  std::unique_ptr<Transport> inner_;
+  FaultModel model_;
+  std::mutex mutex_;
+  Rng rng_;
+  std::vector<Frame> held_;  ///< delayed frames, released next drain
+  std::uint64_t dropped_ = 0;
+  std::uint64_t corrupted_ = 0;
+};
+
+}  // namespace idonly

@@ -1,0 +1,34 @@
+#include "runtime/inmemory_transport.hpp"
+
+namespace idonly {
+
+void InMemoryTransport::broadcast(std::span<const std::byte> frame) { hub_->fan_out(frame); }
+
+std::vector<Frame> InMemoryTransport::drain() {
+  std::scoped_lock lock(mutex_);
+  std::vector<Frame> out;
+  out.swap(mailbox_);
+  return out;
+}
+
+void InMemoryTransport::deliver(Frame frame) {
+  std::scoped_lock lock(mutex_);
+  mailbox_.push_back(std::move(frame));
+}
+
+std::unique_ptr<InMemoryTransport> InMemoryHub::make_endpoint() {
+  // Private constructor — can't use make_unique.
+  auto endpoint = std::unique_ptr<InMemoryTransport>(new InMemoryTransport(this));
+  std::scoped_lock lock(mutex_);
+  endpoints_.push_back(endpoint.get());
+  return endpoint;
+}
+
+void InMemoryHub::fan_out(std::span<const std::byte> frame) {
+  std::scoped_lock lock(mutex_);
+  for (InMemoryTransport* endpoint : endpoints_) {
+    endpoint->deliver(Frame(frame.begin(), frame.end()));
+  }
+}
+
+}  // namespace idonly

@@ -1,0 +1,45 @@
+// Thread-safe in-process broadcast domain: every endpoint's broadcast lands
+// in every endpoint's mailbox (its own included). The runtime analogue of a
+// LAN segment, used for multi-threaded runtime tests without sockets.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "runtime/transport.hpp"
+
+namespace idonly {
+
+class InMemoryHub;
+
+class InMemoryTransport final : public Transport {
+ public:
+  void broadcast(std::span<const std::byte> frame) override;
+  [[nodiscard]] std::vector<Frame> drain() override;
+
+ private:
+  friend class InMemoryHub;
+  explicit InMemoryTransport(InMemoryHub* hub) : hub_(hub) {}
+  void deliver(Frame frame);
+
+  InMemoryHub* hub_;
+  std::mutex mutex_;
+  std::vector<Frame> mailbox_;
+};
+
+/// Owns the endpoints; outlive every transport handed out.
+class InMemoryHub {
+ public:
+  /// Create a new endpoint on this wire.
+  [[nodiscard]] std::unique_ptr<InMemoryTransport> make_endpoint();
+
+ private:
+  friend class InMemoryTransport;
+  void fan_out(std::span<const std::byte> frame);
+
+  std::mutex mutex_;
+  std::vector<InMemoryTransport*> endpoints_;
+};
+
+}  // namespace idonly

@@ -1,0 +1,64 @@
+#include "runtime/round_driver.hpp"
+
+#include <thread>
+
+#include "net/codec.hpp"
+
+namespace idonly {
+
+RoundDriver::RoundDriver(std::unique_ptr<Process> process, std::unique_ptr<Transport> transport,
+                         RoundDriverConfig config)
+    : process_(std::move(process)), transport_(std::move(transport)), config_(config) {}
+
+Round RoundDriver::run() {
+  std::this_thread::sleep_until(config_.epoch);
+  for (Round r = 1; r <= config_.max_rounds; ++r) {
+    // Sort arrivals into per-round buffers by their round header.
+    for (const Frame& frame : transport_->drain()) {
+      std::size_t offset = 0;
+      const auto header = get_varint(frame, offset);
+      if (!header.has_value()) {
+        frames_dropped_ += 1;
+        continue;
+      }
+      const auto msg = decode(std::span(frame).subspan(offset));
+      if (!msg.has_value()) {
+        frames_dropped_ += 1;
+        continue;
+      }
+      const auto sent_round = static_cast<Round>(*header);
+      if (sent_round < r - 1) {
+        frames_late_ += 1;  // synchrony violated for this frame
+        continue;
+      }
+      buffered_[sent_round].push_back(*msg);
+    }
+
+    // This round's inbox: exactly the frames our peers sent in round r-1.
+    std::vector<Message> inbox;
+    if (auto it = buffered_.find(r - 1); it != buffered_.end()) {
+      inbox = std::move(it->second);
+      buffered_.erase(it);
+    }
+
+    std::vector<Outgoing> out;
+    process_->on_round(RoundInfo{r, r}, inbox, out);
+    rounds_executed_ = r;
+
+    for (Outgoing& o : out) {
+      o.msg.sender = process_->id();  // stamp our identity (see header note)
+      // The runtime wire is a broadcast domain; engine-level unicast
+      // degrades to broadcast + receiver-side relevance.
+      Frame frame;
+      put_varint(static_cast<std::uint64_t>(r), frame);
+      encode(o.msg, frame);
+      transport_->broadcast(frame);
+    }
+
+    if (process_->done()) return rounds_executed_;
+    std::this_thread::sleep_until(config_.epoch + r * config_.round_duration);
+  }
+  return rounds_executed_;
+}
+
+}  // namespace idonly

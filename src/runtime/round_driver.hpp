@@ -1,0 +1,65 @@
+// Wall-clock round driver: runs one Process over a Transport in lock-step
+// rounds paced by real time.
+//
+// Deployment of a synchronous protocol = agreeing on a round clock. All
+// drivers share an `epoch` timestamp and a `round_duration`; round r spans
+// [epoch + (r-1)·D, epoch + r·D). Every outgoing frame carries a ROUND
+// HEADER (varint r prepended to the codec frame); the receiver buffers by
+// header and hands the process, in its round r, exactly the frames tagged
+// r-1 — so scheduling jitter inside a slot can never smear one peer's round
+// r+1 traffic into another's round r inbox. Frames arriving after their
+// delivery round are dropped and counted (`frames_late()`): with D
+// comfortably above latency + jitter that counter stays 0 and the runtime
+// realizes the paper's synchronous model; the E6 experiments quantify what
+// happens when it does not.
+//
+// Sender identity: frames carry the sender field. The driver stamps its own
+// outgoing frames but — unlike the simulator — cannot police incoming ones
+// without an authentication layer (see transport.hpp). Runtime tests include
+// a forgery probe documenting this boundary.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/process.hpp"
+#include "runtime/transport.hpp"
+
+namespace idonly {
+
+struct RoundDriverConfig {
+  std::chrono::steady_clock::time_point epoch;  ///< common round-0 boundary
+  std::chrono::milliseconds round_duration{20};
+  Round max_rounds = 100;
+};
+
+class RoundDriver {
+ public:
+  RoundDriver(std::unique_ptr<Process> process, std::unique_ptr<Transport> transport,
+              RoundDriverConfig config);
+
+  /// Blocks until the process reports done() or max_rounds elapse. Returns
+  /// the number of rounds executed. Call from a dedicated thread.
+  Round run();
+
+  [[nodiscard]] Process& process() noexcept { return *process_; }
+  [[nodiscard]] Round rounds_executed() const noexcept { return rounds_executed_; }
+  /// Malformed frames (bad header or codec reject).
+  [[nodiscard]] std::uint64_t frames_dropped() const noexcept { return frames_dropped_; }
+  /// Frames that arrived after their delivery round — synchrony was violated.
+  [[nodiscard]] std::uint64_t frames_late() const noexcept { return frames_late_; }
+
+ private:
+  std::unique_ptr<Process> process_;
+  std::unique_ptr<Transport> transport_;
+  RoundDriverConfig config_;
+  std::map<Round, std::vector<Message>> buffered_;  // by sender round header
+  Round rounds_executed_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+  std::uint64_t frames_late_ = 0;
+};
+
+}  // namespace idonly

@@ -1,0 +1,7 @@
+#include "runtime/transport.hpp"
+
+namespace idonly {
+
+Transport::~Transport() = default;
+
+}  // namespace idonly

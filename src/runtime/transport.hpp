@@ -1,0 +1,37 @@
+// Transport abstraction for the deployment runtime.
+//
+// The simulators deliver Message structs; the runtime moves opaque FRAMES
+// (codec-encoded messages) over a byte transport. A transport knows the
+// addresses of the broadcast domain's endpoints — that sits BELOW the
+// id-only abstraction line, like an Ethernet segment: the transport can
+// reach "everyone on the wire" without the protocol layer ever learning how
+// many participants exist or which ids are live.
+//
+// Trust note: the paper's model makes the *sender id* unforgeable. The
+// simulator enforces this by stamping; a real deployment must enforce it
+// cryptographically (per-sender signatures). The runtime ships without
+// authentication — frames are trusted to carry the true sender — and the
+// hook to add it is a Transport decorator; see DESIGN.md.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace idonly {
+
+using Frame = std::vector<std::byte>;
+
+class Transport {
+ public:
+  virtual ~Transport();
+
+  /// Fire-and-forget to every endpoint on the wire (including self — the
+  /// model's broadcast is self-inclusive).
+  virtual void broadcast(std::span<const std::byte> frame) = 0;
+
+  /// Fetch everything received since the last drain (order unspecified).
+  [[nodiscard]] virtual std::vector<Frame> drain() = 0;
+};
+
+}  // namespace idonly

@@ -1,0 +1,94 @@
+#include "runtime/udp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace idonly {
+
+namespace {
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+int make_bound_socket(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) throw std::runtime_error("socket() failed");
+  const sockaddr_in addr = loopback_addr(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("bind() failed for port " + std::to_string(port));
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  // Generous buffers: a synchronous round can burst n frames at once.
+  const int buf = 1 << 20;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &buf, sizeof(buf));
+  return fd;
+}
+
+}  // namespace
+
+UdpTransport::UdpTransport(std::uint16_t port, std::vector<std::uint16_t> peer_ports)
+    : fd_(make_bound_socket(port)), port_(port), peer_ports_(std::move(peer_ports)) {}
+
+UdpTransport::~UdpTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void UdpTransport::broadcast(std::span<const std::byte> frame) {
+  for (std::uint16_t peer : peer_ports_) {
+    const sockaddr_in addr = loopback_addr(peer);
+    // Best effort: UDP may drop; the protocols' quorum logic tolerates the
+    // resulting silence exactly like a Byzantine omission (within f).
+    (void)::sendto(fd_, frame.data(), frame.size(), 0,
+                   reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  }
+}
+
+std::vector<Frame> UdpTransport::drain() {
+  std::vector<Frame> frames;
+  std::byte buffer[2048];
+  while (true) {
+    const ssize_t got = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (got < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      break;  // transient error — treat as empty
+    }
+    frames.emplace_back(buffer, buffer + got);
+  }
+  return frames;
+}
+
+std::vector<std::uint16_t> UdpTransport::pick_free_ports(std::size_t count) {
+  std::vector<std::uint16_t> ports;
+  std::vector<int> held;
+  for (std::size_t i = 0; i < count; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    if (fd < 0) break;
+    sockaddr_in addr = loopback_addr(0);  // ephemeral
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      break;
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    ports.push_back(ntohs(addr.sin_port));
+    held.push_back(fd);  // hold until all picked so ports are distinct
+  }
+  for (int fd : held) ::close(fd);
+  return ports;
+}
+
+}  // namespace idonly

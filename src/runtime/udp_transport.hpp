@@ -1,0 +1,41 @@
+// UDP broadcast-domain transport (loopback-friendly).
+//
+// Each endpoint binds one UDP socket; `broadcast` fans the frame out to the
+// configured peer ports (its own included — self-inclusive broadcast).
+// Non-blocking receives; oversized or failed datagrams are dropped, exactly
+// the robustness the codec's total decode() expects from a hostile wire.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/transport.hpp"
+
+namespace idonly {
+
+class UdpTransport final : public Transport {
+ public:
+  /// Binds 127.0.0.1:`port`. `peer_ports` lists every endpoint on the wire
+  /// (this one included). Throws std::runtime_error on socket/bind failure.
+  UdpTransport(std::uint16_t port, std::vector<std::uint16_t> peer_ports);
+  ~UdpTransport() override;
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  void broadcast(std::span<const std::byte> frame) override;
+  [[nodiscard]] std::vector<Frame> drain() override;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Find `count` free loopback ports (best effort; binds and releases).
+  [[nodiscard]] static std::vector<std::uint16_t> pick_free_ports(std::size_t count);
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::vector<std::uint16_t> peer_ports_;
+};
+
+}  // namespace idonly

@@ -1,0 +1,159 @@
+// Adversary strategy unit tests: each strategy must behave as documented —
+// the protocols' property tests then show none of them break n > 3f runs.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adversary/strategies.hpp"
+#include "net/sync_simulator.hpp"
+
+namespace idonly {
+namespace {
+
+class Recorder final : public Process {
+ public:
+  using Process::Process;
+  void on_round(RoundInfo round, std::span<const Message> inbox,
+                std::vector<Outgoing>&) override {
+    for (const Message& m : inbox) received.emplace_back(round.global, m);
+  }
+  std::vector<std::pair<Round, Message>> received;
+};
+
+class Chatter final : public Process {
+ public:
+  Chatter(NodeId id, double value) : Process(id), value_(value) {}
+  void on_round(RoundInfo, std::span<const Message>, std::vector<Outgoing>& out) override {
+    Message m;
+    m.kind = MsgKind::kInput;
+    m.value = Value::real(value_);
+    broadcast(out, m);
+  }
+
+ private:
+  double value_;
+};
+
+TEST(Adversary, SilentNeverSends) {
+  SyncSimulator sim;
+  auto rec = std::make_unique<Recorder>(1);
+  auto* prec = rec.get();
+  sim.add_process(std::move(rec));
+  sim.add_process(std::make_unique<SilentAdversary>(2));
+  sim.run_rounds(5);
+  EXPECT_TRUE(prec->received.empty());
+}
+
+TEST(Adversary, ByzantineFlagSet) {
+  SilentAdversary a(1);
+  EXPECT_TRUE(a.byzantine());
+  Recorder r(2);
+  EXPECT_FALSE(r.byzantine());
+}
+
+TEST(Adversary, CrashStopsAtConfiguredRound) {
+  SyncSimulator sim;
+  auto rec = std::make_unique<Recorder>(1);
+  auto* prec = rec.get();
+  sim.add_process(std::move(rec));
+  sim.add_process(
+      std::make_unique<CrashAdversary>(std::make_unique<Chatter>(2, 5.0), /*crash_round=*/3));
+  sim.run_rounds(6);
+  // Sends in rounds 1,2 → delivered rounds 2,3; nothing after.
+  std::size_t before = 0;
+  std::size_t after = 0;
+  for (const auto& [round, msg] : prec->received) (round <= 3 ? before : after) += 1;
+  EXPECT_EQ(before, 2u);
+  EXPECT_EQ(after, 0u);
+}
+
+TEST(Adversary, TwoFacedShowsDifferentFacesToDifferentSides) {
+  SyncSimulator sim;
+  auto rec_a = std::make_unique<Recorder>(1);
+  auto rec_b = std::make_unique<Recorder>(2);
+  auto* pa = rec_a.get();
+  auto* pb = rec_b.get();
+  sim.add_process(std::move(rec_a));
+  sim.add_process(std::move(rec_b));
+  AdversaryContext context{{1, 2, 3}, {1, 2}};
+  auto side_a = [](NodeId id) { return id == 1; };
+  sim.add_process(std::make_unique<TwoFacedAdversary>(std::make_unique<Chatter>(3, 0.0),
+                                                      std::make_unique<Chatter>(3, 1.0), side_a,
+                                                      context));
+  sim.run_rounds(3);
+  ASSERT_FALSE(pa->received.empty());
+  ASSERT_FALSE(pb->received.empty());
+  for (const auto& [round, msg] : pa->received) {
+    EXPECT_EQ(msg.value, Value::real(0.0));
+    EXPECT_EQ(msg.sender, 3u) << "both faces impersonate the same id";
+  }
+  for (const auto& [round, msg] : pb->received) EXPECT_EQ(msg.value, Value::real(1.0));
+}
+
+TEST(Adversary, ForgedEchoTargetsSource) {
+  SyncSimulator sim;
+  auto rec = std::make_unique<Recorder>(1);
+  auto* prec = rec.get();
+  sim.add_process(std::move(rec));
+  sim.add_process(std::make_unique<ForgedEchoAdversary>(2, /*forged_source=*/50,
+                                                        Value::real(666.0)));
+  sim.run_rounds(3);
+  bool saw_echo = false;
+  for (const auto& [round, msg] : prec->received) {
+    if (msg.kind == MsgKind::kEcho) {
+      saw_echo = true;
+      EXPECT_EQ(msg.subject, 50u);
+      EXPECT_EQ(msg.value, Value::real(666.0));
+      EXPECT_EQ(msg.sender, 2u) << "cannot forge the direct sender";
+    }
+  }
+  EXPECT_TRUE(saw_echo);
+}
+
+TEST(Adversary, RotorStufferDripsOneFakePerRound) {
+  SyncSimulator sim;
+  auto rec = std::make_unique<Recorder>(1);
+  auto* prec = rec.get();
+  sim.add_process(std::move(rec));
+  sim.add_process(std::make_unique<RotorStufferAdversary>(2, std::vector<NodeId>{900, 901}));
+  sim.run_rounds(5);
+  std::vector<NodeId> fakes;
+  for (const auto& [round, msg] : prec->received) {
+    if (msg.kind == MsgKind::kEcho) fakes.push_back(msg.subject);
+  }
+  EXPECT_EQ(fakes, (std::vector<NodeId>{900, 901}));
+}
+
+TEST(Adversary, NoiseIsDeterministicPerSeed) {
+  auto run_once = [] {
+    SyncSimulator sim;
+    auto rec = std::make_unique<Recorder>(1);
+    auto* prec = rec.get();
+    sim.add_process(std::move(rec));
+    AdversaryContext context{{1, 2}, {1}};
+    sim.add_process(std::make_unique<RandomNoiseAdversary>(2, context, Rng(99)));
+    sim.run_rounds(6);
+    return prec->received.size();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Adversary, ExtremeSendsOppositeExtremesToHalves) {
+  SyncSimulator sim;
+  auto rec_lo = std::make_unique<Recorder>(1);
+  auto rec_hi = std::make_unique<Recorder>(2);
+  auto* plo = rec_lo.get();
+  auto* phi = rec_hi.get();
+  sim.add_process(std::move(rec_lo));
+  sim.add_process(std::move(rec_hi));
+  AdversaryContext context{{1, 2, 3}, {1, 2}};
+  sim.add_process(std::make_unique<ExtremeValueAdversary>(3, context, -9.0, 9.0));
+  sim.run_rounds(2);
+  ASSERT_FALSE(plo->received.empty());
+  ASSERT_FALSE(phi->received.empty());
+  EXPECT_EQ(plo->received[0].second.value, Value::real(-9.0));
+  EXPECT_EQ(phi->received[0].second.value, Value::real(9.0));
+}
+
+}  // namespace
+}  // namespace idonly

@@ -1,0 +1,142 @@
+// Event-driven (async/semi-sync) engine tests.
+#include <gtest/gtest.h>
+
+#include "net/async_simulator.hpp"
+
+namespace idonly {
+namespace {
+
+/// Minimal async process: broadcasts one message at start, records arrivals,
+/// decides at its timer.
+class Probe final : public AsyncProcess {
+ public:
+  Probe(NodeId id, Time deadline) : AsyncProcess(id), deadline_(deadline) {}
+
+  void on_start(Time, std::vector<AsyncOutgoing>& out) override {
+    Message m;
+    m.kind = MsgKind::kPresent;
+    out.push_back(AsyncOutgoing{std::nullopt, m});
+  }
+  void on_message(Time now, const Message& msg, std::vector<AsyncOutgoing>&) override {
+    arrivals.emplace_back(now, msg.sender);
+  }
+  void on_timer(Time now, std::vector<AsyncOutgoing>&) override {
+    fired = true;
+    fire_time = now;
+  }
+  [[nodiscard]] std::optional<Time> timer_deadline() const override {
+    return fired ? std::nullopt : std::optional<Time>(deadline_);
+  }
+  [[nodiscard]] bool decided() const override { return fired; }
+  [[nodiscard]] Value decision() const override { return Value::bot(); }
+
+  std::vector<std::pair<Time, NodeId>> arrivals;
+  bool fired = false;
+  Time fire_time = 0;
+
+ private:
+  Time deadline_;
+};
+
+TEST(AsyncSimulator, DeliversWithModelLatency) {
+  AsyncSimulator sim([](NodeId, NodeId, const Message&, Time) { return 2.5; });
+  auto a = std::make_unique<Probe>(1, 100.0);
+  auto b = std::make_unique<Probe>(2, 100.0);
+  auto* pb = b.get();
+  sim.add_process(std::move(a));
+  sim.add_process(std::move(b));
+  sim.run(50.0);
+  // b hears a's start broadcast (and its own echo — broadcast is
+  // self-inclusive here too) at t = 2.5.
+  ASSERT_EQ(pb->arrivals.size(), 2u);
+  EXPECT_DOUBLE_EQ(pb->arrivals[0].first, 2.5);
+}
+
+TEST(AsyncSimulator, TimerFiresAtDeadline) {
+  AsyncSimulator sim([](NodeId, NodeId, const Message&, Time) { return 1.0; });
+  auto a = std::make_unique<Probe>(1, 7.0);
+  auto* pa = a.get();
+  sim.add_process(std::move(a));
+  sim.run(50.0);
+  EXPECT_TRUE(pa->fired);
+  EXPECT_DOUBLE_EQ(pa->fire_time, 7.0);
+}
+
+TEST(AsyncSimulator, HorizonCutsDelivery) {
+  AsyncSimulator sim([](NodeId, NodeId, const Message&, Time) { return 100.0; });
+  auto a = std::make_unique<Probe>(1, 500.0);
+  auto b = std::make_unique<Probe>(2, 500.0);
+  auto* pb = b.get();
+  sim.add_process(std::move(a));
+  sim.add_process(std::move(b));
+  sim.run(50.0);
+  EXPECT_TRUE(pb->arrivals.empty());
+  EXPECT_LE(sim.now(), 50.0);
+}
+
+TEST(AsyncSimulator, NegativeDelayDropsMessage) {
+  AsyncSimulator sim([](NodeId, NodeId, const Message&, Time) { return -1.0; });
+  auto a = std::make_unique<Probe>(1, 5.0);
+  auto b = std::make_unique<Probe>(2, 5.0);
+  auto* pb = b.get();
+  sim.add_process(std::move(a));
+  sim.add_process(std::move(b));
+  sim.run(50.0);
+  EXPECT_TRUE(pb->arrivals.empty());
+}
+
+TEST(AsyncSimulator, RearmedTimerSupersedesOldDeadline) {
+  // A process that pushes its deadline back on every message must fire at
+  // the LAST deadline only — stale queued timer events are skipped.
+  class Backoff final : public AsyncProcess {
+   public:
+    using AsyncProcess::AsyncProcess;
+    void on_start(Time, std::vector<AsyncOutgoing>& out) override {
+      if (id() == 1) {
+        Message m;
+        m.kind = MsgKind::kPresent;
+        out.push_back(AsyncOutgoing{std::nullopt, m});
+      }
+    }
+    void on_message(Time now, const Message&, std::vector<AsyncOutgoing>&) override {
+      deadline_ = now + 10.0;  // push back
+    }
+    void on_timer(Time now, std::vector<AsyncOutgoing>&) override {
+      fired_at.push_back(now);
+      deadline_.reset();
+    }
+    [[nodiscard]] std::optional<Time> timer_deadline() const override { return deadline_; }
+    [[nodiscard]] bool decided() const override { return false; }
+    [[nodiscard]] Value decision() const override { return Value::bot(); }
+
+    std::vector<Time> fired_at;
+    std::optional<Time> deadline_ = 3.0;
+  };
+  AsyncSimulator sim([](NodeId, NodeId, const Message&, Time) { return 1.0; });
+  auto p = std::make_unique<Backoff>(2);
+  auto* probe = p.get();
+  sim.add_process(std::make_unique<Backoff>(1));
+  sim.add_process(std::move(p));
+  sim.run(100.0);
+  // Node 2 hears node 1's start broadcast at t = 1 → deadline moves to 11;
+  // the original t = 3 event must be skipped.
+  ASSERT_EQ(probe->fired_at.size(), 1u);
+  EXPECT_DOUBLE_EQ(probe->fired_at[0], 11.0);
+}
+
+TEST(AsyncSimulator, PerLinkAsymmetricDelays) {
+  AsyncSimulator sim([](NodeId from, NodeId to, const Message&, Time) -> Time {
+    return from == 1 && to == 2 ? 1.0 : 10.0;
+  });
+  auto a = std::make_unique<Probe>(1, 100.0);
+  auto b = std::make_unique<Probe>(2, 100.0);
+  auto* pb = b.get();
+  sim.add_process(std::move(a));
+  sim.add_process(std::move(b));
+  sim.run(5.0);
+  ASSERT_EQ(pb->arrivals.size(), 1u);
+  EXPECT_EQ(pb->arrivals[0].second, 1u);
+}
+
+}  // namespace
+}  // namespace idonly

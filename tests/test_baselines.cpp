@@ -1,0 +1,122 @@
+// Classical known-n,f baselines: they must be correct in their own right
+// (they anchor the E1/E3/E4/E9 comparisons).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/known_f_approx.hpp"
+#include "baselines/phase_king.hpp"
+#include "baselines/st_broadcast.hpp"
+#include "harness/runner.hpp"
+#include "net/sync_simulator.hpp"
+
+namespace idonly {
+namespace {
+
+TEST(StBroadcast, CorrectSourceAcceptedByAll) {
+  SyncSimulator sim;
+  const std::vector<NodeId> ids{10, 20, 30, 40, 50, 60, 70};
+  const std::size_t f = 2;
+  for (NodeId id : ids) {
+    sim.add_process(std::make_unique<StBroadcastProcess>(id, /*source=*/10, Value::real(4.0), f));
+  }
+  sim.run_rounds(6);
+  for (NodeId id : ids) {
+    auto* p = sim.get<StBroadcastProcess>(id);
+    ASSERT_TRUE(p->accepted()) << id;
+    EXPECT_EQ(*p->accepted_payload(), Value::real(4.0));
+    EXPECT_EQ(*p->accept_round(), 3);
+  }
+}
+
+TEST(StBroadcast, FewEchoesNotAccepted) {
+  // Only f echoes (below f+1 relay threshold) must not propagate.
+  SyncSimulator sim;
+  const std::vector<NodeId> ids{10, 20, 30, 40, 50, 60, 70};
+  for (NodeId id : ids) {
+    sim.add_process(std::make_unique<StBroadcastProcess>(id, /*source=*/99, Value::bot(), 2));
+  }
+  // Source 99 never exists; inject forged echoes from two Byzantine ids.
+  class Forger final : public Process {
+   public:
+    using Process::Process;
+    void on_round(RoundInfo, std::span<const Message>, std::vector<Outgoing>& out) override {
+      Message m;
+      m.kind = MsgKind::kEcho;
+      m.subject = 99;
+      m.value = Value::real(666);
+      broadcast(out, m);
+    }
+  };
+  sim.add_process(std::make_unique<Forger>(1));
+  sim.add_process(std::make_unique<Forger>(2));
+  sim.run_rounds(10);
+  for (NodeId id : ids) {
+    EXPECT_FALSE(sim.get<StBroadcastProcess>(id)->accepted()) << id;
+  }
+}
+
+TEST(PhaseKing, UnanimousDecidesPhaseOne) {
+  SyncSimulator sim;
+  const std::vector<NodeId> roster{10, 20, 30, 40, 50, 60, 70};
+  for (NodeId id : roster) {
+    sim.add_process(std::make_unique<PhaseKingProcess>(id, Value::real(9.0), roster, 2));
+  }
+  EXPECT_TRUE(sim.run_until_all_correct_done(50));
+  for (NodeId id : roster) {
+    auto* p = sim.get<PhaseKingProcess>(id);
+    EXPECT_EQ(*p->output(), Value::real(9.0));
+    EXPECT_EQ(*p->decision_phase(), 1);
+  }
+}
+
+TEST(PhaseKing, MixedInputsAgreeWithinFPlusOnePhases) {
+  SyncSimulator sim;
+  const std::vector<NodeId> roster{10, 20, 30, 40, 50, 60, 70};
+  for (std::size_t i = 0; i < roster.size(); ++i) {
+    sim.add_process(std::make_unique<PhaseKingProcess>(
+        roster[i], Value::real(static_cast<double>(i % 2)), roster, 2));
+  }
+  EXPECT_TRUE(sim.run_until_all_correct_done(100));
+  std::optional<Value> common;
+  for (NodeId id : roster) {
+    auto* p = sim.get<PhaseKingProcess>(id);
+    ASSERT_TRUE(p->output().has_value());
+    if (!common.has_value()) common = *p->output();
+    EXPECT_EQ(*p->output(), *common);
+    EXPECT_LE(*p->decision_phase(), 4) << "f+2 phases suffice (one extra to flush)";
+  }
+}
+
+TEST(PhaseKing, ToleratesCrashedMinority) {
+  SyncSimulator sim;
+  const std::vector<NodeId> roster{10, 20, 30, 40, 50, 60, 70};
+  // 5 live, 2 crashed-from-start (silent): n=7, f=2.
+  for (std::size_t i = 0; i < 5; ++i) {
+    sim.add_process(std::make_unique<PhaseKingProcess>(
+        roster[i], Value::real(static_cast<double>(i % 2)), roster, 2));
+  }
+  sim.run_rounds(60);
+  std::optional<Value> common;
+  for (std::size_t i = 0; i < 5; ++i) {
+    auto* p = sim.get<PhaseKingProcess>(roster[i]);
+    ASSERT_TRUE(p->output().has_value()) << roster[i];
+    if (!common.has_value()) common = *p->output();
+    EXPECT_EQ(*p->output(), *common);
+  }
+}
+
+TEST(KnownFApproxStep, TrimsExactlyF) {
+  EXPECT_DOUBLE_EQ(*known_f_approx_step({-100, 0, 1, 2, 100}, 1), 1.0);
+  EXPECT_FALSE(known_f_approx_step({1, 2}, 1).has_value());
+}
+
+TEST(KnownFApprox, ConvergesUnderExtremeAdversary) {
+  const std::vector<double> inputs{0, 4, 8, 12, 16, 20, 24};
+  const auto run = run_known_f_approx(7, 2, inputs, /*iterations=*/8, /*seed=*/3);
+  EXPECT_TRUE(run.within_input_range);
+  EXPECT_LT(run.output_range, run.input_range / 100.0);
+}
+
+}  // namespace
+}  // namespace idonly

@@ -1,0 +1,311 @@
+// Unit tests for the common substrate: exact threshold arithmetic, the
+// Value domain, deterministic RNG, and metrics plumbing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/thresholds.hpp"
+#include "common/value.hpp"
+#include "net/message.hpp"
+
+namespace idonly {
+namespace {
+
+// ------------------------------------------------------------- thresholds --
+
+TEST(Thresholds, OneThirdExactBoundaries) {
+  // "at least n/3" must behave as the exact rational comparison, not float.
+  EXPECT_TRUE(at_least_one_third(1, 3));
+  EXPECT_TRUE(at_least_one_third(2, 4));   // 2 >= 4/3
+  EXPECT_FALSE(at_least_one_third(1, 4));  // 1 < 4/3
+  EXPECT_TRUE(at_least_one_third(2, 6));
+  EXPECT_FALSE(at_least_one_third(1, 6));
+  EXPECT_TRUE(at_least_one_third(3, 9));
+  EXPECT_FALSE(at_least_one_third(2, 9));
+  EXPECT_TRUE(at_least_one_third(0, 0));  // degenerate: 0 >= 0
+}
+
+TEST(Thresholds, TwoThirdsExactBoundaries) {
+  EXPECT_TRUE(at_least_two_thirds(2, 3));
+  EXPECT_FALSE(at_least_two_thirds(1, 3));
+  EXPECT_TRUE(at_least_two_thirds(3, 4));   // 3 >= 8/3
+  EXPECT_FALSE(at_least_two_thirds(2, 4));  // 2 < 8/3
+  EXPECT_TRUE(at_least_two_thirds(6, 9));
+  EXPECT_FALSE(at_least_two_thirds(5, 9));
+  EXPECT_TRUE(at_least_two_thirds(7, 10));
+  EXPECT_FALSE(at_least_two_thirds(6, 10));
+}
+
+TEST(Thresholds, LessThanOneThirdIsComplement) {
+  for (std::size_t n = 0; n < 50; ++n) {
+    for (std::size_t c = 0; c <= n; ++c) {
+      EXPECT_NE(at_least_one_third(c, n), less_than_one_third(c, n))
+          << "c=" << c << " n=" << n;
+    }
+  }
+}
+
+TEST(Thresholds, FloorThird) {
+  EXPECT_EQ(floor_third(0), 0u);
+  EXPECT_EQ(floor_third(2), 0u);
+  EXPECT_EQ(floor_third(3), 1u);
+  EXPECT_EQ(floor_third(8), 2u);
+  EXPECT_EQ(floor_third(9), 3u);
+}
+
+TEST(Thresholds, ResiliencyBoundary) {
+  EXPECT_TRUE(resilient(4, 1));
+  EXPECT_FALSE(resilient(3, 1));
+  EXPECT_TRUE(resilient(7, 2));
+  EXPECT_FALSE(resilient(6, 2));
+  EXPECT_EQ(max_tolerated_faults(4), 1u);
+  EXPECT_EQ(max_tolerated_faults(6), 1u);
+  EXPECT_EQ(max_tolerated_faults(7), 2u);
+  EXPECT_EQ(max_tolerated_faults(10), 3u);
+  EXPECT_EQ(max_tolerated_faults(0), 0u);
+}
+
+// The paper's key counting fact (Lemma 2's arithmetic core): with n > 3f and
+// every correct node transmitting, f Byzantine senders can never reach the
+// n_v/3 threshold at a correct node, no matter how many of them speak up.
+TEST(Thresholds, ByzantineAloneCannotReachOneThird) {
+  for (std::size_t n = 4; n <= 100; ++n) {
+    const std::size_t f = max_tolerated_faults(n);
+    const std::size_t g = n - f;
+    for (std::size_t speaking = 0; speaking <= f; ++speaking) {
+      const std::size_t n_v = g + speaking;  // n_v >= g always
+      EXPECT_FALSE(speaking > 0 && at_least_one_third(speaking, n_v))
+          << "n=" << n << " f=" << f << " speaking=" << speaking;
+    }
+  }
+}
+
+// And the flip side: all g correct nodes always clear the 2n_v/3 threshold.
+TEST(Thresholds, CorrectNodesAlwaysReachTwoThirds) {
+  for (std::size_t n = 4; n <= 100; ++n) {
+    const std::size_t f = max_tolerated_faults(n);
+    const std::size_t g = n - f;
+    for (std::size_t speaking = 0; speaking <= f; ++speaking) {
+      const std::size_t n_v = g + speaking;
+      EXPECT_TRUE(at_least_two_thirds(g, n_v))
+          << "n=" << n << " f=" << f << " speaking=" << speaking;
+    }
+  }
+}
+
+// ------------------------------------------------------------------ value --
+
+TEST(Value, BotAndRealAreDistinct) {
+  EXPECT_TRUE(Value::bot().is_bot());
+  EXPECT_FALSE(Value::real(0.0).is_bot());
+  EXPECT_NE(Value::bot(), Value::real(0.0));
+  EXPECT_EQ(Value::bot(), Value::bot());
+  EXPECT_EQ(Value::real(1.5), Value::real(1.5));
+  EXPECT_NE(Value::real(1.5), Value::real(2.5));
+}
+
+TEST(Value, OrderingBotFirst) {
+  EXPECT_LT(Value::bot(), Value::real(-1e18));
+  EXPECT_LT(Value::real(1.0), Value::real(2.0));
+  EXPECT_FALSE(Value::bot() < Value::bot());
+  EXPECT_FALSE(Value::real(2.0) < Value::real(1.0));
+}
+
+TEST(Value, RealOrFallback) {
+  EXPECT_DOUBLE_EQ(Value::bot().real_or(42.0), 42.0);
+  EXPECT_DOUBLE_EQ(Value::real(7.0).real_or(42.0), 7.0);
+}
+
+TEST(Value, HashSeparatesBotFromZero) {
+  EXPECT_NE(ValueHash{}(Value::bot()), ValueHash{}(Value::real(0.0)));
+}
+
+TEST(Value, ToString) {
+  EXPECT_EQ(Value::real(3).to_string(), "3");
+  EXPECT_FALSE(Value::bot().to_string().empty());
+}
+
+// -------------------------------------------------------------------- rng --
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(10), 10u);
+    EXPECT_EQ(rng.below(1), 0u);
+  }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(11);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, DeriveSeedIsStablePerStream) {
+  EXPECT_EQ(derive_seed(42, 1), derive_seed(42, 1));
+  EXPECT_NE(derive_seed(42, 1), derive_seed(42, 2));
+  EXPECT_NE(derive_seed(42, 1), derive_seed(43, 1));
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(3);
+  Rng child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += parent.next() == child.next() ? 1 : 0;
+  EXPECT_LT(same, 4);
+}
+
+// ---------------------------------------------------------------- message --
+
+TEST(Message, EqualityCoversAllFields) {
+  Message a;
+  a.sender = 1;
+  a.kind = MsgKind::kEcho;
+  a.subject = 5;
+  a.instance = 2;
+  a.value = Value::real(3);
+  a.round_tag = 7;
+  Message b = a;
+  EXPECT_EQ(a, b);
+  b.round_tag = 8;
+  EXPECT_NE(a, b);
+  b = a;
+  b.instance = 3;
+  EXPECT_NE(a, b);
+  b = a;
+  b.value = Value::bot();
+  EXPECT_NE(a, b);
+}
+
+TEST(Message, HashDistinguishesContent) {
+  Message a;
+  a.sender = 1;
+  a.kind = MsgKind::kEcho;
+  Message b = a;
+  EXPECT_EQ(MessageHash{}(a), MessageHash{}(b));
+  b.subject = 9;
+  EXPECT_NE(MessageHash{}(a), MessageHash{}(b));
+}
+
+TEST(Message, ToStringNamesKindAndFields) {
+  Message m;
+  m.sender = 4;
+  m.kind = MsgKind::kStrongPrefer;
+  m.value = Value::real(2.5);
+  m.instance = 3;
+  const std::string s = m.to_string();
+  EXPECT_NE(s.find("strongprefer"), std::string::npos);
+  EXPECT_NE(s.find("from=4"), std::string::npos);
+  EXPECT_NE(s.find("inst=3"), std::string::npos);
+}
+
+TEST(Message, KindNamesAreDistinct) {
+  std::set<std::string> names;
+  for (int k = 0; k < 16; ++k) names.insert(to_string(static_cast<MsgKind>(k)));
+  EXPECT_EQ(names.size(), 16u);
+}
+
+// ---------------------------------------------------------------- metrics --
+
+TEST(Metrics, CountersAccumulate) {
+  Metrics m;
+  m.messages.sent[0] = 3;
+  m.messages.sent[5] = 4;
+  m.messages.delivered[1] = 2;
+  EXPECT_EQ(m.messages.total_sent(), 7u);
+  EXPECT_EQ(m.messages.total_delivered(), 2u);
+  m.reset();
+  EXPECT_EQ(m.messages.total_sent(), 0u);
+  EXPECT_EQ(m.rounds_executed, 0);
+}
+
+// ------------------------------------------------------------------ stats --
+
+TEST(Stats, SummaryOfKnownSamples) {
+  const auto s = summarize({4, 1, 3, 2, 5});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+  EXPECT_DOUBLE_EQ(s.p95, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, EmptyAndSingleton) {
+  const auto empty = summarize({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+  const auto one = summarize({7.5});
+  EXPECT_EQ(one.count, 1u);
+  EXPECT_DOUBLE_EQ(one.mean, 7.5);
+  EXPECT_DOUBLE_EQ(one.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(one.p95, 7.5);
+}
+
+TEST(Stats, PercentileNearestRank) {
+  const std::vector<double> sorted{10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.1), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.5), 50.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.95), 100.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 1.0), 100.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted({}, 0.5), 0.0);
+}
+
+TEST(Stats, ToStringMentionsFields) {
+  const std::string s = summarize({1, 2, 3}).to_string();
+  EXPECT_NE(s.find("mean=2"), std::string::npos);
+  EXPECT_NE(s.find("n=3"), std::string::npos);
+}
+
+TEST(Metrics, SummaryMentionsCounts) {
+  Metrics m;
+  m.rounds_executed = 12;
+  const std::string s = m.summary();
+  EXPECT_NE(s.find("rounds=12"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace idonly

@@ -1,0 +1,468 @@
+// Bounded-exhaustive adversary checks on minimal configurations (n = 4,
+// f = 1): EVERY Byzantine schedule expressible in the action menus is
+// executed. A pass is a proof over the menu space, not a sample.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "check/explorer.hpp"
+#include "core/approx_agreement.hpp"
+#include "core/consensus.hpp"
+#include "core/king_consensus.hpp"
+#include "core/parallel_consensus.hpp"
+#include "core/reliable_broadcast.hpp"
+#include "core/renaming.hpp"
+#include "core/rotor_coordinator.hpp"
+#include "net/sync_simulator.hpp"
+
+namespace idonly {
+namespace {
+
+const std::vector<NodeId> kCorrect{10, 20, 30};
+constexpr NodeId kByz = 99;
+
+Message echo_msg(NodeId subject, Value value) {
+  Message m;
+  m.kind = MsgKind::kEcho;
+  m.subject = subject;
+  m.value = value;
+  return m;
+}
+
+Message payload_msg(NodeId subject, Value value) {
+  Message m;
+  m.kind = MsgKind::kPayload;
+  m.subject = subject;
+  m.value = value;
+  return m;
+}
+
+// ----------------------------------------------------------- unit tests --
+
+TEST(Explorer, OdometerCoversFullProduct) {
+  ExplorationConfig config;
+  config.menus = {menu_from({echo_msg(1, Value::bot())}, {10, 20}),   // 1 + 3
+                  menu_from({echo_msg(1, Value::bot())}, {10})};      // 1 + 1
+  int calls = 0;
+  const auto result = explore_all(config, [&](const ByzSchedule&) {
+    calls += 1;
+    return true;
+  });
+  EXPECT_EQ(result.schedules_explored, 8u);
+  EXPECT_EQ(calls, 8);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_EQ(result.violations, 0u);
+}
+
+TEST(Explorer, ReportsWitnessAndCap) {
+  ExplorationConfig config;
+  config.menus = {menu_from({echo_msg(1, Value::bot())}, {10, 20, 30})};  // 8 actions
+  config.max_schedules = 5;
+  const auto result = explore_all(config, [](const ByzSchedule& s) {
+    return s[0].targets.size() != 2;  // schedules targeting exactly 2 nodes "violate"
+  });
+  EXPECT_EQ(result.schedules_explored, 5u);
+  EXPECT_FALSE(result.exhausted);
+  EXPECT_GT(result.violations, 0u);
+  ASSERT_TRUE(result.first_violation.has_value());
+  EXPECT_EQ((*result.first_violation)[0].targets.size(), 2u);
+}
+
+TEST(Explorer, AllSubsetsEnumerates) {
+  EXPECT_EQ(all_subsets({1, 2, 3}).size(), 8u);
+  EXPECT_EQ(all_subsets({}).size(), 1u);
+}
+
+TEST(Explorer, ShrinkReducesToDecisiveActions) {
+  // Artificial property: the verdict fails iff round 2 targets node 20.
+  // Whatever noisy witness we start from, shrinking must strip every other
+  // round down to silence and keep only the decisive round-2 action.
+  ExplorationConfig config;
+  for (int r = 0; r < 4; ++r) {
+    config.menus.push_back(menu_from({echo_msg(1, Value::bot())}, {10, 20, 30}));
+  }
+  auto verdict = [](const ByzSchedule& s) {
+    for (NodeId t : s[1].targets) {
+      if (t == 20) return false;  // "violation"
+    }
+    return true;
+  };
+  ByzSchedule noisy(4);
+  for (int r = 0; r < 4; ++r) noisy[r] = config.menus[r].back();  // all-targets everywhere
+  ASSERT_FALSE(verdict(noisy));
+  const ByzSchedule minimal = shrink_witness(config, noisy, verdict);
+  ASSERT_FALSE(verdict(minimal)) << "shrinking must preserve the violation";
+  EXPECT_TRUE(minimal[0].targets.empty());
+  EXPECT_TRUE(minimal[2].targets.empty());
+  EXPECT_TRUE(minimal[3].targets.empty());
+  EXPECT_FALSE(minimal[1].targets.empty());
+}
+
+// ----------------------------------------------- exhaustive protocol runs --
+
+/// Exhaustive unforgeability/correctness for reliable broadcast with a
+/// CORRECT source: the Byzantine node may echo the real payload, echo a
+/// forged payload, or claim presence — to any recipient subset, any round.
+/// Required: every correct node accepts the REAL payload (by round 4) and
+/// never the forged one.
+TEST(ExhaustiveCheck, ReliableBroadcastCorrectSource) {
+  const Value real_payload = Value::real(1.0);
+  const Value forged = Value::real(2.0);
+  const NodeId source = kCorrect.front();
+  const std::vector<Message> byz_messages{
+      echo_msg(source, real_payload), echo_msg(source, forged),
+      Message{.kind = MsgKind::kPresent}};
+  ExplorationConfig config;
+  for (int r = 0; r < 4; ++r) config.menus.push_back(menu_from(byz_messages, kCorrect));
+
+  const auto result = explore_all(config, [&](const ByzSchedule& schedule) {
+    SyncSimulator sim;
+    for (NodeId id : kCorrect) {
+      sim.add_process(std::make_unique<ReliableBroadcastProcess>(id, source, real_payload));
+    }
+    sim.add_process(std::make_unique<ScriptedByzantine>(kByz, schedule));
+    sim.run_rounds(6);
+    for (NodeId id : kCorrect) {
+      const auto* p = sim.get<ReliableBroadcastProcess>(id);
+      if (!p->accepted()) return false;                        // correctness
+      if (*p->accepted_payload() != real_payload) return false;  // unforgeability
+      if (*p->accept_round() > 4) return false;                 // promptness
+    }
+    return true;
+  });
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_EQ(result.violations, 0u)
+      << "witness: " << (result.first_violation.has_value() ? "found" : "none");
+  EXPECT_GT(result.schedules_explored, 100'000u);
+}
+
+/// Exhaustive agreement/relay for a BYZANTINE source: the adversary IS the
+/// designated sender and chooses, per round and per recipient subset,
+/// between two payload versions and their echoes. Required: acceptors never
+/// split between payloads, and acceptance is all-or-nothing (relay) once it
+/// happens away from the horizon.
+TEST(ExhaustiveCheck, ReliableBroadcastTwoFacedSource) {
+  const Value v1 = Value::real(1.0);
+  const Value v2 = Value::real(2.0);
+  ExplorationConfig config;
+  config.menus.push_back(menu_from({payload_msg(kByz, v1), payload_msg(kByz, v2)}, kCorrect));
+  for (int r = 0; r < 3; ++r) {
+    config.menus.push_back(menu_from({echo_msg(kByz, v1), echo_msg(kByz, v2)}, kCorrect));
+  }
+
+  constexpr Round kHorizon = 8;
+  const auto result = explore_all(config, [&](const ByzSchedule& schedule) {
+    SyncSimulator sim;
+    for (NodeId id : kCorrect) {
+      sim.add_process(std::make_unique<ReliableBroadcastProcess>(id, kByz, Value::bot()));
+    }
+    sim.add_process(std::make_unique<ScriptedByzantine>(kByz, schedule));
+    sim.run_rounds(kHorizon);
+    std::optional<Value> accepted_value;
+    std::optional<Round> min_accept;
+    std::size_t accepted = 0;
+    for (NodeId id : kCorrect) {
+      const auto* p = sim.get<ReliableBroadcastProcess>(id);
+      if (!p->accepted()) continue;
+      accepted += 1;
+      if (!accepted_value.has_value()) accepted_value = *p->accepted_payload();
+      if (*p->accepted_payload() != *accepted_value) return false;  // agreement
+      min_accept = min_accept.has_value() ? std::min(*min_accept, *p->accept_round())
+                                          : *p->accept_round();
+    }
+    // Relay: an acceptance strictly before the horizon must have propagated
+    // to everyone by the next round (which the horizon includes).
+    if (min_accept.has_value() && *min_accept < kHorizon - 1 && accepted != kCorrect.size()) {
+      return false;
+    }
+    return true;
+  });
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_EQ(result.violations, 0u);
+  EXPECT_GT(result.schedules_explored, 40'000u);
+}
+
+/// Exhaustive "fake candidates never enter C_v": the Byzantine node echoes a
+/// non-existent id (and its own) to arbitrary subsets every round. No
+/// correct node's candidate set may ever contain the ghost.
+TEST(ExhaustiveCheck, RotorGhostCandidateNeverAccepted) {
+  constexpr NodeId kGhost = 777;
+  const std::vector<Message> byz_messages{
+      echo_msg(kGhost, Value::bot()),
+      Message{.kind = MsgKind::kInit}};
+  ExplorationConfig config;
+  for (int r = 0; r < 4; ++r) config.menus.push_back(menu_from(byz_messages, kCorrect));
+
+  const auto result = explore_all(config, [&](const ByzSchedule& schedule) {
+    SyncSimulator sim;
+    for (NodeId id : kCorrect) {
+      sim.add_process(std::make_unique<RotorProcess>(id, Value::real(0.0)));
+    }
+    sim.add_process(std::make_unique<ScriptedByzantine>(kByz, schedule));
+    sim.run_rounds(8);
+    for (NodeId id : kCorrect) {
+      const auto* p = sim.get<RotorProcess>(id);
+      for (NodeId candidate : p->core().candidates()) {
+        if (candidate == kGhost) return false;
+      }
+    }
+    return true;
+  });
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_EQ(result.violations, 0u);
+}
+
+/// Exhaustive consensus agreement+validity over the adversary's decisive
+/// phase-1 choices (which opinion to claim, in which phase position, to
+/// which half of the network). The adversary joins init honestly (so it
+/// counts toward n_v — strictly more power than staying out) and then plays
+/// every combination over the first phase.
+TEST(ExhaustiveCheck, ConsensusPhaseOneChoices) {
+  const std::vector<std::vector<NodeId>> halves{{10}, {10, 20}, {10, 20, 30}};
+  auto opinion_menu = [&](MsgKind kind) {
+    std::vector<ByzAction> menu;
+    menu.push_back(ByzAction{});  // silence
+    for (double v : {0.0, 1.0}) {
+      Message m;
+      m.kind = kind;
+      m.value = Value::real(v);
+      for (const auto& subset : halves) menu.push_back(ByzAction{m, subset});
+    }
+    return menu;
+  };
+  ExplorationConfig config;
+  config.menus.push_back({ByzAction{Message{.kind = MsgKind::kInit}, kCorrect}});  // fixed
+  config.menus.push_back({ByzAction{}});                                           // echo round
+  config.menus.push_back(opinion_menu(MsgKind::kInput));        // arrives P2
+  config.menus.push_back(opinion_menu(MsgKind::kPrefer));       // arrives P3
+  config.menus.push_back(opinion_menu(MsgKind::kStrongPrefer)); // arrives P4
+  config.menus.push_back(opinion_menu(MsgKind::kOpinion));      // arrives P5
+
+  const auto result = explore_all(config, [&](const ByzSchedule& schedule) {
+    SyncSimulator sim;
+    const double inputs[3] = {0.0, 1.0, 0.0};
+    for (std::size_t i = 0; i < kCorrect.size(); ++i) {
+      sim.add_process(std::make_unique<ConsensusProcess>(kCorrect[i], Value::real(inputs[i])));
+    }
+    sim.add_process(std::make_unique<ScriptedByzantine>(kByz, schedule));
+    if (!sim.run_until_all_correct_done(100)) return false;  // termination
+    std::optional<Value> decided;
+    for (NodeId id : kCorrect) {
+      const auto* p = sim.get<ConsensusProcess>(id);
+      if (!decided.has_value()) decided = *p->output();
+      if (*p->output() != *decided) return false;  // agreement
+    }
+    return *decided == Value::real(0.0) || *decided == Value::real(1.0);  // validity
+  });
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_EQ(result.violations, 0u);
+  EXPECT_GT(result.schedules_explored, 2'000u);
+}
+
+/// Same phase-1 choice space against the rotor-terminated king consensus —
+/// the draft construction must withstand everything Alg. 3 does.
+TEST(ExhaustiveCheck, KingConsensusPhaseOneChoices) {
+  const std::vector<std::vector<NodeId>> halves{{10}, {10, 20}, {10, 20, 30}};
+  auto opinion_menu = [&](MsgKind kind) {
+    std::vector<ByzAction> menu;
+    menu.push_back(ByzAction{});
+    for (double v : {0.0, 1.0}) {
+      Message m;
+      m.kind = kind;
+      m.value = Value::real(v);
+      for (const auto& subset : halves) menu.push_back(ByzAction{m, subset});
+    }
+    return menu;
+  };
+  ExplorationConfig config;
+  config.menus.push_back({ByzAction{Message{.kind = MsgKind::kInit}, kCorrect}});
+  config.menus.push_back({ByzAction{}});
+  config.menus.push_back(opinion_menu(MsgKind::kInput));
+  config.menus.push_back(opinion_menu(MsgKind::kPrefer));  // = "support"
+  config.menus.push_back(opinion_menu(MsgKind::kOpinion));
+
+  const auto result = explore_all(config, [&](const ByzSchedule& schedule) {
+    SyncSimulator sim;
+    const double inputs[3] = {0.0, 1.0, 0.0};
+    for (std::size_t i = 0; i < kCorrect.size(); ++i) {
+      sim.add_process(
+          std::make_unique<KingConsensusProcess>(kCorrect[i], Value::real(inputs[i])));
+    }
+    sim.add_process(std::make_unique<ScriptedByzantine>(kByz, schedule));
+    if (!sim.run_until_all_correct_done(300)) return false;
+    std::optional<Value> decided;
+    for (NodeId id : kCorrect) {
+      const auto* p = sim.get<KingConsensusProcess>(id);
+      if (!decided.has_value()) decided = *p->output();
+      if (*p->output() != *decided) return false;
+    }
+    return *decided == Value::real(0.0) || *decided == Value::real(1.0);
+  });
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_EQ(result.violations, 0u);
+  EXPECT_EQ(result.schedules_explored, 7u * 7u * 7u);
+}
+
+/// Exhaustive approximate-agreement check: the Byzantine node reports any
+/// combination of {far-low, inside, far-high} values to any recipient
+/// subsets over two iterations. Outputs must stay inside the correct input
+/// range and contract by half — for EVERY schedule.
+TEST(ExhaustiveCheck, ApproxAgreementValueChoices) {
+  const std::vector<Message> byz_values = [] {
+    std::vector<Message> out;
+    for (double v : {-1e9, 0.5, 1e9}) {
+      Message m;
+      m.kind = MsgKind::kApproxValue;
+      m.value = Value::real(v);
+      out.push_back(m);
+    }
+    return out;
+  }();
+  ExplorationConfig config;
+  for (int r = 0; r < 2; ++r) config.menus.push_back(menu_from(byz_values, kCorrect));
+
+  const double inputs[3] = {0.0, 0.5, 1.0};
+  const auto result = explore_all(config, [&](const ByzSchedule& schedule) {
+    SyncSimulator sim;
+    for (std::size_t i = 0; i < kCorrect.size(); ++i) {
+      sim.add_process(
+          std::make_unique<ApproxAgreementProcess>(kCorrect[i], inputs[i], /*iterations=*/2));
+    }
+    sim.add_process(std::make_unique<ScriptedByzantine>(kByz, schedule));
+    sim.run_rounds(4);
+    double lo = 1e300;
+    double hi = -1e300;
+    for (NodeId id : kCorrect) {
+      const double v = sim.get<ApproxAgreementProcess>(id)->value();
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (lo < 0.0 || hi > 1.0) return false;          // inside the input range
+    return (hi - lo) <= 1.0 / 4.0 + 1e-12;           // halved twice
+  });
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_EQ(result.violations, 0u);
+  EXPECT_EQ(result.schedules_explored, 22u * 22u);
+}
+
+/// Exhaustive renaming check: the Byzantine node may announce itself, echo a
+/// ghost id, or inject terminate(k) proposals — ghosts must never enter the
+/// agreed set and names must stay distinct and consistent.
+TEST(ExhaustiveCheck, RenamingGhostAndEarlyTermination) {
+  constexpr NodeId kGhost = 444;
+  std::vector<Message> byz_messages{Message{.kind = MsgKind::kInit},
+                                    echo_msg(kGhost, Value::bot())};
+  for (std::uint32_t k : {1u, 2u}) {
+    Message t;
+    t.kind = MsgKind::kTerminate;
+    t.round_tag = k;
+    byz_messages.push_back(t);
+  }
+  // Restrict recipient choice to {first node, everyone} to keep the space
+  // tractable (4 rounds × 9 actions).
+  auto menu = [&] {
+    std::vector<ByzAction> out;
+    out.push_back(ByzAction{});
+    for (const Message& m : byz_messages) {
+      out.push_back(ByzAction{m, {kCorrect.front()}});
+      out.push_back(ByzAction{m, kCorrect});
+    }
+    return out;
+  }();
+  ExplorationConfig config;
+  for (int r = 0; r < 4; ++r) config.menus.push_back(menu);
+
+  const auto result = explore_all(config, [&](const ByzSchedule& schedule) {
+    SyncSimulator sim;
+    for (NodeId id : kCorrect) sim.add_process(std::make_unique<RenamingProcess>(id));
+    sim.add_process(std::make_unique<ScriptedByzantine>(kByz, schedule));
+    if (!sim.run_until_all_correct_done(40)) return false;  // termination
+    std::optional<std::set<NodeId>> reference;
+    std::set<std::size_t> names;
+    for (NodeId id : kCorrect) {
+      const auto* p = sim.get<RenamingProcess>(id);
+      if (p->id_set().contains(kGhost)) return false;  // no ghosts
+      if (!reference.has_value()) reference = p->id_set();
+      if (p->id_set() != *reference) return false;     // identical sets
+      if (!p->new_name().has_value()) return false;
+      names.insert(*p->new_name());
+    }
+    return names.size() == kCorrect.size();            // distinct names
+  });
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_EQ(result.violations, 0u);
+  EXPECT_EQ(result.schedules_explored, 9u * 9u * 9u * 9u);
+}
+
+/// Exhaustive parallel-consensus agreement over the adversary's phase-1
+/// choices for a mixed-awareness pair (only two of three correct nodes hold
+/// it): whatever the adversary injects — values, markers, coordinator
+/// opinions — all correct nodes must terminate with IDENTICAL output sets,
+/// and any decided value must be a real input.
+TEST(ExhaustiveCheck, ParallelConsensusMixedAwareness) {
+  constexpr PairId kPair = 5;
+  const std::vector<std::vector<NodeId>> subsets{{10}, {10, 20}, {10, 20, 30}};
+  auto pair_menu = [&](std::vector<MsgKind> kinds, bool with_values) {
+    std::vector<ByzAction> menu;
+    menu.push_back(ByzAction{});
+    for (MsgKind kind : kinds) {
+      Message m;
+      m.kind = kind;
+      m.subject = kPair;
+      if (with_values) {
+        for (double v : {0.0, 1.0}) {
+          m.value = Value::real(v);
+          for (const auto& subset : subsets) menu.push_back(ByzAction{m, subset});
+        }
+      } else {
+        m.value = Value::bot();
+        for (const auto& subset : subsets) menu.push_back(ByzAction{m, subset});
+      }
+    }
+    return menu;
+  };
+  ExplorationConfig config;
+  config.menus.push_back({ByzAction{Message{.kind = MsgKind::kInit}, kCorrect}});
+  config.menus.push_back({ByzAction{}});
+  config.menus.push_back(pair_menu({MsgKind::kInput}, true));                       // → P2
+  auto p3_menu = pair_menu({MsgKind::kPrefer}, true);
+  for (auto& action : pair_menu({MsgKind::kNoPreference}, false)) {
+    if (!action.targets.empty()) p3_menu.push_back(action);
+  }
+  config.menus.push_back(p3_menu);                                                  // → P3
+  auto p4_menu = pair_menu({MsgKind::kStrongPrefer}, true);
+  for (auto& action : pair_menu({MsgKind::kNoStrongPref}, false)) {
+    if (!action.targets.empty()) p4_menu.push_back(action);
+  }
+  config.menus.push_back(p4_menu);                                                  // → P4
+  config.menus.push_back(pair_menu({MsgKind::kOpinion}, true));                     // → P5
+
+  const auto result = explore_all(config, [&](const ByzSchedule& schedule) {
+    SyncSimulator sim;
+    for (std::size_t i = 0; i < kCorrect.size(); ++i) {
+      std::vector<InputPair> inputs;
+      if (i < 2) inputs.push_back({.id = kPair, .value = Value::real(1.0)});
+      sim.add_process(std::make_unique<ParallelConsensusProcess>(kCorrect[i], std::move(inputs)));
+    }
+    sim.add_process(std::make_unique<ScriptedByzantine>(kByz, schedule));
+    if (!sim.run_until_all_correct_done(120)) return false;  // termination
+    std::optional<std::vector<OutputPair>> reference;
+    for (NodeId id : kCorrect) {
+      auto pairs = sim.get<ParallelConsensusProcess>(id)->outputs();
+      std::sort(pairs.begin(), pairs.end());
+      for (const OutputPair& pair : pairs) {
+        if (pair.id != kPair) return false;                    // no ghost pairs
+        if (pair.value != Value::real(1.0)) return false;      // only real input values
+      }
+      if (!reference.has_value()) reference = pairs;
+      if (pairs != *reference) return false;                   // agreement
+    }
+    return true;
+  });
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_EQ(result.violations, 0u);
+  EXPECT_EQ(result.schedules_explored, 4'900u);  // 1·1·7·10·10·7
+}
+
+}  // namespace
+}  // namespace idonly

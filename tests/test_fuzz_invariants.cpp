@@ -1,0 +1,100 @@
+// Randomized invariant fuzzing: hundreds of short, seeded scenarios with
+// random sizes, random heterogeneous adversary mixes, and random inputs.
+// Every run must uphold the paper's invariants — this is the "model checker
+// lite" layer above the targeted property sweeps.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thresholds.hpp"
+#include "harness/runner.hpp"
+
+namespace idonly {
+namespace {
+
+/// Adversary kinds eligible for random mixing (all of them).
+std::vector<AdversaryKind> random_mix(Rng& rng) {
+  const auto& kinds = all_adversaries();
+  std::vector<AdversaryKind> mix;
+  const std::size_t count = 1 + rng.below(3);
+  for (std::size_t i = 0; i < count; ++i) {
+    mix.push_back(kinds[rng.below(kinds.size())]);
+  }
+  return mix;
+}
+
+ScenarioConfig random_config(std::uint64_t seed) {
+  Rng rng(derive_seed(seed, 0xF022));
+  ScenarioConfig config;
+  // n in [4, 16], f random in [0, max tolerated].
+  const std::size_t n = 4 + rng.below(13);
+  const std::size_t f = rng.below(max_tolerated_faults(n) + 1);
+  config.n_correct = n - f;
+  config.n_byzantine = f;
+  config.adversary_mix = f == 0 ? std::vector<AdversaryKind>{} : random_mix(rng);
+  if (f == 0) config.adversary = AdversaryKind::kNone;
+  config.crash_round = 2 + rng.below(12);
+  config.seed = seed;
+  return config;
+}
+
+std::vector<double> random_inputs(std::uint64_t seed, std::size_t count) {
+  Rng rng(derive_seed(seed, 0x1277));
+  std::vector<double> inputs;
+  for (std::size_t i = 0; i < count; ++i) {
+    // Mix of clustered and spread values, sometimes unanimous.
+    inputs.push_back(rng.chance(0.3) ? 1.0 : rng.uniform(-10.0, 10.0));
+  }
+  return inputs;
+}
+
+class FuzzSeed : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSeed, ConsensusInvariants) {
+  const std::uint64_t seed = GetParam();
+  const ScenarioConfig config = random_config(seed);
+  const auto inputs = random_inputs(seed, config.n_correct);
+  const auto run = run_consensus(config, inputs);
+  ASSERT_TRUE(run.all_decided) << "seed=" << seed;
+  EXPECT_TRUE(run.agreement) << "seed=" << seed;
+  EXPECT_TRUE(run.validity) << "seed=" << seed;
+}
+
+TEST_P(FuzzSeed, ReliableBroadcastInvariants) {
+  const std::uint64_t seed = GetParam();
+  const ScenarioConfig config = random_config(seed);
+  const auto correct_src = run_reliable_broadcast(config, 3.5);
+  EXPECT_EQ(correct_src.accepted_count, config.n_correct) << "seed=" << seed;
+  EXPECT_TRUE(correct_src.agreement) << "seed=" << seed;
+  EXPECT_TRUE(correct_src.relay_ok) << "seed=" << seed;
+  if (config.n_byzantine > 0) {
+    const auto byz_src = run_reliable_broadcast(config, 3.5, /*byzantine_source=*/true);
+    EXPECT_TRUE(byz_src.agreement) << "seed=" << seed;
+    EXPECT_TRUE(byz_src.relay_ok) << "seed=" << seed;
+  }
+}
+
+TEST_P(FuzzSeed, ApproxAgreementInvariants) {
+  const std::uint64_t seed = GetParam();
+  const ScenarioConfig config = random_config(seed);
+  const auto inputs = random_inputs(seed ^ 0x99, config.n_correct);
+  const auto run = run_approx_agreement(config, inputs, /*iterations=*/3);
+  EXPECT_TRUE(run.within_input_range) << "seed=" << seed;
+  if (run.input_range > 0) {
+    EXPECT_LE(run.output_range, run.input_range / 8.0 + 1e-9) << "seed=" << seed;
+  }
+}
+
+TEST_P(FuzzSeed, RotorInvariants) {
+  const std::uint64_t seed = GetParam();
+  const ScenarioConfig config = random_config(seed);
+  const auto run = run_rotor(config);
+  EXPECT_TRUE(run.all_terminated) << "seed=" << seed;
+  EXPECT_TRUE(run.good_round_witnessed) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeed, ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace idonly

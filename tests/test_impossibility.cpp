@@ -1,0 +1,82 @@
+// §Synchrony is Necessary: the partition constructions must produce
+// disagreement exactly when the lemmas say they can — and synchrony-like
+// configurations must stay safe.
+#include <gtest/gtest.h>
+
+#include "impossibility/async_partition.hpp"
+
+namespace idonly {
+namespace {
+
+TEST(Impossibility, AsyncPartitionForcesDisagreement) {
+  // Lemma (asynchronous): cross traffic delayed past both sides' decisions →
+  // A decides 1, B decides 0.
+  PartitionConfig config;
+  config.cross_delay = 1000.0;
+  config.decide_timeout = 10.0;
+  const auto result = run_partition_execution(config);
+  EXPECT_TRUE(result.all_decided);
+  EXPECT_TRUE(result.disagreement);
+  for (double d : result.decisions_a) EXPECT_DOUBLE_EQ(d, 1.0);
+  for (double d : result.decisions_b) EXPECT_DOUBLE_EQ(d, 0.0);
+}
+
+TEST(Impossibility, FastCrossTrafficPreservesAgreement) {
+  // When the timeout dominates the true delay bound (a de-facto synchronous
+  // configuration) everyone hears everyone and decides identically.
+  PartitionConfig config;
+  config.cross_delay = 2.0;
+  config.intra_delay = 1.0;
+  config.decide_timeout = 10.0;
+  config.n_a = 5;
+  config.n_b = 4;  // majority exists → common majority decision
+  const auto result = run_partition_execution(config);
+  EXPECT_TRUE(result.all_decided);
+  EXPECT_FALSE(result.disagreement);
+}
+
+TEST(Impossibility, DisagreementIsDelayTimeoutRace) {
+  // Sweep the cross delay through the timeout: disagreement appears exactly
+  // when cross_delay > timeout (decisions happen before cross arrivals).
+  PartitionConfig config;
+  config.decide_timeout = 10.0;
+  config.n_a = 4;
+  config.n_b = 3;
+  for (double cross : {1.0, 5.0, 9.0}) {
+    config.cross_delay = cross;
+    EXPECT_FALSE(run_partition_execution(config).disagreement) << cross;
+  }
+  for (double cross : {11.0, 50.0, 1000.0}) {
+    config.cross_delay = cross;
+    EXPECT_TRUE(run_partition_execution(config).disagreement) << cross;
+  }
+}
+
+TEST(Impossibility, SemiSyncRateHighWhenDeltaExceedsTimeout) {
+  // Semi-synchronous lemma: Δ unknown to the nodes. Against Δ = 10·T the
+  // adversary (near-bound cross delays) wins essentially always.
+  const double rate = semi_sync_disagreement_rate(4, 4, /*delta=*/100.0, /*timeout=*/10.0,
+                                                  /*trials=*/50, /*seed=*/1);
+  EXPECT_GT(rate, 0.9);
+}
+
+TEST(Impossibility, SemiSyncRateZeroWhenTimeoutCoversDelta) {
+  const double rate = semi_sync_disagreement_rate(4, 4, /*delta=*/5.0, /*timeout=*/10.0,
+                                                  /*trials=*/50, /*seed=*/2);
+  EXPECT_DOUBLE_EQ(rate, 0.0);
+}
+
+TEST(Impossibility, RateMonotoneInDelta) {
+  // The sharp transition the lemma predicts: rate is (weakly) increasing in
+  // Δ/T across the boundary.
+  double prev = -1.0;
+  for (double delta : {2.0, 8.0, 12.0, 40.0, 200.0}) {
+    const double rate =
+        semi_sync_disagreement_rate(4, 4, delta, /*timeout=*/10.0, /*trials=*/40, /*seed=*/3);
+    EXPECT_GE(rate + 0.15, prev) << "delta=" << delta;  // slack for sampling noise
+    prev = rate;
+  }
+}
+
+}  // namespace
+}  // namespace idonly

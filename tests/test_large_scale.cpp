@@ -1,0 +1,67 @@
+// Large-configuration smoke sweeps: the theorems are size-independent, so
+// the properties must hold unchanged at the biggest sizes the suite can
+// afford (n up to 65, f up to 21 — well past anything the small sweeps
+// touch). One seed per configuration; the heavy randomization lives in the
+// smaller, faster sweeps.
+#include <gtest/gtest.h>
+
+#include "common/thresholds.hpp"
+#include "harness/runner.hpp"
+
+namespace idonly {
+namespace {
+
+ScenarioConfig config_for(std::size_t n_correct, std::size_t n_byz, AdversaryKind adversary) {
+  ScenarioConfig config;
+  config.n_correct = n_correct;
+  config.n_byzantine = n_byz;
+  config.adversary = adversary;
+  config.seed = 424242;
+  return config;
+}
+
+class LargeScale : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LargeScale, ConsensusAtMaxFaults) {
+  const std::size_t n = GetParam();
+  const std::size_t f = max_tolerated_faults(n);
+  const auto run = run_consensus(config_for(n - f, f, AdversaryKind::kTwoFaced), {0.0, 1.0});
+  EXPECT_TRUE(run.all_decided);
+  EXPECT_TRUE(run.agreement);
+  EXPECT_TRUE(run.validity);
+}
+
+TEST_P(LargeScale, ReliableBroadcastAtMaxFaults) {
+  const std::size_t n = GetParam();
+  const std::size_t f = max_tolerated_faults(n);
+  const auto run =
+      run_reliable_broadcast(config_for(n - f, f, AdversaryKind::kForgedEcho), 6.5, false, 8);
+  EXPECT_EQ(run.accepted_count, n - f);
+  EXPECT_TRUE(run.agreement);
+  EXPECT_EQ(run.first_accept_round, 3);
+}
+
+TEST_P(LargeScale, ApproxAgreementAtMaxFaults) {
+  const std::size_t n = GetParam();
+  const std::size_t f = max_tolerated_faults(n);
+  std::vector<double> inputs;
+  for (std::size_t i = 0; i < n - f; ++i) inputs.push_back(static_cast<double>(i));
+  const auto run =
+      run_approx_agreement(config_for(n - f, f, AdversaryKind::kExtreme), inputs, 4);
+  EXPECT_TRUE(run.within_input_range);
+  EXPECT_LE(run.output_range, run.input_range / 16.0 + 1e-9);
+}
+
+TEST_P(LargeScale, RotorAtMaxFaults) {
+  const std::size_t n = GetParam();
+  const std::size_t f = max_tolerated_faults(n);
+  const auto run = run_rotor(config_for(n - f, f, AdversaryKind::kRotorStuffer));
+  EXPECT_TRUE(run.all_terminated);
+  EXPECT_TRUE(run.good_round_witnessed);
+  EXPECT_LE(run.max_termination_round, 2 * static_cast<Round>(n) + 6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LargeScale, ::testing::Values<std::size_t>(33, 49, 65));
+
+}  // namespace
+}  // namespace idonly

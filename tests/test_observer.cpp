@@ -1,0 +1,147 @@
+// Protocol event instrumentation: the observer streams must reflect exactly
+// what the protocols did.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/observer.hpp"
+#include "core/consensus.hpp"
+#include "core/reliable_broadcast.hpp"
+#include "core/rotor_coordinator.hpp"
+#include "core/total_order.hpp"
+#include "harness/scenario.hpp"
+#include "net/sync_simulator.hpp"
+
+namespace idonly {
+namespace {
+
+using Type = ProtocolEvent::Type;
+
+TEST(Observer, ReliableBroadcastEmitsOneAccept) {
+  SyncSimulator sim;
+  EventLog log;
+  const std::vector<NodeId> ids{10, 20, 30, 40};
+  for (NodeId id : ids) {
+    auto p = std::make_unique<ReliableBroadcastProcess>(id, /*source=*/10, Value::real(7.0));
+    if (id == 20) p->set_observer(&log);
+    sim.add_process(std::move(p));
+  }
+  sim.run_rounds(8);
+  const auto accepts = log.of_type(Type::kAccepted);
+  ASSERT_EQ(accepts.size(), 1u) << "exactly one acceptance, never re-emitted";
+  EXPECT_EQ(accepts[0].node, 20u);
+  EXPECT_EQ(accepts[0].round, 3);
+  EXPECT_EQ(accepts[0].subject, 10u);
+  EXPECT_EQ(accepts[0].value, Value::real(7.0));
+}
+
+TEST(Observer, ConsensusEmitsDecidedOnceWithPhase) {
+  ScenarioConfig config;
+  config.n_correct = 7;
+  config.n_byzantine = 2;
+  config.adversary = AdversaryKind::kSilent;
+  config.seed = 1;
+  const Scenario scenario = make_scenario(config);
+  SyncSimulator sim;
+  EventLog log;
+  auto factory = [&](NodeId id, std::size_t index) -> std::unique_ptr<Process> {
+    auto p = std::make_unique<ConsensusProcess>(id, Value::real(static_cast<double>(index % 2)));
+    if (index == 0) p->set_observer(&log);
+    return p;
+  };
+  populate(sim, scenario, factory);
+  ASSERT_TRUE(sim.run_until_all_correct_done(200));
+  const auto decided = log.of_type(Type::kDecided);
+  ASSERT_EQ(decided.size(), 1u);
+  EXPECT_GE(decided[0].phase, 1);
+  // The observed node's decision matches its reported output.
+  auto* p = sim.get<ConsensusProcess>(scenario.correct_ids[0]);
+  EXPECT_EQ(decided[0].value, *p->output());
+}
+
+TEST(Observer, ConsensusOpinionAdoptionTrail) {
+  // With mixed inputs, at least one node must change opinion before
+  // deciding; adoption events carry the phase.
+  ScenarioConfig config;
+  config.n_correct = 5;
+  config.n_byzantine = 0;
+  config.adversary = AdversaryKind::kNone;
+  config.seed = 2;
+  const Scenario scenario = make_scenario(config);
+  SyncSimulator sim;
+  std::vector<std::unique_ptr<EventLog>> logs;
+  auto factory = [&](NodeId id, std::size_t index) -> std::unique_ptr<Process> {
+    auto p = std::make_unique<ConsensusProcess>(id, Value::real(static_cast<double>(index % 2)));
+    logs.push_back(std::make_unique<EventLog>());
+    p->set_observer(logs.back().get());
+    return p;
+  };
+  populate(sim, scenario, factory);
+  ASSERT_TRUE(sim.run_until_all_correct_done(200));
+  std::size_t adoptions = 0;
+  for (const auto& log : logs) adoptions += log->of_type(Type::kOpinionAdopted).size();
+  EXPECT_GT(adoptions, 0u);
+}
+
+TEST(Observer, RotorSelectionSequenceMatchesHistory) {
+  SyncSimulator sim;
+  EventLog log;
+  const std::vector<NodeId> ids{10, 20, 30, 40};
+  for (NodeId id : ids) {
+    auto p = std::make_unique<RotorProcess>(id, Value::real(1.0));
+    if (id == 10) p->set_observer(&log);
+    sim.add_process(std::move(p));
+  }
+  sim.run_until_all_correct_done(50);
+  const auto* p = sim.get<RotorProcess>(10);
+  const auto selections = log.of_type(Type::kCoordinatorSelected);
+  std::vector<NodeId> from_history;
+  for (const auto& record : p->history()) {
+    if (record.selected.has_value()) from_history.push_back(*record.selected);
+  }
+  ASSERT_EQ(selections.size(), from_history.size());
+  for (std::size_t i = 0; i < selections.size(); ++i) {
+    EXPECT_EQ(selections[i].subject, from_history[i]) << i;
+  }
+  EXPECT_FALSE(log.of_type(Type::kGoodOpinionAccepted).empty());
+}
+
+TEST(Observer, TotalOrderChainExtensionEvents) {
+  SyncSimulator sim;
+  EventLog log;
+  const std::vector<NodeId> ids{11, 22, 33, 44};
+  for (NodeId id : ids) {
+    auto p = std::make_unique<TotalOrderProcess>(id, /*founder=*/true);
+    if (id == 11) p->set_observer(&log);
+    sim.add_process(std::move(p));
+  }
+  sim.run_rounds(3);
+  sim.get<TotalOrderProcess>(22)->submit_event(5.5);
+  sim.run_rounds(40);
+  const auto extensions = log.of_type(Type::kChainExtended);
+  ASSERT_EQ(extensions.size(), 1u);
+  EXPECT_EQ(extensions[0].subject, 22u);
+  EXPECT_EQ(extensions[0].value, Value::real(5.5));
+  EXPECT_EQ(extensions[0].phase, 1) << "chain length after the extension";
+}
+
+TEST(Observer, EventToStringNamesType) {
+  ProtocolEvent event{Type::kDecided, 7, 12, Value::real(1.0), 0, 2};
+  const std::string s = event.to_string();
+  EXPECT_NE(s.find("decided"), std::string::npos);
+  EXPECT_NE(s.find("node=7"), std::string::npos);
+  EXPECT_NE(s.find("phase=2"), std::string::npos);
+}
+
+TEST(Observer, EventLogFilterAndClear) {
+  EventLog log;
+  log.on_event({Type::kDecided, 1, 1, Value::bot(), 0, 0});
+  log.on_event({Type::kAccepted, 2, 2, Value::bot(), 0, 0});
+  EXPECT_EQ(log.events().size(), 2u);
+  EXPECT_EQ(log.of_type(Type::kDecided).size(), 1u);
+  log.clear();
+  EXPECT_TRUE(log.events().empty());
+}
+
+}  // namespace
+}  // namespace idonly

@@ -1,0 +1,134 @@
+// Parallel consensus (Alg. 5, Theorem 5): validity, agreement, termination
+// over SETS of (id, value) pairs, including the late-awareness machinery.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/parallel_consensus.hpp"
+#include "harness/runner.hpp"
+
+namespace idonly {
+namespace {
+
+ScenarioConfig config_for(std::size_t n_correct, std::size_t n_byz, AdversaryKind adversary,
+                          std::uint64_t seed) {
+  ScenarioConfig config;
+  config.n_correct = n_correct;
+  config.n_byzantine = n_byz;
+  config.adversary = adversary;
+  config.seed = seed;
+  return config;
+}
+
+std::vector<std::vector<InputPair>> same_inputs(std::size_t n, std::vector<InputPair> pairs) {
+  return std::vector<std::vector<InputPair>>(n, std::move(pairs));
+}
+
+TEST(ParallelConsensus, CommonPairIsOutputByAll) {
+  // Validity: a pair input everywhere (value ≠ ⊥) must be output by all.
+  const auto run = run_parallel_consensus(
+      config_for(7, 2, AdversaryKind::kSilent, 1),
+      same_inputs(7, {{.id = 100, .value = Value::real(3.0)}}));
+  EXPECT_TRUE(run.all_terminated);
+  EXPECT_TRUE(run.agreement);
+  ASSERT_EQ(run.common_output.size(), 1u);
+  EXPECT_EQ(run.common_output[0].id, 100u);
+  EXPECT_EQ(run.common_output[0].value, Value::real(3.0));
+}
+
+TEST(ParallelConsensus, MultiplePairsAllDecided) {
+  std::vector<InputPair> pairs{{.id = 1, .value = Value::real(10)},
+                               {.id = 2, .value = Value::real(20)},
+                               {.id = 3, .value = Value::real(30)}};
+  const auto run =
+      run_parallel_consensus(config_for(7, 2, AdversaryKind::kNoise, 2), same_inputs(7, pairs));
+  EXPECT_TRUE(run.all_terminated);
+  EXPECT_TRUE(run.agreement);
+  ASSERT_EQ(run.common_output.size(), 3u);
+  EXPECT_EQ(run.common_output[0].value, Value::real(10));
+  EXPECT_EQ(run.common_output[2].value, Value::real(30));
+}
+
+TEST(ParallelConsensus, NoInputsTerminatesEmpty) {
+  const auto run = run_parallel_consensus(config_for(4, 1, AdversaryKind::kSilent, 3),
+                                          same_inputs(4, {}));
+  EXPECT_TRUE(run.all_terminated);
+  EXPECT_TRUE(run.agreement);
+  EXPECT_TRUE(run.common_output.empty());
+}
+
+TEST(ParallelConsensus, PartiallyKnownPairStillAgrees) {
+  // Pair 55 is input at only 3 of 7 correct nodes; the rest learn of it via
+  // the round-2 adoption rule. Agreement must hold either way (the pair may
+  // or may not make it into the common output — but identically everywhere).
+  std::vector<std::vector<InputPair>> inputs(7);
+  for (std::size_t i = 0; i < 3; ++i) inputs[i] = {{.id = 55, .value = Value::real(9.0)}};
+  const auto run =
+      run_parallel_consensus(config_for(7, 2, AdversaryKind::kSilent, 4), inputs);
+  EXPECT_TRUE(run.all_terminated);
+  EXPECT_TRUE(run.agreement);
+}
+
+TEST(ParallelConsensus, DisjointPairSetsMergeConsistently) {
+  // Every node contributes its own pair; all 7 instances run concurrently.
+  std::vector<std::vector<InputPair>> inputs(7);
+  for (std::size_t i = 0; i < 7; ++i) {
+    inputs[i] = {{.id = 200 + i, .value = Value::real(static_cast<double>(i))}};
+  }
+  const auto run = run_parallel_consensus(config_for(7, 2, AdversaryKind::kNoise, 5), inputs);
+  EXPECT_TRUE(run.all_terminated);
+  EXPECT_TRUE(run.agreement);
+}
+
+TEST(ParallelConsensus, BotValuedInputIsNeverOutput) {
+  const auto run = run_parallel_consensus(
+      config_for(7, 2, AdversaryKind::kSilent, 6),
+      same_inputs(7, {{.id = 9, .value = Value::bot()},
+                      {.id = 10, .value = Value::real(1.0)}}));
+  EXPECT_TRUE(run.all_terminated);
+  EXPECT_TRUE(run.agreement);
+  ASSERT_EQ(run.common_output.size(), 1u);
+  EXPECT_EQ(run.common_output[0].id, 10u);
+}
+
+using ParallelSweepParam =
+    std::tuple<std::size_t, std::size_t, AdversaryKind, std::uint64_t>;
+
+class ParallelSweep : public ::testing::TestWithParam<ParallelSweepParam> {};
+
+TEST_P(ParallelSweep, Theorem5Properties) {
+  const auto [n_correct, n_byz, adversary, seed] = GetParam();
+  // Mixed universal + partial pairs.
+  std::vector<std::vector<InputPair>> inputs(n_correct);
+  for (std::size_t i = 0; i < n_correct; ++i) {
+    inputs[i] = {{.id = 1, .value = Value::real(42.0)}};  // universal
+    if (i % 2 == 0) inputs[i].push_back({.id = 2, .value = Value::real(7.0)});  // partial
+  }
+  const auto run = run_parallel_consensus(config_for(n_correct, n_byz, adversary, seed), inputs);
+  EXPECT_TRUE(run.all_terminated);
+  EXPECT_TRUE(run.agreement);
+  // Validity for the universal pair:
+  ASSERT_FALSE(run.common_output.empty());
+  EXPECT_EQ(run.common_output[0].id, 1u);
+  EXPECT_EQ(run.common_output[0].value, Value::real(42.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Adversaries, ParallelSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(4, 7, 10),
+                       ::testing::Values<std::size_t>(1, 2),
+                       ::testing::Values(AdversaryKind::kSilent, AdversaryKind::kNoise,
+                                         AdversaryKind::kCrash, AdversaryKind::kVoteSplit),
+                       ::testing::Values<std::uint64_t>(1, 2)));
+
+TEST(ParallelConsensusMachine, TerminatedReportsOutputsSorted) {
+  // Unit-level: machine outputs are sorted by pair id and exclude ⊥.
+  ParallelConsensusMachine machine(
+      1, 0,
+      {{.id = 30, .value = Value::real(3)}, {.id = 10, .value = Value::real(1)}});
+  EXPECT_FALSE(machine.terminated());
+  EXPECT_EQ(machine.instance_count(), 0u) << "instances activate at phase 1, not construction";
+}
+
+}  // namespace
+}  // namespace idonly

@@ -1,0 +1,97 @@
+// Theorem 5, second half: if NO correct node has an input pair with
+// identifier id, then no correct node ever OUTPUTS a pair with that id — no
+// matter in which round the adversary first whispers about it, to whom, or
+// with which message type. This drives the ⊥-filling and late-adoption
+// machinery through every window the proof case-splits on.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "adversary/strategies.hpp"
+#include "core/parallel_consensus.hpp"
+#include "net/sync_simulator.hpp"
+
+namespace idonly {
+namespace {
+
+constexpr PairId kGhostPair = 777;
+
+struct WhisperRun {
+  bool all_done = false;
+  bool ghost_output = false;
+  bool agreement = false;
+  std::vector<std::vector<OutputPair>> outputs;
+};
+
+/// 7 correct nodes (with one real universal pair so the run is non-trivial),
+/// 2 whisper adversaries injecting ghost-pair traffic of `kind` at local
+/// round `fire_round` toward `n_targets` of the correct nodes.
+WhisperRun run_whisper(MsgKind kind, Round fire_round, std::size_t n_targets,
+                       Value whisper_value) {
+  SyncSimulator sim;
+  std::vector<NodeId> correct_ids{11, 23, 35, 47, 59, 61, 73};
+  std::vector<NodeId> targets(correct_ids.begin(),
+                              correct_ids.begin() + static_cast<std::ptrdiff_t>(n_targets));
+  for (NodeId id : correct_ids) {
+    sim.add_process(std::make_unique<ParallelConsensusProcess>(
+        id, std::vector<InputPair>{{.id = 5, .value = Value::real(1.0)}}));
+  }
+  sim.add_process(
+      std::make_unique<WhisperAdversary>(90, kGhostPair, kind, whisper_value, fire_round, targets));
+  sim.add_process(std::make_unique<WhisperAdversary>(91, kGhostPair, kind, whisper_value,
+                                                     fire_round, targets));
+  WhisperRun run;
+  run.all_done = sim.run_until_all_correct_done(400);
+  for (NodeId id : correct_ids) {
+    auto* p = sim.get<ParallelConsensusProcess>(id);
+    auto pairs = p->outputs();
+    std::sort(pairs.begin(), pairs.end());
+    for (const OutputPair& pair : pairs) run.ghost_output = run.ghost_output || pair.id == kGhostPair;
+    run.outputs.push_back(std::move(pairs));
+  }
+  run.agreement = std::all_of(run.outputs.begin(), run.outputs.end(),
+                              [&](const auto& o) { return o == run.outputs.front(); });
+  return run;
+}
+
+// The adoption windows the proof enumerates: phase 1 starts at local round
+// 3; its rounds P1..P5 are local 3..7. Whispered messages fire in the round
+// BEFORE they are received.
+using WhisperParam = std::tuple<MsgKind, Round, std::size_t>;
+class WhisperSweep : public ::testing::TestWithParam<WhisperParam> {};
+
+TEST_P(WhisperSweep, GhostPairNeverOutput) {
+  const auto [kind, fire_round, n_targets] = GetParam();
+  const auto run = run_whisper(kind, fire_round, n_targets, Value::real(66.0));
+  EXPECT_TRUE(run.all_done) << "whispers must not block termination";
+  EXPECT_FALSE(run.ghost_output) << "no correct node may output the ghost pair";
+  EXPECT_TRUE(run.agreement);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AdoptionWindows, WhisperSweep,
+    ::testing::Combine(
+        ::testing::Values(MsgKind::kInput, MsgKind::kPrefer, MsgKind::kStrongPrefer),
+        // Arrivals at P2 (local 4), P3 (5), P4 (6, rotor — discarded), P5 (7),
+        // and deep into phase 2 (discarded entirely).
+        ::testing::Values<Round>(3, 4, 5, 6, 9, 12),
+        ::testing::Values<std::size_t>(1, 3, 7)));
+
+TEST(WhisperSweep, GhostWithBotValueAlsoHarmless) {
+  const auto run = run_whisper(MsgKind::kInput, 3, 7, Value::bot());
+  EXPECT_TRUE(run.all_done);
+  EXPECT_FALSE(run.ghost_output);
+}
+
+TEST(WhisperSweep, RealPairStillDecidedDespiteWhispers) {
+  const auto run = run_whisper(MsgKind::kPrefer, 4, 3, Value::real(66.0));
+  ASSERT_TRUE(run.all_done);
+  ASSERT_FALSE(run.outputs.empty());
+  ASSERT_EQ(run.outputs.front().size(), 1u);
+  EXPECT_EQ(run.outputs.front()[0].id, 5u);
+  EXPECT_EQ(run.outputs.front()[0].value, Value::real(1.0));
+}
+
+}  // namespace
+}  // namespace idonly

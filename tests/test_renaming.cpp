@@ -1,0 +1,102 @@
+// Byzantine renaming (appendix): all correct nodes terminate with identical
+// id sets and assign themselves distinct names 1..|S|.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "adversary/strategies.hpp"
+#include "core/renaming.hpp"
+#include "harness/scenario.hpp"
+#include "net/sync_simulator.hpp"
+
+namespace idonly {
+namespace {
+
+struct RenamingRun {
+  bool all_done = false;
+  std::vector<std::set<NodeId>> id_sets;
+  std::vector<std::size_t> names;
+  Round rounds = 0;
+};
+
+RenamingRun run_renaming(std::size_t n_correct, std::size_t n_byz, AdversaryKind adversary,
+                         std::uint64_t seed, Round max_rounds = 100) {
+  ScenarioConfig config;
+  config.n_correct = n_correct;
+  config.n_byzantine = n_byz;
+  config.adversary = adversary;
+  config.seed = seed;
+  const Scenario scenario = make_scenario(config);
+  SyncSimulator sim;
+  auto factory = [](NodeId id, std::size_t) { return std::make_unique<RenamingProcess>(id); };
+  populate(sim, scenario, factory);
+  RenamingRun run;
+  run.all_done = sim.run_until_all_correct_done(max_rounds);
+  run.rounds = sim.round();
+  for (NodeId id : scenario.correct_ids) {
+    auto* p = sim.get<RenamingProcess>(id);
+    if (p == nullptr || !p->done()) continue;
+    run.id_sets.push_back(p->id_set());
+    if (p->new_name().has_value()) run.names.push_back(*p->new_name());
+  }
+  return run;
+}
+
+TEST(Renaming, AllCorrectAgreeOnIdSet) {
+  const auto run = run_renaming(7, 2, AdversaryKind::kSilent, 1);
+  EXPECT_TRUE(run.all_done);
+  ASSERT_EQ(run.id_sets.size(), 7u);
+  for (const auto& s : run.id_sets) EXPECT_EQ(s, run.id_sets.front());
+}
+
+TEST(Renaming, NamesAreDistinctAndDense) {
+  const auto run = run_renaming(7, 2, AdversaryKind::kSilent, 2);
+  ASSERT_EQ(run.names.size(), 7u);
+  std::set<std::size_t> unique(run.names.begin(), run.names.end());
+  EXPECT_EQ(unique.size(), 7u) << "names must be distinct";
+  // Names live in 1..|S| where |S| ≤ n (correct ids always included,
+  // announcing Byzantine ids may be too).
+  for (std::size_t name : run.names) {
+    EXPECT_GE(name, 1u);
+    EXPECT_LE(name, 9u);
+  }
+}
+
+TEST(Renaming, SilentByzantineExcludedFromS) {
+  const auto run = run_renaming(7, 2, AdversaryKind::kSilent, 3);
+  ASSERT_FALSE(run.id_sets.empty());
+  EXPECT_EQ(run.id_sets.front().size(), 7u) << "silent nodes never enter S";
+}
+
+TEST(Renaming, TerminatesWithinLinearRounds) {
+  // Appendix theorem: O(f) rounds — 4f+3 loop rounds plus constants.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto run = run_renaming(10, 3, AdversaryKind::kNoise, seed);
+    EXPECT_TRUE(run.all_done) << seed;
+    EXPECT_LE(run.rounds, 4 * 3 + 3 + 8) << seed;
+  }
+}
+
+class RenamingSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, AdversaryKind, std::uint64_t>> {};
+
+TEST_P(RenamingSweep, ConsistentRenaming) {
+  const auto [n_correct, adversary, seed] = GetParam();
+  const auto run = run_renaming(n_correct, 2, adversary, seed);
+  EXPECT_TRUE(run.all_done);
+  ASSERT_EQ(run.id_sets.size(), n_correct);
+  for (const auto& s : run.id_sets) EXPECT_EQ(s, run.id_sets.front());
+  std::set<std::size_t> unique(run.names.begin(), run.names.end());
+  EXPECT_EQ(unique.size(), n_correct);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RenamingSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(7, 10, 13),
+                       ::testing::Values(AdversaryKind::kSilent, AdversaryKind::kNoise,
+                                         AdversaryKind::kCrash, AdversaryKind::kTwoFaced),
+                       ::testing::Values<std::uint64_t>(1, 2)));
+
+}  // namespace
+}  // namespace idonly

@@ -1,0 +1,111 @@
+// Experiment E5 as a test: n > 3f is tight. At n = 3f the strongest
+// adversaries break at least one guarantee (disagreement, range blow-up, or
+// non-termination); one node more restores every property — same adversary,
+// same seeds.
+#include <gtest/gtest.h>
+
+#include "common/thresholds.hpp"
+#include "harness/runner.hpp"
+
+namespace idonly {
+namespace {
+
+ScenarioConfig config_for(std::size_t n_correct, std::size_t n_byz, AdversaryKind adversary,
+                          std::uint64_t seed) {
+  ScenarioConfig config;
+  config.n_correct = n_correct;
+  config.n_byzantine = n_byz;
+  config.adversary = adversary;
+  config.seed = seed;
+  return config;
+}
+
+TEST(ResiliencyBoundary, ApproxAgreementBreaksAtExactlyThreeF) {
+  // n = 3, f = 1: the extreme adversary pulls the two correct nodes to
+  // opposite ends — the output range equals the input range, violating the
+  // strict-contraction property.
+  const auto broken =
+      run_approx_agreement(config_for(2, 1, AdversaryKind::kExtreme, 1), {0.0, 1.0});
+  EXPECT_GE(broken.output_range, broken.input_range)
+      << "n = 3f must allow the adversary to defeat contraction";
+
+  // n = 4, f = 1 (n > 3f): the same adversary is powerless.
+  const auto safe =
+      run_approx_agreement(config_for(3, 1, AdversaryKind::kExtreme, 1), {0.0, 0.5, 1.0});
+  EXPECT_TRUE(safe.within_input_range);
+  EXPECT_LE(safe.output_range, safe.input_range / 2.0 + 1e-12);
+}
+
+TEST(ResiliencyBoundary, ApproxAgreementCanEscapeInputRangeAtThreeF) {
+  // At n = 3f the trimmed window may retain a Byzantine extreme entirely:
+  // with 2 correct and 1 Byzantine per node's view... sweep seeds and inputs
+  // to find range violations; within-range must NEVER fail above the bound.
+  bool any_violation = false;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto broken =
+        run_approx_agreement(config_for(2, 1, AdversaryKind::kExtreme, seed), {0.0, 1.0});
+    any_violation = any_violation ||
+                    !broken.within_input_range ||
+                    broken.output_range >= broken.input_range;
+  }
+  EXPECT_TRUE(any_violation);
+
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto safe = run_approx_agreement(
+        config_for(4, 1, AdversaryKind::kExtreme, seed), {0.0, 0.25, 0.75, 1.0});
+    EXPECT_TRUE(safe.within_input_range) << seed;
+  }
+}
+
+TEST(ResiliencyBoundary, ConsensusSafeJustAboveBound) {
+  // n = 3f+1 for f = 1..3 under the strongest generic adversary: all three
+  // consensus properties must hold at the exact boundary n = 3f + 1.
+  for (std::size_t f = 1; f <= 3; ++f) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      const std::size_t n_correct = 2 * f + 1;  // n = 3f + 1
+      ASSERT_TRUE(resilient(n_correct + f, f));
+      const auto run = run_consensus(config_for(n_correct, f, AdversaryKind::kTwoFaced, seed),
+                                     {0.0, 1.0});
+      EXPECT_TRUE(run.all_decided) << "f=" << f << " seed=" << seed;
+      EXPECT_TRUE(run.agreement) << "f=" << f << " seed=" << seed;
+      EXPECT_TRUE(run.validity) << "f=" << f << " seed=" << seed;
+    }
+  }
+}
+
+TEST(ResiliencyBoundary, ConsensusDegradesAtBound) {
+  // n = 3f (f = 2, 4 correct + 2 echo-chamber adversaries): telling every
+  // node what it wants to hear pushes BOTH input camps over the 2n_v/3
+  // termination threshold — a hard agreement violation at the bound.
+  bool any_violation = false;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto run = run_consensus(config_for(4, 2, AdversaryKind::kEchoChamber, seed),
+                                   {0.0, 1.0}, /*max_rounds=*/200);
+    if (!run.all_decided || !run.agreement || !run.validity) any_violation = true;
+  }
+  EXPECT_TRUE(any_violation)
+      << "with n = 3f the echo-chamber adversary should defeat consensus at least once";
+}
+
+TEST(ResiliencyBoundary, EchoChamberHarmlessAboveBound) {
+  // The same attack with n > 3f: the f forged copies never tip a quorum.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto run =
+        run_consensus(config_for(5, 2, AdversaryKind::kEchoChamber, seed), {0.0, 1.0});
+    EXPECT_TRUE(run.all_decided) << seed;
+    EXPECT_TRUE(run.agreement) << seed;
+    EXPECT_TRUE(run.validity) << seed;
+  }
+}
+
+TEST(ResiliencyBoundary, ReliableBroadcastSafeAtBoundPlusOne) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto run = run_reliable_broadcast(config_for(3, 1, AdversaryKind::kTwoFaced, seed),
+                                            2.0, /*byzantine_source=*/true);
+    EXPECT_TRUE(run.agreement) << seed;
+    EXPECT_TRUE(run.relay_ok) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace idonly

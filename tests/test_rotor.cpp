@@ -1,0 +1,167 @@
+// Rotor-coordinator (Alg. 2): Theorem 2 — every correct node terminates in
+// O(n) rounds and a good round (common, correct coordinator) is witnessed
+// before termination, with the opinion accepted the round after.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/thresholds.hpp"
+#include "core/rotor_coordinator.hpp"
+#include "harness/runner.hpp"
+
+namespace idonly {
+namespace {
+
+ScenarioConfig config_for(std::size_t n_correct, std::size_t n_byz, AdversaryKind adversary,
+                          std::uint64_t seed) {
+  ScenarioConfig config;
+  config.n_correct = n_correct;
+  config.n_byzantine = n_byz;
+  config.adversary = adversary;
+  config.seed = seed;
+  return config;
+}
+
+TEST(RotorCore, Round1EmitsInit) {
+  RotorCore core(5);
+  std::vector<Message> out;
+  core.round1(out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, MsgKind::kInit);
+}
+
+TEST(RotorCore, Round2EchoesEveryInitSender) {
+  RotorCore core(5);
+  std::vector<Message> inbox;
+  for (NodeId id : {7u, 9u, 11u}) {
+    Message m;
+    m.sender = id;
+    m.kind = MsgKind::kInit;
+    inbox.push_back(m);
+  }
+  std::vector<Message> out;
+  core.round2(inbox, out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].kind, MsgKind::kEcho);
+  EXPECT_EQ(out[0].subject, 7u);
+  EXPECT_EQ(out[2].subject, 11u);
+}
+
+TEST(RotorCore, CandidateAcceptedAtTwoThirdsAndSelectedInIdOrder) {
+  RotorCore core(1);
+  // Echoes for candidate 50 from 3 of 4 participants → 2/3 quorum.
+  std::vector<Message> inbox;
+  for (NodeId sender : {1u, 2u, 3u}) {
+    Message m;
+    m.sender = sender;
+    m.kind = MsgKind::kEcho;
+    m.subject = 50;
+    inbox.push_back(m);
+    Message m2 = m;
+    m2.subject = 40;
+    inbox.push_back(m2);
+  }
+  core.absorb(inbox);
+  auto result = core.step(/*n_v=*/4, /*r=*/0);
+  ASSERT_TRUE(result.coordinator.has_value());
+  EXPECT_EQ(*result.coordinator, 40u) << "C_v is ordered by id; r=0 selects the smallest";
+  EXPECT_FALSE(result.repeated);
+  auto result2 = core.step(4, 1);
+  EXPECT_EQ(*result2.coordinator, 50u);
+  auto result3 = core.step(4, 2);
+  EXPECT_TRUE(result3.repeated) << "r=2 wraps to C_v[0], already selected";
+}
+
+TEST(RotorCore, BelowOneThirdNeitherRelayedNorAccepted) {
+  RotorCore core(1);
+  Message m;
+  m.sender = 9;
+  m.kind = MsgKind::kEcho;
+  m.subject = 50;
+  std::vector<Message> inbox{m};
+  core.absorb(inbox);
+  auto result = core.step(/*n_v=*/8, /*r=*/0);
+  EXPECT_TRUE(result.relay.empty());
+  EXPECT_FALSE(result.coordinator.has_value());
+}
+
+TEST(RotorCore, OneThirdTriggersRelayOnly) {
+  RotorCore core(1);
+  std::vector<Message> inbox;
+  for (NodeId sender : {1u, 2u}) {
+    Message m;
+    m.sender = sender;
+    m.kind = MsgKind::kEcho;
+    m.subject = 50;
+    inbox.push_back(m);
+  }
+  core.absorb(inbox);
+  auto result = core.step(/*n_v=*/6, /*r=*/0);  // 2 >= 6/3, 2 < 4
+  ASSERT_EQ(result.relay.size(), 1u);
+  EXPECT_EQ(result.relay[0].subject, 50u);
+  EXPECT_TRUE(core.candidates().empty());
+}
+
+TEST(RotorCore, EmptyCandidateSetSelectsNobody) {
+  RotorCore core(1);
+  auto result = core.step(4, 0);
+  EXPECT_FALSE(result.coordinator.has_value());
+  EXPECT_FALSE(result.repeated);
+}
+
+TEST(Rotor, AllCorrectTerminateWithGoodRound) {
+  const auto run = run_rotor(config_for(7, 0, AdversaryKind::kNone, 1));
+  EXPECT_TRUE(run.all_terminated);
+  EXPECT_TRUE(run.good_round_witnessed);
+  EXPECT_TRUE(run.good_opinion_accepted);
+  ASSERT_TRUE(run.first_good_round.has_value());
+  EXPECT_EQ(*run.first_good_round, 0) << "with no faults the first selection is already good";
+}
+
+TEST(Rotor, TerminatesWithinLinearRounds) {
+  for (std::size_t n_correct : {4u, 7u, 13u}) {
+    const auto run = run_rotor(config_for(n_correct, 0, AdversaryKind::kNone, 2));
+    EXPECT_TRUE(run.all_terminated);
+    // Theorem 2: at most n selections; +2 init rounds +1 repeat round slack.
+    EXPECT_LE(run.max_termination_round, static_cast<Round>(n_correct) + 4) << n_correct;
+  }
+}
+
+using RotorSweepParam =
+    std::tuple<std::size_t, std::size_t, AdversaryKind, std::uint64_t>;
+
+class RotorSweep : public ::testing::TestWithParam<RotorSweepParam> {};
+
+TEST_P(RotorSweep, Theorem2Holds) {
+  const auto [n_correct, n_byz, adversary, seed] = GetParam();
+  if (!resilient(n_correct + n_byz, n_byz)) GTEST_SKIP() << "n <= 3f not in scope";
+  const auto run = run_rotor(config_for(n_correct, n_byz, adversary, seed));
+  EXPECT_TRUE(run.all_terminated);
+  EXPECT_TRUE(run.good_round_witnessed);
+  EXPECT_TRUE(run.good_opinion_accepted);
+  // O(n) termination: |C_v| ≤ n and at most f late candidate insertions can
+  // postpone the wrap-around, so 2n+6 is a safe linear envelope.
+  EXPECT_LE(run.max_termination_round, 2 * static_cast<Round>(n_correct + n_byz) + 6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Adversaries, RotorSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(4, 7, 10),
+                       ::testing::Values<std::size_t>(1, 2),
+                       ::testing::Values(AdversaryKind::kSilent, AdversaryKind::kNoise,
+                                         AdversaryKind::kRotorStuffer, AdversaryKind::kTwoFaced,
+                                         AdversaryKind::kCrash),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+TEST(Rotor, StufferCannotInjectFakeCandidates) {
+  // Fake ids echoed only by the f stuffers can never reach n_v/3 at a
+  // correct node (Lemma 2), so candidate sets stay within real ids. We
+  // verify via the run still terminating promptly and good round holding.
+  const auto run = run_rotor(config_for(7, 2, AdversaryKind::kRotorStuffer, 4));
+  EXPECT_TRUE(run.all_terminated);
+  EXPECT_TRUE(run.good_round_witnessed);
+  EXPECT_LE(run.max_termination_round, 9 + 4);
+}
+
+}  // namespace
+}  // namespace idonly

@@ -1,0 +1,142 @@
+// Scenario-script DSL: parser (happy path + every error branch) and runner
+// (each protocol, satisfied and violated expectations).
+#include <gtest/gtest.h>
+
+#include <variant>
+
+#include "harness/script.hpp"
+
+namespace idonly {
+namespace {
+
+ScenarioScript parse_ok(const std::string& text) {
+  const auto result = parse_script(text);
+  const auto* script = std::get_if<ScenarioScript>(&result);
+  EXPECT_NE(script, nullptr) << (std::holds_alternative<ParseError>(result)
+                                     ? std::get<ParseError>(result).message
+                                     : "");
+  return script != nullptr ? *script : ScenarioScript{};
+}
+
+ParseError parse_fail(const std::string& text) {
+  const auto result = parse_script(text);
+  const auto* error = std::get_if<ParseError>(&result);
+  EXPECT_NE(error, nullptr) << "expected a parse error";
+  return error != nullptr ? *error : ParseError{};
+}
+
+TEST(ScriptParser, FullScript) {
+  const auto script = parse_ok(R"(
+# comment line
+protocol consensus
+nodes 10
+inputs 0,1,1
+byzantine 3 twofaced,noise
+seed 99          # trailing comment
+max-rounds 250
+crash-round 6
+expect termination
+expect agreement
+)");
+  EXPECT_EQ(script.protocol, ScriptProtocol::kConsensus);
+  EXPECT_EQ(script.config.n_correct, 10u);
+  EXPECT_EQ(script.config.n_byzantine, 3u);
+  ASSERT_EQ(script.config.adversary_mix.size(), 2u);
+  EXPECT_EQ(script.config.adversary_mix[0], AdversaryKind::kTwoFaced);
+  EXPECT_EQ(script.config.adversary_mix[1], AdversaryKind::kNoise);
+  EXPECT_EQ(script.config.seed, 99u);
+  EXPECT_EQ(script.config.crash_round, 6);
+  EXPECT_EQ(script.max_rounds, 250);
+  ASSERT_EQ(script.inputs.size(), 3u);
+  EXPECT_DOUBLE_EQ(script.inputs[2], 1.0);
+  ASSERT_EQ(script.expectations.size(), 2u);
+}
+
+TEST(ScriptParser, Defaults) {
+  const auto script = parse_ok("protocol rotor\n");
+  EXPECT_EQ(script.protocol, ScriptProtocol::kRotor);
+  EXPECT_EQ(script.config.n_byzantine, 0u);
+  EXPECT_EQ(script.config.adversary, AdversaryKind::kNone);
+}
+
+TEST(ScriptParser, ErrorsCarryLineNumbers) {
+  EXPECT_EQ(parse_fail("protocol consensus\nbogus keyword\n").line, 2);
+  EXPECT_EQ(parse_fail("protocol nope\n").line, 1);
+  EXPECT_EQ(parse_fail("nodes -3\n").line, 1);
+  EXPECT_EQ(parse_fail("nodes 0\n").line, 1);
+  EXPECT_EQ(parse_fail("inputs a,b\n").line, 1);
+  EXPECT_EQ(parse_fail("byzantine 2 martian\n").line, 1);
+  EXPECT_EQ(parse_fail("expect luck\n").line, 1);
+  EXPECT_EQ(parse_fail("max-rounds 0\n").line, 1);
+  EXPECT_EQ(parse_fail("nodes 7 extra\n").line, 1);
+}
+
+TEST(ScriptRunner, ConsensusExpectationsHold) {
+  auto script = parse_ok(
+      "protocol consensus\nnodes 7\ninputs 0,1\nbyzantine 2 votesplit\nseed 3\n"
+      "expect termination\nexpect agreement\nexpect validity\n");
+  const auto run = run_script(script);
+  EXPECT_TRUE(run.all_satisfied) << run.summary;
+  EXPECT_EQ(run.outcomes.size(), 3u);
+}
+
+TEST(ScriptRunner, KingProtocol) {
+  auto script = parse_ok(
+      "protocol king\nnodes 7\ninputs 0,1\nbyzantine 2 silent\nseed 4\nmax-rounds 2000\n"
+      "expect termination\nexpect agreement\nexpect validity\n");
+  const auto run = run_script(script);
+  EXPECT_TRUE(run.all_satisfied) << run.summary;
+}
+
+TEST(ScriptRunner, RbWithByzantineSourceAgreementOnly) {
+  auto script = parse_ok(
+      "protocol rb\nnodes 7\ninputs 5\nbyzantine 2 twofaced\nbyz-source\nseed 6\n"
+      "expect agreement\n");
+  const auto run = run_script(script);
+  EXPECT_TRUE(run.all_satisfied) << run.summary;
+}
+
+TEST(ScriptRunner, ApproxContraction) {
+  auto script = parse_ok(
+      "protocol approx\nnodes 10\ninputs 0,10,20,30\nbyzantine 3 extreme\n"
+      "iterations 6\nseed 2\nexpect within-range\nexpect contraction\n");
+  const auto run = run_script(script);
+  EXPECT_TRUE(run.all_satisfied) << run.summary;
+}
+
+TEST(ScriptRunner, RotorGoodRound) {
+  auto script = parse_ok(
+      "protocol rotor\nnodes 8\nbyzantine 2 rotorstuffer\nseed 9\n"
+      "expect termination\nexpect good-round\n");
+  const auto run = run_script(script);
+  EXPECT_TRUE(run.all_satisfied) << run.summary;
+}
+
+TEST(ScriptRunner, RenamingAgreement) {
+  auto script = parse_ok(
+      "protocol renaming\nnodes 7\nbyzantine 2 noise\nseed 8\n"
+      "expect termination\nexpect agreement\n");
+  const auto run = run_script(script);
+  EXPECT_TRUE(run.all_satisfied) << run.summary;
+}
+
+TEST(ScriptRunner, ViolatedExpectationIsReported) {
+  // n = 3f: the echo-chamber attack defeats consensus — the runner must say
+  // so rather than succeed vacuously.
+  auto script = parse_ok(
+      "protocol consensus\nnodes 4\ninputs 0,1\nbyzantine 2 echochamber\nseed 1\n"
+      "max-rounds 150\nexpect agreement\n");
+  const auto run = run_script(script);
+  EXPECT_FALSE(run.all_satisfied);
+  EXPECT_NE(run.summary.find("FAILED"), std::string::npos);
+}
+
+TEST(ScriptRunner, SummaryMentionsShape) {
+  auto script = parse_ok("protocol consensus\nnodes 4\ninputs 1\nseed 5\nexpect agreement\n");
+  const auto run = run_script(script);
+  EXPECT_NE(run.summary.find("consensus"), std::string::npos);
+  EXPECT_NE(run.summary.find("n=4+0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace idonly

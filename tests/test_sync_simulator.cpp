@@ -1,0 +1,347 @@
+// Engine tests: the synchronous round simulator must implement the paper's
+// model exactly — lock-step delivery, self-inclusive broadcast, unforgeable
+// sender stamping, per-round duplicate suppression, dynamic membership.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "net/process.hpp"
+#include "net/sync_simulator.hpp"
+
+namespace idonly {
+namespace {
+
+/// Scriptable process: records everything it receives; sends what the test
+/// enqueues for each round.
+class ScriptedProcess final : public Process {
+ public:
+  using Process::Process;
+
+  void send_in_round(Round local, Outgoing out) { script_[local].push_back(std::move(out)); }
+
+  void on_round(RoundInfo round, std::span<const Message> inbox,
+                std::vector<Outgoing>& out) override {
+    received_[round.local].assign(inbox.begin(), inbox.end());
+    locals_.push_back(round.local);
+    globals_.push_back(round.global);
+    if (auto it = script_.find(round.local); it != script_.end()) {
+      for (const Outgoing& o : it->second) out.push_back(o);
+    }
+  }
+
+  std::map<Round, std::vector<Message>> received_;
+  std::vector<Round> locals_;
+  std::vector<Round> globals_;
+
+ private:
+  std::map<Round, std::vector<Outgoing>> script_;
+};
+
+Message text_msg(MsgKind kind, double v = 0) {
+  Message m;
+  m.kind = kind;
+  m.value = Value::real(v);
+  return m;
+}
+
+TEST(SyncSimulator, BroadcastDeliversNextRoundToAllIncludingSender) {
+  SyncSimulator sim;
+  auto a = std::make_unique<ScriptedProcess>(1);
+  auto b = std::make_unique<ScriptedProcess>(2);
+  a->send_in_round(1, Outgoing{std::nullopt, text_msg(MsgKind::kPresent, 1)});
+  auto* pa = a.get();
+  auto* pb = b.get();
+  sim.add_process(std::move(a));
+  sim.add_process(std::move(b));
+
+  sim.step();  // round 1: a broadcasts
+  EXPECT_TRUE(pa->received_[1].empty());
+  EXPECT_TRUE(pb->received_[1].empty());
+  sim.step();  // round 2: delivery
+  ASSERT_EQ(pa->received_[2].size(), 1u) << "broadcast must be self-inclusive";
+  ASSERT_EQ(pb->received_[2].size(), 1u);
+  EXPECT_EQ(pb->received_[2][0].sender, 1u);
+}
+
+TEST(SyncSimulator, SenderIdIsStampedNotForgeable) {
+  SyncSimulator sim;
+  auto a = std::make_unique<ScriptedProcess>(1);
+  Message forged = text_msg(MsgKind::kPresent, 9);
+  forged.sender = 777;  // attempt to forge
+  a->send_in_round(1, Outgoing{std::nullopt, forged});
+  auto b = std::make_unique<ScriptedProcess>(2);
+  auto* pb = b.get();
+  sim.add_process(std::move(a));
+  sim.add_process(std::move(b));
+  sim.run_rounds(2);
+  ASSERT_EQ(pb->received_[2].size(), 1u);
+  EXPECT_EQ(pb->received_[2][0].sender, 1u) << "engine must overwrite the sender field";
+}
+
+TEST(SyncSimulator, UnicastReachesOnlyTarget) {
+  SyncSimulator sim;
+  auto a = std::make_unique<ScriptedProcess>(1);
+  a->send_in_round(1, Outgoing{NodeId{3}, text_msg(MsgKind::kAck, 5)});
+  auto b = std::make_unique<ScriptedProcess>(2);
+  auto c = std::make_unique<ScriptedProcess>(3);
+  auto* pb = b.get();
+  auto* pc = c.get();
+  sim.add_process(std::move(a));
+  sim.add_process(std::move(b));
+  sim.add_process(std::move(c));
+  sim.run_rounds(2);
+  EXPECT_TRUE(pb->received_[2].empty());
+  ASSERT_EQ(pc->received_[2].size(), 1u);
+  EXPECT_EQ(pc->received_[2][0].kind, MsgKind::kAck);
+}
+
+TEST(SyncSimulator, DuplicateMessagesFromSameSenderSameRoundAreDropped) {
+  SyncSimulator sim;
+  auto a = std::make_unique<ScriptedProcess>(1);
+  // Identical duplicates must collapse; a distinct payload must survive.
+  a->send_in_round(1, Outgoing{NodeId{2}, text_msg(MsgKind::kPresent, 1)});
+  a->send_in_round(1, Outgoing{NodeId{2}, text_msg(MsgKind::kPresent, 1)});
+  a->send_in_round(1, Outgoing{NodeId{2}, text_msg(MsgKind::kPresent, 2)});
+  auto b = std::make_unique<ScriptedProcess>(2);
+  auto* pb = b.get();
+  sim.add_process(std::move(a));
+  sim.add_process(std::move(b));
+  sim.run_rounds(2);
+  EXPECT_EQ(pb->received_[2].size(), 2u);
+}
+
+TEST(SyncSimulator, DuplicatesAcrossRoundsAreAllowed) {
+  SyncSimulator sim;
+  auto a = std::make_unique<ScriptedProcess>(1);
+  a->send_in_round(1, Outgoing{NodeId{2}, text_msg(MsgKind::kPresent, 1)});
+  a->send_in_round(2, Outgoing{NodeId{2}, text_msg(MsgKind::kPresent, 1)});
+  auto b = std::make_unique<ScriptedProcess>(2);
+  auto* pb = b.get();
+  sim.add_process(std::move(a));
+  sim.add_process(std::move(b));
+  sim.run_rounds(3);
+  EXPECT_EQ(pb->received_[2].size(), 1u);
+  EXPECT_EQ(pb->received_[3].size(), 1u);
+}
+
+TEST(SyncSimulator, LateJoinerGetsLocalRoundOne) {
+  SyncSimulator sim;
+  sim.add_process(std::make_unique<ScriptedProcess>(1));
+  sim.run_rounds(3);
+  auto late = std::make_unique<ScriptedProcess>(9);
+  auto* platee = late.get();
+  sim.add_process(std::move(late));
+  sim.run_rounds(2);
+  ASSERT_EQ(platee->locals_.size(), 2u);
+  EXPECT_EQ(platee->locals_[0], 1);
+  EXPECT_EQ(platee->globals_[0], 4);
+}
+
+TEST(SyncSimulator, RemovedProcessStopsReceivingAndSending) {
+  SyncSimulator sim;
+  auto a = std::make_unique<ScriptedProcess>(1);
+  for (Round r = 1; r <= 10; ++r) {
+    a->send_in_round(r, Outgoing{std::nullopt, text_msg(MsgKind::kPresent, double(r))});
+  }
+  auto b = std::make_unique<ScriptedProcess>(2);
+  auto* pb = b.get();
+  sim.add_process(std::move(a));
+  sim.add_process(std::move(b));
+  sim.run_rounds(2);
+  sim.remove_process(1);
+  sim.run_rounds(2);
+  // a's round-2 send was routed before removal, so round 3 still delivers;
+  // nothing afterwards.
+  EXPECT_EQ(pb->received_[3].size(), 1u);
+  EXPECT_TRUE(pb->received_[4].empty());
+  EXPECT_EQ(sim.member_count(), 1u);
+  EXPECT_EQ(sim.find(1), nullptr);
+}
+
+TEST(SyncSimulator, MessageToRemovedNodeIsLost) {
+  SyncSimulator sim;
+  auto a = std::make_unique<ScriptedProcess>(1);
+  a->send_in_round(2, Outgoing{NodeId{2}, text_msg(MsgKind::kPresent, 0)});
+  sim.add_process(std::move(a));
+  sim.add_process(std::make_unique<ScriptedProcess>(2));
+  sim.step();
+  sim.remove_process(2);
+  EXPECT_NO_FATAL_FAILURE(sim.run_rounds(2));
+}
+
+TEST(SyncSimulator, MetricsCountSentAndDelivered) {
+  SyncSimulator sim;
+  auto a = std::make_unique<ScriptedProcess>(1);
+  a->send_in_round(1, Outgoing{std::nullopt, text_msg(MsgKind::kPresent, 0)});
+  sim.add_process(std::move(a));
+  sim.add_process(std::make_unique<ScriptedProcess>(2));
+  sim.run_rounds(2);
+  // Broadcast to 2 members = 2 sends, 2 deliveries.
+  EXPECT_EQ(sim.metrics().messages.total_sent(), 2u);
+  EXPECT_EQ(sim.metrics().messages.total_delivered(), 2u);
+  EXPECT_EQ(sim.metrics().rounds_executed, 2);
+}
+
+TEST(SyncSimulator, DoneRoundRecorded) {
+  class DoneAfter3 final : public Process {
+   public:
+    using Process::Process;
+    void on_round(RoundInfo round, std::span<const Message>, std::vector<Outgoing>&) override {
+      done_ = done_ || round.local >= 3;
+    }
+    [[nodiscard]] bool done() const override { return done_; }
+
+   private:
+    bool done_ = false;
+  };
+  SyncSimulator sim;
+  sim.add_process(std::make_unique<DoneAfter3>(4));
+  EXPECT_TRUE(sim.run_until_all_correct_done(10));
+  ASSERT_TRUE(sim.metrics().done_round.contains(4));
+  EXPECT_EQ(sim.metrics().done_round.at(4), 3);
+  EXPECT_EQ(sim.round(), 3);
+}
+
+TEST(SyncSimulator, RunUntilStopsEarly) {
+  SyncSimulator sim;
+  sim.add_process(std::make_unique<ScriptedProcess>(1));
+  const bool hit = sim.run_until([&] { return sim.round() >= 5; }, 100);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(sim.round(), 5);
+}
+
+TEST(SyncSimulator, TraceRecordsRoutedMessages) {
+  SyncSimulator sim;
+  sim.enable_trace();
+  auto a = std::make_unique<ScriptedProcess>(1);
+  a->send_in_round(1, Outgoing{std::nullopt, text_msg(MsgKind::kPresent, 0)});
+  a->send_in_round(2, Outgoing{NodeId{2}, text_msg(MsgKind::kAck, 0)});
+  sim.add_process(std::move(a));
+  sim.add_process(std::make_unique<ScriptedProcess>(2));
+  sim.run_rounds(3);
+  ASSERT_EQ(sim.trace().size(), 2u);
+  EXPECT_EQ(sim.trace()[0].round, 1);
+  EXPECT_FALSE(sim.trace()[0].to.has_value());
+  EXPECT_EQ(sim.trace()[1].round, 2);
+  EXPECT_EQ(sim.trace()[1].to, NodeId{2});
+  EXPECT_EQ(sim.trace()[1].msg.sender, 1u);
+  const std::string dump = sim.dump_trace();
+  EXPECT_NE(dump.find("present"), std::string::npos);
+  EXPECT_NE(dump.find("ack"), std::string::npos);
+  EXPECT_TRUE(sim.dump_trace(Round{2}).find("present") == std::string::npos);
+}
+
+TEST(SyncSimulator, TraceRingBufferCapsMemory) {
+  SyncSimulator sim;
+  sim.enable_trace(/*capacity=*/4);
+  auto a = std::make_unique<ScriptedProcess>(1);
+  for (Round r = 1; r <= 10; ++r) {
+    a->send_in_round(r, Outgoing{std::nullopt, text_msg(MsgKind::kPresent, double(r))});
+  }
+  sim.add_process(std::move(a));
+  sim.run_rounds(10);
+  EXPECT_EQ(sim.trace().size(), 4u);
+  EXPECT_EQ(sim.trace().front().round, 7);
+}
+
+TEST(SyncSimulator, DelayHookPostponesDelivery) {
+  SyncSimulator sim;
+  sim.set_delay_hook([](NodeId, NodeId, const Message& m, Round) -> Round {
+    return m.kind == MsgKind::kAck ? 2 : 0;
+  });
+  auto a = std::make_unique<ScriptedProcess>(1);
+  a->send_in_round(1, Outgoing{NodeId{2}, text_msg(MsgKind::kAck, 0)});      // delayed by 2
+  a->send_in_round(1, Outgoing{NodeId{2}, text_msg(MsgKind::kPresent, 0)});  // on time
+  auto b = std::make_unique<ScriptedProcess>(2);
+  auto* pb = b.get();
+  sim.add_process(std::move(a));
+  sim.add_process(std::move(b));
+  sim.run_rounds(5);
+  ASSERT_EQ(pb->received_[2].size(), 1u);
+  EXPECT_EQ(pb->received_[2][0].kind, MsgKind::kPresent);
+  ASSERT_EQ(pb->received_[4].size(), 1u) << "delayed by 2 extra rounds: 1 + 1 + 2 = round 4";
+  EXPECT_EQ(pb->received_[4][0].kind, MsgKind::kAck);
+}
+
+TEST(SyncSimulator, DelayedMessageToRemovedNodeIsDropped) {
+  SyncSimulator sim;
+  sim.set_delay_hook([](NodeId, NodeId, const Message&, Round) -> Round { return 3; });
+  auto a = std::make_unique<ScriptedProcess>(1);
+  a->send_in_round(1, Outgoing{NodeId{2}, text_msg(MsgKind::kPresent, 0)});
+  sim.add_process(std::move(a));
+  sim.add_process(std::make_unique<ScriptedProcess>(2));
+  sim.step();
+  sim.remove_process(2);
+  EXPECT_NO_FATAL_FAILURE(sim.run_rounds(5));
+}
+
+TEST(SyncSimulator, EngineFuzzRandomChurnAndTrafficNeverBreaks) {
+  // Engine robustness: random joins, leaves, broadcasts, and unicasts to
+  // possibly-absent targets across 300 rounds must never crash, deliver to
+  // dead nodes, or corrupt bookkeeping. Deterministic per seed.
+  class Chatterbox final : public Process {
+   public:
+    Chatterbox(NodeId id, Rng rng) : Process(id), rng_(rng) {}
+    void on_round(RoundInfo, std::span<const Message> inbox,
+                  std::vector<Outgoing>& out) override {
+      received_total += inbox.size();
+      if (rng_.chance(0.7)) {
+        Message m;
+        m.kind = static_cast<MsgKind>(rng_.below(16));
+        m.value = Value::real(rng_.uniform(-1, 1));
+        broadcast(out, m);
+      }
+      if (rng_.chance(0.3)) {
+        Message m;
+        m.kind = MsgKind::kAck;
+        unicast(out, 1 + rng_.below(2000), m);  // target may not exist
+      }
+    }
+    std::size_t received_total = 0;
+
+   private:
+    Rng rng_;
+  };
+
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    SyncSimulator sim;
+    Rng rng(seed);
+    NodeId next_id = 1;
+    std::vector<NodeId> live;
+    for (int i = 0; i < 5; ++i) {
+      live.push_back(next_id);
+      sim.add_process(std::make_unique<Chatterbox>(next_id++, rng.fork()));
+    }
+    for (int round = 0; round < 300; ++round) {
+      if (rng.chance(0.1)) {
+        live.push_back(next_id);
+        sim.add_process(std::make_unique<Chatterbox>(next_id++, rng.fork()));
+      }
+      if (live.size() > 3 && rng.chance(0.08)) {
+        const std::size_t victim = rng.below(live.size());
+        sim.remove_process(live[victim]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+      }
+      ASSERT_NO_FATAL_FAILURE(sim.step()) << "seed=" << seed << " round=" << round;
+    }
+    sim.step();  // settle removals/joins issued in the final loop iteration
+    EXPECT_EQ(sim.member_count(), live.size()) << seed;
+    EXPECT_EQ(sim.round(), 301) << seed;
+    EXPECT_GT(sim.metrics().messages.total_delivered(), 0u);
+    EXPECT_LE(sim.metrics().messages.total_delivered(), sim.metrics().messages.total_sent());
+  }
+}
+
+TEST(SyncSimulator, MemberIdsSorted) {
+  SyncSimulator sim;
+  sim.add_process(std::make_unique<ScriptedProcess>(30));
+  sim.add_process(std::make_unique<ScriptedProcess>(10));
+  sim.add_process(std::make_unique<ScriptedProcess>(20));
+  sim.step();
+  EXPECT_EQ(sim.member_ids(), (std::vector<NodeId>{10, 20, 30}));
+}
+
+}  // namespace
+}  // namespace idonly

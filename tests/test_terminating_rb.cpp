@@ -1,0 +1,104 @@
+// Terminating reliable broadcast (appendix): common decision in O(f) rounds,
+// ⊥ when the source stays quiet.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/terminating_rb.hpp"
+#include "harness/scenario.hpp"
+#include "net/sync_simulator.hpp"
+
+namespace idonly {
+namespace {
+
+struct TrbRun {
+  bool all_done = false;
+  std::vector<Value> outputs;
+  Round rounds = 0;
+};
+
+TrbRun run_trb(std::size_t n_correct, std::size_t n_byz, AdversaryKind adversary,
+               std::uint64_t seed, bool byzantine_source, double payload = 11.5) {
+  ScenarioConfig config;
+  config.n_correct = n_correct;
+  config.n_byzantine = n_byz;
+  config.adversary = adversary;
+  config.seed = seed;
+  const Scenario scenario = make_scenario(config);
+  const NodeId source = byzantine_source && !scenario.byzantine_ids.empty()
+                            ? scenario.byzantine_ids.front()
+                            : scenario.correct_ids.front();
+  SyncSimulator sim;
+  auto factory = [&](NodeId id, std::size_t index) -> std::unique_ptr<Process> {
+    const double p = index < n_correct ? payload : payload + 7.0 * double(index);
+    return std::make_unique<TerminatingRbProcess>(id, source, Value::real(p));
+  };
+  populate(sim, scenario, factory);
+  TrbRun run;
+  run.all_done = sim.run_until_all_correct_done(300);
+  run.rounds = sim.round();
+  for (NodeId id : scenario.correct_ids) {
+    auto* p = sim.get<TerminatingRbProcess>(id);
+    if (p != nullptr && p->output().has_value()) run.outputs.push_back(*p->output());
+  }
+  return run;
+}
+
+TEST(TerminatingRb, CorrectSourceDeliversPayloadEverywhere) {
+  const auto run = run_trb(7, 2, AdversaryKind::kSilent, 1, /*byzantine_source=*/false);
+  EXPECT_TRUE(run.all_done);
+  ASSERT_EQ(run.outputs.size(), 7u);
+  for (const Value& v : run.outputs) EXPECT_EQ(v, Value::real(11.5));
+}
+
+TEST(TerminatingRb, SilentByzantineSourceDecidesBot) {
+  const auto run = run_trb(7, 2, AdversaryKind::kSilent, 2, /*byzantine_source=*/true);
+  EXPECT_TRUE(run.all_done);
+  ASSERT_EQ(run.outputs.size(), 7u);
+  for (const Value& v : run.outputs) EXPECT_TRUE(v.is_bot());
+}
+
+TEST(TerminatingRb, TwoFacedSourceStillYieldsCommonDecision) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto run = run_trb(7, 2, AdversaryKind::kTwoFaced, seed, /*byzantine_source=*/true);
+    EXPECT_TRUE(run.all_done) << seed;
+    ASSERT_EQ(run.outputs.size(), 7u) << seed;
+    for (const Value& v : run.outputs) EXPECT_EQ(v, run.outputs.front()) << seed;
+  }
+}
+
+class TrbSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, AdversaryKind, bool>> {};
+
+TEST_P(TrbSweep, CommonDecisionAlways) {
+  const auto [n_correct, adversary, byz_source] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    const auto run = run_trb(n_correct, 2, adversary, seed, byz_source);
+    EXPECT_TRUE(run.all_done) << to_string(adversary) << " seed=" << seed;
+    ASSERT_EQ(run.outputs.size(), n_correct);
+    for (const Value& v : run.outputs) {
+      EXPECT_EQ(v, run.outputs.front()) << to_string(adversary) << " seed=" << seed;
+    }
+    if (!byz_source) {
+      EXPECT_EQ(run.outputs.front(), Value::real(11.5)) << "correct source's payload wins";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TrbSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(7, 10),
+                       ::testing::Values(AdversaryKind::kSilent, AdversaryKind::kNoise,
+                                         AdversaryKind::kTwoFaced, AdversaryKind::kCrash,
+                                         AdversaryKind::kEchoChamber),
+                       ::testing::Bool()));
+
+TEST(TerminatingRb, NoiseAdversaryHarmless) {
+  const auto run = run_trb(10, 3, AdversaryKind::kNoise, 3, /*byzantine_source=*/false);
+  EXPECT_TRUE(run.all_done);
+  ASSERT_EQ(run.outputs.size(), 10u);
+  for (const Value& v : run.outputs) EXPECT_EQ(v, Value::real(11.5));
+}
+
+}  // namespace
+}  // namespace idonly
