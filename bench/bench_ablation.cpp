@@ -44,7 +44,7 @@ void BM_Ablation_RB(benchmark::State& state) {
         sim.add_process(std::make_unique<StBroadcastProcess>(id, ids[0], Value::real(1.0), f));
       }
       sim.run_rounds(6);
-      msgs_known = sim.metrics().messages.total_sent();
+      msgs_known = sim.metrics().messages.total_delivered();
       accept_known = sim.get<StBroadcastProcess>(ids[1])->accept_round().value_or(-1);
     }
     benchmark::DoNotOptimize(msgs_idonly);
@@ -88,7 +88,7 @@ void BM_Ablation_Consensus(benchmark::State& state) {
             roster[i], Value::real(static_cast<double>(i % 2)), roster, f));
       }
       sim.run_until_all_correct_done(400);
-      msgs_known = sim.metrics().messages.total_sent();
+      msgs_known = sim.metrics().messages.total_delivered();
       rounds_known = sim.round();
     }
     benchmark::DoNotOptimize(msgs_idonly);

@@ -87,7 +87,7 @@ void BM_PhaseKing_KnownNf(benchmark::State& state) {
     }
     sim.run_until_all_correct_done(400);
     rounds = sim.round();
-    messages = sim.metrics().messages.total_sent();
+    messages = sim.metrics().messages.total_delivered();
     for (std::size_t i = 0; i < n - f; ++i) {
       auto* p = sim.get<PhaseKingProcess>(roster[i]);
       if (p->decision_phase().has_value()) phases = std::max(phases, *p->decision_phase());

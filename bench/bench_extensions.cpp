@@ -32,7 +32,7 @@ void BM_Renaming(benchmark::State& state) {
     populate(sim, scenario, factory);
     sim.run_until_all_correct_done(200);
     rounds = sim.round();
-    messages = sim.metrics().messages.total_sent();
+    messages = sim.metrics().messages.total_delivered();
     benchmark::DoNotOptimize(rounds);
   }
   state.counters["rounds"] = static_cast<double>(rounds);

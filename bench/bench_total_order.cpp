@@ -41,7 +41,7 @@ LedgerResult run_ledger(std::size_t founders, std::size_t byzantine, int event_r
   LedgerResult result;
   result.chain_len = node(ids[0])->chain().size();
   result.finality_lag = node(ids[0])->protocol_round() - node(ids[0])->finalized_upto();
-  result.messages = sim.metrics().messages.total_sent();
+  result.messages = sim.metrics().messages.total_delivered();
   return result;
 }
 

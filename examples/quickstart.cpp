@@ -37,6 +37,6 @@ int main() {
   std::printf("phases to decide (slowest): %lld\n",
               static_cast<long long>(run.max_decision_phase));
   std::printf("simulated rounds          : %lld\n", static_cast<long long>(run.rounds));
-  std::printf("messages sent             : %llu\n", static_cast<unsigned long long>(run.messages));
+  std::printf("messages delivered        : %llu\n", static_cast<unsigned long long>(run.messages));
   return run.all_decided && run.agreement && run.validity ? 0 : 1;
 }

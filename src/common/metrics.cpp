@@ -15,6 +15,7 @@ std::uint64_t MessageCounters::total_delivered() const noexcept {
 
 void Metrics::reset() {
   messages = MessageCounters{};
+  fanout.reset();
   rounds_executed = 0;
   done_round.clear();
 }
@@ -22,7 +23,8 @@ void Metrics::reset() {
 std::string Metrics::summary() const {
   std::ostringstream os;
   os << "rounds=" << rounds_executed << " sent=" << messages.total_sent()
-     << " delivered=" << messages.total_delivered() << " done_nodes=" << done_round.size();
+     << " delivered=" << messages.total_delivered() << " dedup_hits=" << fanout.dedup_hits
+     << " bytes=" << fanout.bytes_delivered << " done_nodes=" << done_round.size();
   return os.str();
 }
 

@@ -17,6 +17,11 @@ namespace idonly {
 
 /// Indexed by MsgKind (see net/message.hpp); kept as raw counters so the hot
 /// path in the simulator is a single array increment.
+///
+/// `sent` counts one per outgoing message (a broadcast is ONE send no matter
+/// how many members receive it); `delivered` counts per-recipient, post
+/// duplicate suppression. delivered may therefore exceed sent by up to the
+/// member count, and undershoot it when recipients are gone or dedup fires.
 struct MessageCounters {
   static constexpr std::size_t kKinds = 16;
   std::array<std::uint64_t, kKinds> sent{};
@@ -26,8 +31,21 @@ struct MessageCounters {
   [[nodiscard]] std::uint64_t total_delivered() const noexcept;
 };
 
+/// Fan-out accounting for the mailbox layer (net/mailbox.hpp): how much
+/// traffic the engine moved, how much of it was shared rather than copied,
+/// and how much the once-per-message cached-hash dedup saved.
+struct FanoutCounters {
+  std::uint64_t deliveries = 0;       ///< per-recipient deliveries (post-dedup)
+  std::uint64_t unique_payloads = 0;  ///< messages wrapped (hashed) once at send time
+  std::uint64_t dedup_hits = 0;       ///< duplicate deposits suppressed via the cached hash
+  std::uint64_t bytes_delivered = 0;  ///< wire-encoded bytes summed over deliveries
+
+  void reset() { *this = FanoutCounters{}; }
+};
+
 struct Metrics {
   MessageCounters messages;
+  FanoutCounters fanout;
   Round rounds_executed = 0;
   /// Round at which each node reported done() (protocol termination).
   std::map<NodeId, Round> done_round;

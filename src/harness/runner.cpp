@@ -33,7 +33,7 @@ ConsensusRun run_consensus(const ScenarioConfig& config, const std::vector<doubl
   ConsensusRun run;
   run.all_decided = sim.run_until_all_correct_done(max_rounds);
   run.rounds = sim.round();
-  run.messages = sim.metrics().messages.total_sent();
+  run.messages = sim.metrics().messages.total_delivered();
 
   for (NodeId id : scenario.correct_ids) {
     auto* p = sim.get<ConsensusProcess>(id);
@@ -77,7 +77,7 @@ ReliableBroadcastRun run_reliable_broadcast(const ScenarioConfig& config, double
   ReliableBroadcastRun run;
   run.source_correct = !byzantine_source;
   run.rounds = sim.round();
-  run.messages = sim.metrics().messages.total_sent();
+  run.messages = sim.metrics().messages.total_delivered();
   std::vector<Value> payloads;
   for (NodeId id : scenario.correct_ids) {
     auto* p = sim.get<ReliableBroadcastProcess>(id);
@@ -112,7 +112,7 @@ ApproxRun run_approx_agreement(const ScenarioConfig& config, const std::vector<d
 
   ApproxRun run;
   run.rounds = sim.round();
-  run.messages = sim.metrics().messages.total_sent();
+  run.messages = sim.metrics().messages.total_delivered();
   std::vector<double> correct_inputs;
   for (std::size_t i = 0; i < config.n_correct; ++i) {
     correct_inputs.push_back(inputs[i % inputs.size()]);
@@ -162,7 +162,7 @@ ApproxRun run_known_f_approx(std::size_t n_correct, std::size_t f,
 
   ApproxRun run;
   run.rounds = sim.round();
-  run.messages = sim.metrics().messages.total_sent();
+  run.messages = sim.metrics().messages.total_delivered();
   std::vector<double> correct_inputs;
   for (std::size_t i = 0; i < n_correct; ++i) correct_inputs.push_back(inputs[i % inputs.size()]);
   run.input_range = range_of(correct_inputs);
@@ -200,7 +200,7 @@ RotorRun run_rotor(const ScenarioConfig& config, Round max_rounds) {
   RotorRun run;
   run.all_terminated = sim.run_until_all_correct_done(max_rounds);
   run.rounds = sim.round();
-  run.messages = sim.metrics().messages.total_sent();
+  run.messages = sim.metrics().messages.total_delivered();
 
   // Collect per-node histories to find a good round: a rotor round where
   // every correct node selected the same CORRECT coordinator.
@@ -255,7 +255,7 @@ ParallelRun run_parallel_consensus(const ScenarioConfig& config,
   ParallelRun run;
   run.all_terminated = sim.run_until_all_correct_done(max_rounds);
   run.rounds = sim.round();
-  run.messages = sim.metrics().messages.total_sent();
+  run.messages = sim.metrics().messages.total_delivered();
 
   std::vector<std::vector<OutputPair>> outputs;
   for (NodeId id : scenario.correct_ids) {

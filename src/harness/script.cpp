@@ -203,7 +203,7 @@ ScriptRun run_consensus_like(const ScenarioScript& script) {
     populate(sim, scenario, factory);
     all_decided = sim.run_until_all_correct_done(script.max_rounds);
     result.rounds = sim.round();
-    result.messages = sim.metrics().messages.total_sent();
+    result.messages = sim.metrics().messages.total_delivered();
     std::optional<Value> first;
     agreement = true;
     for (NodeId id : scenario.correct_ids) {
@@ -292,7 +292,7 @@ ScriptRun run_script(const ScenarioScript& script) {
       populate(sim, scenario, factory);
       const bool done = sim.run_until_all_correct_done(script.max_rounds);
       result.rounds = sim.round();
-      result.messages = sim.metrics().messages.total_sent();
+      result.messages = sim.metrics().messages.total_delivered();
       bool consistent = done;
       std::optional<std::set<NodeId>> reference;
       for (NodeId id : scenario.correct_ids) {

@@ -20,10 +20,13 @@ void AsyncSimulator::dispatch_out(NodeId from, const std::vector<AsyncOutgoing>&
   for (const AsyncOutgoing& o : out) {
     Message msg = o.msg;
     msg.sender = from;
+    // Wrap once; a broadcast's n events share the payload by reference.
+    const MessageRef ref = MessageRef::wrap(std::move(msg));
+    fanout_.unique_payloads += 1;
     auto deliver_to = [&](NodeId to) {
-      const Time latency = delay_(from, to, msg, now_);
+      const Time latency = delay_(from, to, ref.get(), now_);
       if (latency < 0) return;  // delay model may drop (models "never delivered" in a run prefix)
-      queue_.push(Event{now_ + latency, seq_++, to, /*is_timer=*/false, msg});
+      queue_.push(Event{now_ + latency, seq_++, to, /*is_timer=*/false, ref});
     };
     if (o.to.has_value()) {
       deliver_to(*o.to);
@@ -42,7 +45,7 @@ void AsyncSimulator::rearm_timer(AsyncProcess& p) {
   auto it = armed_timer_.find(p.id());
   if (it != armed_timer_.end() && it->second == *deadline) return;  // already queued
   armed_timer_[p.id()] = *deadline;
-  queue_.push(Event{*deadline, seq_++, p.id(), /*is_timer=*/true, Message{}});
+  queue_.push(Event{*deadline, seq_++, p.id(), /*is_timer=*/true, MessageRef{}});
 }
 
 void AsyncSimulator::run(Time horizon) {
@@ -72,7 +75,9 @@ void AsyncSimulator::run(Time horizon) {
       armed_timer_.erase(armed);
       p.on_timer(now_, out);
     } else {
-      p.on_message(now_, ev.msg, out);
+      fanout_.deliveries += 1;
+      fanout_.bytes_delivered += ev.msg.wire_bytes();
+      p.on_message(now_, ev.msg.get(), out);
     }
     dispatch_out(ev.to, out);
     rearm_timer(p);

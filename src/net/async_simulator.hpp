@@ -17,7 +17,9 @@
 #include <queue>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/types.hpp"
+#include "net/mailbox.hpp"
 #include "net/message.hpp"
 
 namespace idonly {
@@ -76,13 +78,17 @@ class AsyncSimulator {
   [[nodiscard]] AsyncProcess* find(NodeId id);
   [[nodiscard]] std::vector<NodeId> ids() const;
 
+  /// Mailbox-layer accounting: a broadcast is wrapped once and fanned out
+  /// as reference bumps; deliveries are counted when handed to a process.
+  [[nodiscard]] const FanoutCounters& fanout() const noexcept { return fanout_; }
+
  private:
   struct Event {
     Time at;
     std::uint64_t seq;  // FIFO tie-break for determinism
     NodeId to;
     bool is_timer;
-    Message msg;  // unused for timers
+    MessageRef msg;  // null for timers; shared across a broadcast's n events
     friend bool operator>(const Event& a, const Event& b) {
       return a.at != b.at ? a.at > b.at : a.seq > b.seq;
     }
@@ -98,6 +104,7 @@ class AsyncSimulator {
   Time now_ = 0;
   std::uint64_t seq_ = 0;
   bool started_ = false;
+  FanoutCounters fanout_;
 };
 
 }  // namespace idonly

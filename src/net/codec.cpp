@@ -61,6 +61,19 @@ std::vector<std::byte> encode(const Message& msg) {
   return out;
 }
 
+std::size_t encoded_size(const Message& msg) noexcept {
+  const auto varint_size = [](std::uint64_t v) noexcept {
+    std::size_t n = 1;
+    while (v >= 0x80) {
+      v >>= 7;
+      n += 1;
+    }
+    return n;
+  };
+  return 3 + varint_size(msg.sender) + varint_size(msg.subject) + varint_size(msg.instance) +
+         varint_size(msg.round_tag) + (msg.value.is_bot() ? 0 : 8);
+}
+
 std::optional<Message> decode(std::span<const std::byte> bytes) {
   if (bytes.size() < 3) return std::nullopt;
   if (static_cast<std::uint8_t>(bytes[0]) != kWireVersion) return std::nullopt;

@@ -42,6 +42,10 @@ std::size_t encode(const Message& msg, std::vector<std::byte>& out);
 /// or non-canonical varints.
 [[nodiscard]] std::optional<Message> decode(std::span<const std::byte> bytes);
 
+/// Size encode() would produce, without encoding (pure arithmetic — safe on
+/// a hot path; the mailbox layer caches it per message for byte accounting).
+[[nodiscard]] std::size_t encoded_size(const Message& msg) noexcept;
+
 /// LEB128-style unsigned varint used by the codec (exposed for tests).
 void put_varint(std::uint64_t value, std::vector<std::byte>& out);
 /// Reads a varint at `offset`, advancing it; nullopt on truncation/overflow.

@@ -1,0 +1,132 @@
+#include "net/mailbox.hpp"
+
+#include "net/codec.hpp"
+
+namespace idonly {
+
+MessageRef MessageRef::wrap(Message msg) {
+  const std::size_t hash = MessageHash{}(msg);
+  const auto wire = static_cast<std::uint32_t>(encoded_size(msg));
+  MessageRef out;
+  out.cell_ = std::make_shared<const Cell>(Cell{std::move(msg), hash, wire});
+  return out;
+}
+
+bool BroadcastLane::deposit(MessageRef ref, std::uint64_t seq) {
+  if (!seen_.insert(ref).second) return false;
+  kind_counts_[static_cast<std::size_t>(ref->kind)] += 1;
+  wire_bytes_ += ref.wire_bytes();
+  entries_.push_back(std::move(ref));
+  seqs_.push_back(seq);
+  return true;
+}
+
+std::span<const Message> BroadcastLane::view() const {
+  while (view_.size() < entries_.size()) view_.push_back(entries_[view_.size()].get());
+  return view_;
+}
+
+void BroadcastLane::clear() {
+  entries_.clear();
+  seqs_.clear();
+  seen_.clear();
+  kind_counts_.fill(0);
+  wire_bytes_ = 0;
+  view_.clear();
+}
+
+bool Mailbox::deposit(MessageRef ref, std::uint64_t seq) {
+  if (!seen_.insert(ref).second) return false;
+  entries_.push_back(std::move(ref));
+  seqs_.push_back(seq);
+  return true;
+}
+
+std::span<const Message> Mailbox::collect(const BroadcastLane* lane,
+                                          std::vector<Message>& scratch, FanoutCounters* fanout,
+                                          MessageCounters* counters) {
+  // Fast path: nothing receiver-specific — share the lane's view outright.
+  if (entries_.empty()) {
+    if (lane == nullptr || lane->empty()) return {};
+    const auto view = lane->view();
+    if (fanout != nullptr) {
+      fanout->deliveries += view.size();
+      fanout->bytes_delivered += lane->wire_bytes();
+    }
+    if (counters != nullptr) {
+      const auto& kinds = lane->kind_counts();
+      for (std::size_t k = 0; k < kinds.size(); ++k) counters->delivered[k] += kinds[k];
+    }
+    return view;
+  }
+
+  // Slow path: merge lane and private entries by send order. A private
+  // entry whose content already sits in the lane is the "broadcast + unicast
+  // of the same message" duplicate — suppressed, like the per-receiver dedup
+  // of old, but against the cached hash.
+  const std::span<const MessageRef> lane_refs = lane != nullptr ? lane->refs() : std::span<const MessageRef>{};
+  const std::span<const std::uint64_t> lane_seqs = lane != nullptr ? lane->seqs() : std::span<const std::uint64_t>{};
+  scratch.clear();
+  scratch.reserve(lane_refs.size() + entries_.size());
+  const auto push = [&](const MessageRef& ref) {
+    scratch.push_back(ref.get());
+    if (fanout != nullptr) {
+      fanout->deliveries += 1;
+      fanout->bytes_delivered += ref.wire_bytes();
+    }
+    if (counters != nullptr) counters->delivered[static_cast<std::size_t>(ref->kind)] += 1;
+  };
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < lane_refs.size() || j < entries_.size()) {
+    const bool take_lane =
+        j >= entries_.size() || (i < lane_refs.size() && lane_seqs[i] < seqs_[j]);
+    if (take_lane) {
+      push(lane_refs[i]);
+      i += 1;
+    } else {
+      if (lane != nullptr && lane->contains(entries_[j])) {
+        if (fanout != nullptr) fanout->dedup_hits += 1;
+      } else {
+        push(entries_[j]);
+      }
+      j += 1;
+    }
+  }
+  entries_.clear();
+  seqs_.clear();
+  seen_.clear();
+  return scratch;
+}
+
+FrameRef make_frame_ref(std::span<const std::byte> bytes) {
+  return std::make_shared<const Frame>(bytes.begin(), bytes.end());
+}
+
+FrameView make_frame_view(std::span<const std::byte> bytes) {
+  return make_frame_view(make_frame_ref(bytes));
+}
+
+FrameView make_frame_view(FrameRef owner) {
+  const std::span<const std::byte> span(*owner);
+  return FrameView{std::move(owner), span};
+}
+
+void FrameMailbox::deposit(FrameView view) {
+  std::scoped_lock lock(mutex_);
+  views_.push_back(std::move(view));
+}
+
+std::vector<FrameView> FrameMailbox::drain() {
+  std::scoped_lock lock(mutex_);
+  std::vector<FrameView> out;
+  out.swap(views_);
+  return out;
+}
+
+std::size_t FrameMailbox::size() const {
+  std::scoped_lock lock(mutex_);
+  return views_.size();
+}
+
+}  // namespace idonly

@@ -1,0 +1,203 @@
+// The mailbox layer: zero-copy message fan-out shared by every engine.
+//
+// All-to-all protocols make the engines route Θ(n²) deliveries per round;
+// before this layer existed each engine (sync simulator, async simulator,
+// runtime in-memory hub) implemented that fan-out as a deep copy per
+// receiver plus a per-receiver content rehash for duplicate suppression.
+// This file centralises the pattern:
+//
+//   * `MessageRef` — an immutable, ref-counted message. The engine stamps
+//     the sender and wraps exactly once per send; the content hash (for
+//     dedup) and wire size (for byte accounting) are computed at wrap time
+//     and cached, so fanning out to n receivers costs n reference bumps,
+//     never n rehashes.
+//   * `BroadcastLane` — the per-round broadcast buffer of a synchronous
+//     engine. A broadcast is deposited ONCE (dedup against the cached hash
+//     happens once per message, not once per receiver) and every member of
+//     the round reads the same contiguous materialised view, so the common
+//     all-broadcast round does zero per-receiver work.
+//   * `Mailbox` — the per-receiver buffer for traffic that is genuinely
+//     receiver-specific (unicasts, delayed redeliveries). `collect()` merges
+//     it with the shared lane in send order; when a receiver has no private
+//     traffic the returned span aliases the lane view directly.
+//   * `FrameRef`/`FrameView`/`FrameMailbox` — the same idea one level down,
+//     for the runtime's byte frames: a broadcast domain shares one
+//     ref-counted frame and each endpoint's mailbox holds views into it.
+//
+// Ownership rules: a MessageRef/FrameRef keeps its payload alive for as long
+// as any holder exists; payloads are immutable after wrapping. Spans returned
+// by `Mailbox::collect` (and the frame `bytes` of a FrameView) are valid
+// until the owning lane/ref is cleared or released — for the synchronous
+// engine that means "for the duration of the current round's callbacks",
+// matching the pre-existing `Process::on_round` inbox contract.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "net/message.hpp"
+
+namespace idonly {
+
+/// Immutable, ref-counted message with its content hash and wire size
+/// computed once at wrap time. Copying a MessageRef is a reference bump.
+class MessageRef {
+ public:
+  MessageRef() = default;
+
+  /// Wrap a message (after the engine stamped the sender — the hash covers
+  /// identity + content, so stamp first). Computes hash and wire size once.
+  [[nodiscard]] static MessageRef wrap(Message msg);
+
+  [[nodiscard]] const Message& get() const noexcept { return cell_->msg; }
+  const Message& operator*() const noexcept { return cell_->msg; }
+  const Message* operator->() const noexcept { return &cell_->msg; }
+
+  /// Content hash (identity included), cached — never recomputed per receiver.
+  [[nodiscard]] std::size_t content_hash() const noexcept { return cell_->hash; }
+  /// Codec frame size this message would occupy on the wire, cached.
+  [[nodiscard]] std::size_t wire_bytes() const noexcept { return cell_->wire_bytes; }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return cell_ != nullptr; }
+  [[nodiscard]] long use_count() const noexcept { return cell_.use_count(); }
+
+  /// Cached-hash fast path, full content comparison on hash agreement.
+  friend bool operator==(const MessageRef& a, const MessageRef& b) noexcept {
+    return a.cell_ == b.cell_ ||
+           (a.cell_ != nullptr && b.cell_ != nullptr && a.cell_->hash == b.cell_->hash &&
+            a.cell_->msg == b.cell_->msg);
+  }
+
+ private:
+  struct Cell {
+    Message msg;
+    std::size_t hash = 0;
+    std::uint32_t wire_bytes = 0;
+  };
+  std::shared_ptr<const Cell> cell_;
+};
+
+/// Hashes through the cached content hash — a dedup-set probe never touches
+/// the message fields again.
+struct MessageRefHash {
+  [[nodiscard]] std::size_t operator()(const MessageRef& r) const noexcept {
+    return r.content_hash();
+  }
+};
+
+/// Per-round broadcast buffer shared by every member of a synchronous round.
+/// Deposit once; all receivers read the same contiguous view. Duplicate
+/// suppression (identical sender + content within the round) happens at
+/// deposit, once per message — the engine's model semantics, hoisted out of
+/// the per-receiver loop.
+class BroadcastLane {
+ public:
+  /// Deposit a broadcast with its send-order sequence number. Returns false
+  /// when an identical message was already deposited this round (the
+  /// duplicate is suppressed for every receiver at once).
+  bool deposit(MessageRef ref, std::uint64_t seq);
+
+  /// The round's broadcasts as contiguous storage, materialised lazily once
+  /// per round and shared by all receivers. Valid until clear().
+  [[nodiscard]] std::span<const Message> view() const;
+
+  [[nodiscard]] bool contains(const MessageRef& ref) const { return seen_.contains(ref); }
+  [[nodiscard]] std::span<const MessageRef> refs() const noexcept { return entries_; }
+  [[nodiscard]] std::span<const std::uint64_t> seqs() const noexcept { return seqs_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  /// Per-kind deposit counts and total wire bytes — lets a receiver account
+  /// a whole lane in O(kinds) instead of O(messages).
+  [[nodiscard]] const std::array<std::uint64_t, MessageCounters::kKinds>& kind_counts()
+      const noexcept {
+    return kind_counts_;
+  }
+  [[nodiscard]] std::uint64_t wire_bytes() const noexcept { return wire_bytes_; }
+
+  /// Start a new round. Keeps capacity (steady-state rounds allocate nothing).
+  void clear();
+
+ private:
+  std::vector<MessageRef> entries_;
+  std::vector<std::uint64_t> seqs_;
+  std::unordered_set<MessageRef, MessageRefHash> seen_;
+  std::array<std::uint64_t, MessageCounters::kKinds> kind_counts_{};
+  std::uint64_t wire_bytes_ = 0;
+  mutable std::vector<Message> view_;  // materialised prefix of entries_
+};
+
+/// Per-receiver buffer for receiver-specific traffic: unicasts, delayed
+/// redeliveries, and (when a delay hook forces per-receiver routing)
+/// broadcasts. Holds references, not copies.
+class Mailbox {
+ public:
+  /// Deposit with a send-order sequence number; dedups (cached hash) against
+  /// everything deposited since the last collect(). Returns false when
+  /// suppressed as a duplicate.
+  bool deposit(MessageRef ref, std::uint64_t seq);
+
+  /// Assemble this receiver's round inbox: the shared lane (may be null)
+  /// merged with private traffic in send order, duplicates across the two
+  /// suppressed. Fast path: with no private traffic the returned span
+  /// aliases the lane's shared view — zero per-receiver work. Slow path:
+  /// merges into `scratch` (reused across rounds by the caller).
+  /// Updates `fanout` / `counters` with per-recipient delivery stats when
+  /// non-null. Resets the private buffer.
+  std::span<const Message> collect(const BroadcastLane* lane, std::vector<Message>& scratch,
+                                   FanoutCounters* fanout = nullptr,
+                                   MessageCounters* counters = nullptr);
+
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+ private:
+  std::vector<MessageRef> entries_;
+  std::vector<std::uint64_t> seqs_;
+  std::unordered_set<MessageRef, MessageRefHash> seen_;
+};
+
+// --------------------------------------------------------------- frames --
+// The byte-level half of the layer, used by the runtime transports. A Frame
+// is wrapped into a ref-counted FrameRef once per broadcast; endpoints hold
+// FrameViews (owner + byte span), so fan-out, decorator tag-stripping, and
+// duplication are all reference operations, never buffer copies.
+
+using Frame = std::vector<std::byte>;
+using FrameRef = std::shared_ptr<const Frame>;
+
+/// A window into a ref-counted frame. `bytes` stays valid while `owner`
+/// lives; decorators narrow `bytes` (e.g. stripping an auth tag) without
+/// touching the underlying buffer.
+struct FrameView {
+  FrameRef owner;
+  std::span<const std::byte> bytes;
+};
+
+/// Copy `bytes` into a freshly allocated shared frame (the ONE copy a
+/// broadcast pays, after which all receivers share it).
+[[nodiscard]] FrameRef make_frame_ref(std::span<const std::byte> bytes);
+[[nodiscard]] FrameView make_frame_view(std::span<const std::byte> bytes);
+/// View over an already-shared frame — no copy at all.
+[[nodiscard]] FrameView make_frame_view(FrameRef owner);
+
+/// Thread-safe endpoint mailbox of frame views — the runtime analogue of
+/// Mailbox, shared by the in-memory hub's endpoints.
+class FrameMailbox {
+ public:
+  void deposit(FrameView view);
+  [[nodiscard]] std::vector<FrameView> drain();
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<FrameView> views_;
+};
+
+}  // namespace idonly

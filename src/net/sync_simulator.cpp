@@ -2,46 +2,78 @@
 
 #include <algorithm>
 #include <cassert>
-#include <unordered_set>
+#include <stdexcept>
+#include <string>
 
 namespace idonly {
 
 void SyncSimulator::add_process(std::unique_ptr<Process> process) {
-  assert(process != nullptr);
+  if (process == nullptr) throw std::invalid_argument("add_process: null process");
+  const NodeId id = process->id();
+  const bool leaving =
+      std::find(pending_removals_.begin(), pending_removals_.end(), id) != pending_removals_.end();
+  if (leaving) {
+    // Re-use of an id whose removal is queued: make that removal effective
+    // now — old member, any stale queued join, and in-flight delayed
+    // messages all die — so the replacement joins cleanly next round
+    // (instead of step() mistaking it for the departing node).
+    members_.erase(id);
+    std::erase_if(pending_joins_,
+                  [id](const std::unique_ptr<Process>& p) { return p->id() == id; });
+    for (auto& [due, entries] : delayed_) {
+      std::erase_if(entries, [id](const auto& entry) { return entry.first == id; });
+    }
+    std::erase(pending_removals_, id);
+  } else {
+    const bool queued = std::any_of(pending_joins_.begin(), pending_joins_.end(),
+                                    [id](const auto& p) { return p->id() == id; });
+    if (members_.contains(id) || queued) {
+      throw std::invalid_argument("add_process: duplicate live node id " + std::to_string(id));
+    }
+  }
   pending_joins_.push_back(std::move(process));
 }
 
 void SyncSimulator::remove_process(NodeId id) { pending_removals_.push_back(id); }
 
 void SyncSimulator::route(NodeId from, const std::vector<Outgoing>& outbox) {
-  // Per-receiver duplicate suppression within this round: the model says
-  // "duplicate messages from the same node in a round are simply discarded".
-  // We stamp the sender first so the dedup key covers identity + content.
+  // Each outgoing message is stamped (unforgeable identity), wrapped into a
+  // MessageRef exactly once — content hash and wire size cached there — and
+  // fanned out by reference. Duplicate suppression ("duplicate messages from
+  // the same node in a round are simply discarded") runs once per message at
+  // lane deposit for broadcasts, per receiver only for private traffic.
   for (const Outgoing& out : outbox) {
     Message msg = out.msg;
     msg.sender = from;  // unforgeable identity
+    const auto kind_idx = static_cast<std::size_t>(msg.kind);
+    metrics_.messages.sent[kind_idx] += 1;  // one send per message, broadcast or not
+    metrics_.fanout.unique_payloads += 1;
+    const MessageRef ref = MessageRef::wrap(std::move(msg));
     if (tracing_) {
       if (trace_.size() >= trace_capacity_) trace_.pop_front();
-      trace_.push_back(TraceEntry{round_, from, out.to, msg});
+      trace_.push_back(TraceEntry{round_, from, out.to, ref.get()});
     }
-    const auto kind_idx = static_cast<std::size_t>(msg.kind);
-    auto deliver = [&](NodeId to, Member& member) {
-      metrics_.messages.sent[kind_idx] += 1;
+    auto deposit_private = [&](NodeId to, Member& member) {
       if (delay_hook_) {
-        const Round extra = delay_hook_(from, to, msg, round_);
+        const Round extra = delay_hook_(from, to, ref.get(), round_);
         if (extra > 0) {
-          delayed_[round_ + 1 + extra].emplace_back(to, msg);
+          delayed_[round_ + 1 + extra].emplace_back(to, ref);
           return;
         }
       }
-      member.inbox.push_back(msg);
+      if (!member.mailbox.deposit(ref, seq_++)) metrics_.fanout.dedup_hits += 1;
     };
     if (out.to.has_value()) {
       auto it = members_.find(*out.to);
       if (it == members_.end()) continue;  // recipient gone — message lost
-      deliver(*out.to, it->second);
+      deposit_private(*out.to, it->second);
+    } else if (delay_hook_) {
+      // A delay hook may postpone per (from, to) pair, so the broadcast is
+      // no longer uniform across receivers — route it per receiver (the
+      // hook is a test-only synchrony-violation probe; perf is irrelevant).
+      for (auto& [id, member] : members_) deposit_private(id, member);
     } else {
-      for (auto& [id, member] : members_) deliver(id, member);
+      if (!lanes_[fill_lane_].deposit(ref, seq_++)) metrics_.fanout.dedup_hits += 1;
     }
   }
 }
@@ -50,11 +82,16 @@ void SyncSimulator::step() {
   // Departures announced during the previous round take effect before this
   // one begins: messages the leaver already sent were routed then, but it
   // neither acts nor receives from here on. A node that was added and
-  // removed before ever stepping is purged from the pending-join queue too.
+  // removed before ever stepping is purged from the pending-join queue too,
+  // and in-flight delayed messages addressed to the leaver die with it — a
+  // later process re-using the id must not inherit them.
   for (NodeId id : pending_removals_) {
     members_.erase(id);
     std::erase_if(pending_joins_,
                   [id](const std::unique_ptr<Process>& p) { return p->id() == id; });
+    for (auto& [due, entries] : delayed_) {
+      std::erase_if(entries, [id](const auto& entry) { return entry.first == id; });
+    }
   }
   pending_removals_.clear();
 
@@ -73,46 +110,53 @@ void SyncSimulator::step() {
   round_ += 1;
   metrics_.rounds_executed = round_;
 
-  // Deliver synchrony-fault-delayed messages that are due this round.
+  // Deliver synchrony-fault-delayed messages that are due this round. They
+  // land in the receiver's private mailbox AFTER last round's routed
+  // traffic (their sequence numbers are fresher), preserving the historical
+  // "delayed messages arrive at the back of the inbox" order.
   for (auto it = delayed_.begin(); it != delayed_.end() && it->first <= round_;) {
-    for (auto& [to, msg] : it->second) {
+    for (auto& [to, ref] : it->second) {
       auto member = members_.find(to);
-      if (member != members_.end()) member->second.inbox.push_back(std::move(msg));
+      if (member == members_.end()) continue;
+      if (!member->second.mailbox.deposit(ref, seq_++)) metrics_.fanout.dedup_hits += 1;
     }
     it = delayed_.erase(it);
   }
 
-  // Swap out each member's pending inbox, then step in ascending id order.
-  // All sends of this round are routed after every process ran, preserving
-  // lock-step semantics (no same-round delivery).
-  std::vector<std::pair<NodeId, std::vector<Message>>> inboxes;
-  inboxes.reserve(members_.size());
+  // Flip lanes: the lane filled last step is consumed by every member this
+  // step; this step's sends fill the other. Then assemble every member's
+  // inbox BEFORE stepping anyone — lock-step semantics (no same-round
+  // delivery), and the spans stay valid because routing only touches the
+  // fill lane and already-collected mailboxes.
+  BroadcastLane& deliver_lane = lanes_[fill_lane_];
+  fill_lane_ ^= 1;
+  lanes_[fill_lane_].clear();
+
+  struct Dispatch {
+    NodeId id;
+    std::span<const Message> inbox;
+  };
+  std::vector<Dispatch> dispatches;
+  dispatches.reserve(members_.size());
   for (auto& [id, member] : members_) {
-    // Receiver-side dedup: identical (sender, content) within one round.
-    std::unordered_set<Message, MessageHash> seen;
-    std::vector<Message> inbox;
-    inbox.reserve(member.inbox.size());
-    for (Message& m : member.inbox) {
-      if (seen.insert(m).second) inbox.push_back(std::move(m));
-    }
-    member.inbox.clear();
-    for (const Message& m : inbox) {
-      metrics_.messages.delivered[static_cast<std::size_t>(m.kind)] += 1;
-    }
-    inboxes.emplace_back(id, std::move(inbox));
+    // A member admitted at the start of THIS step was not a receiver of last
+    // round's broadcasts — it gets no lane, and its mailbox is empty.
+    const BroadcastLane* lane = member.joined_round == round_ ? nullptr : &deliver_lane;
+    dispatches.push_back(Dispatch{
+        id, member.mailbox.collect(lane, member.scratch, &metrics_.fanout, &metrics_.messages)});
   }
 
   std::vector<Outgoing> outbox;
-  for (auto& [id, inbox] : inboxes) {
-    auto it = members_.find(id);
+  for (const Dispatch& dispatch : dispatches) {
+    auto it = members_.find(dispatch.id);
     if (it == members_.end()) continue;
     Member& member = it->second;
     const bool was_done = member.process->done();
     outbox.clear();
     RoundInfo info{round_, round_ - member.joined_round + 1};
-    member.process->on_round(info, std::span<const Message>(inbox), outbox);
-    route(id, outbox);
-    if (!was_done && member.process->done()) metrics_.done_round[id] = round_;
+    member.process->on_round(info, dispatch.inbox, outbox);
+    route(dispatch.id, outbox);
+    if (!was_done && member.process->done()) metrics_.done_round[dispatch.id] = round_;
   }
 }
 

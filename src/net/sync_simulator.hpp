@@ -27,6 +27,7 @@
 
 #include "common/metrics.hpp"
 #include "common/types.hpp"
+#include "net/mailbox.hpp"
 #include "net/process.hpp"
 
 namespace idonly {
@@ -36,7 +37,9 @@ class SyncSimulator {
   SyncSimulator() = default;
 
   /// Register a process; it participates from the next executed round.
-  /// Precondition: no live process already holds this id.
+  /// Throws std::invalid_argument when a live or already-queued process
+  /// holds the same id. Re-using the id of a process queued for removal is
+  /// allowed (the removal lands first at the next step).
   void add_process(std::unique_ptr<Process> process);
 
   /// Remove a process after the current round (its messages already sent
@@ -103,10 +106,15 @@ class SyncSimulator {
  private:
   struct Member {
     std::unique_ptr<Process> process;
-    Round joined_round = 0;           // global round of first participation
-    std::vector<Message> inbox;       // messages to deliver next step
+    Round joined_round = 0;        // global round of first participation
+    Mailbox mailbox;               // receiver-specific traffic (unicasts, delays)
+    std::vector<Message> scratch;  // merge buffer, reused across rounds
   };
 
+  // Broadcast fan-out goes through the shared mailbox layer: one deposit
+  // into the round's BroadcastLane instead of a copy per receiver. Two lanes
+  // alternate: the one filled last step is consumed (all members read its
+  // shared view) while this step's sends fill the other.
   void route(NodeId from, const std::vector<Outgoing>& outbox);
 
   std::map<NodeId, Member> members_;                 // ordered → deterministic stepping
@@ -118,7 +126,10 @@ class SyncSimulator {
   std::size_t trace_capacity_ = 0;
   std::deque<TraceEntry> trace_;
   DelayHook delay_hook_;
-  std::map<Round, std::vector<std::pair<NodeId, Message>>> delayed_;  // due round → deliveries
+  BroadcastLane lanes_[2];
+  int fill_lane_ = 0;    // index of the lane collecting this step's sends
+  std::uint64_t seq_ = 0;  // global send-order stamp for lane/mailbox merging
+  std::map<Round, std::vector<std::pair<NodeId, MessageRef>>> delayed_;  // due round → deliveries
 };
 
 }  // namespace idonly

@@ -18,24 +18,24 @@ void AuthTransport::broadcast(std::span<const std::byte> frame) {
   inner_->broadcast(tagged);
 }
 
-std::vector<Frame> AuthTransport::drain() {
-  std::vector<Frame> out;
-  for (Frame& frame : inner_->drain()) {
-    if (frame.size() < kTagBytes) {
+std::vector<FrameView> AuthTransport::drain_views() {
+  std::vector<FrameView> out;
+  for (FrameView& view : inner_->drain_views()) {
+    if (view.bytes.size() < kTagBytes) {
       rejected_ += 1;
       continue;
     }
-    const std::size_t body = frame.size() - kTagBytes;
+    const std::size_t body = view.bytes.size() - kTagBytes;
     std::uint64_t tag = 0;
     for (std::size_t i = 0; i < kTagBytes; ++i) {
-      tag |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(frame[body + i])) << (8 * i);
+      tag |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(view.bytes[body + i])) << (8 * i);
     }
-    if (siphash24(std::span(frame).first(body), key_) != tag) {
+    if (siphash24(view.bytes.first(body), key_) != tag) {
       rejected_ += 1;
       continue;
     }
-    frame.resize(body);
-    out.push_back(std::move(frame));
+    // Strip the tag by narrowing the view — the frame buffer stays shared.
+    out.push_back(FrameView{std::move(view.owner), view.bytes.first(body)});
   }
   return out;
 }

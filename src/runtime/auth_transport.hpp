@@ -26,7 +26,7 @@ class AuthTransport final : public Transport {
   AuthTransport(std::unique_ptr<Transport> inner, SipHashKey group_key);
 
   void broadcast(std::span<const std::byte> frame) override;
-  [[nodiscard]] std::vector<Frame> drain() override;
+  [[nodiscard]] std::vector<FrameView> drain_views() override;
 
   /// Inbound frames rejected for a missing/incorrect tag.
   [[nodiscard]] std::uint64_t frames_rejected() const noexcept { return rejected_; }

@@ -24,15 +24,15 @@ void FaultyTransport::broadcast(std::span<const std::byte> frame) {
   if (rng_.chance(model_.duplicate)) inner_->broadcast(copy);
 }
 
-std::vector<Frame> FaultyTransport::drain() {
+std::vector<FrameView> FaultyTransport::drain_views() {
   std::scoped_lock lock(mutex_);
-  std::vector<Frame> out = std::move(held_);
+  std::vector<FrameView> out = std::move(held_);
   held_.clear();
-  for (Frame& frame : inner_->drain()) {
+  for (FrameView& view : inner_->drain_views()) {
     if (rng_.chance(model_.delay)) {
-      held_.push_back(std::move(frame));
+      held_.push_back(std::move(view));
     } else {
-      out.push_back(std::move(frame));
+      out.push_back(std::move(view));
     }
   }
   return out;

@@ -26,7 +26,7 @@ class FaultyTransport final : public Transport {
   FaultyTransport(std::unique_ptr<Transport> inner, FaultModel model, Rng rng);
 
   void broadcast(std::span<const std::byte> frame) override;
-  [[nodiscard]] std::vector<Frame> drain() override;
+  [[nodiscard]] std::vector<FrameView> drain_views() override;
 
   [[nodiscard]] std::uint64_t frames_dropped() const noexcept { return dropped_; }
   [[nodiscard]] std::uint64_t frames_corrupted() const noexcept { return corrupted_; }
@@ -36,7 +36,7 @@ class FaultyTransport final : public Transport {
   FaultModel model_;
   std::mutex mutex_;
   Rng rng_;
-  std::vector<Frame> held_;  ///< delayed frames, released next drain
+  std::vector<FrameView> held_;  ///< delayed frames, released next drain
   std::uint64_t dropped_ = 0;
   std::uint64_t corrupted_ = 0;
 };

@@ -4,17 +4,7 @@ namespace idonly {
 
 void InMemoryTransport::broadcast(std::span<const std::byte> frame) { hub_->fan_out(frame); }
 
-std::vector<Frame> InMemoryTransport::drain() {
-  std::scoped_lock lock(mutex_);
-  std::vector<Frame> out;
-  out.swap(mailbox_);
-  return out;
-}
-
-void InMemoryTransport::deliver(Frame frame) {
-  std::scoped_lock lock(mutex_);
-  mailbox_.push_back(std::move(frame));
-}
+std::vector<FrameView> InMemoryTransport::drain_views() { return mailbox_.drain(); }
 
 std::unique_ptr<InMemoryTransport> InMemoryHub::make_endpoint() {
   // Private constructor — can't use make_unique.
@@ -25,10 +15,20 @@ std::unique_ptr<InMemoryTransport> InMemoryHub::make_endpoint() {
 }
 
 void InMemoryHub::fan_out(std::span<const std::byte> frame) {
+  // One shared buffer per broadcast; every endpoint gets a view (ref bump).
+  const FrameView shared = make_frame_view(frame);
   std::scoped_lock lock(mutex_);
+  fanout_.unique_payloads += 1;
+  fanout_.deliveries += endpoints_.size();
+  fanout_.bytes_delivered += static_cast<std::uint64_t>(frame.size()) * endpoints_.size();
   for (InMemoryTransport* endpoint : endpoints_) {
-    endpoint->deliver(Frame(frame.begin(), frame.end()));
+    endpoint->mailbox_.deposit(shared);
   }
+}
+
+FanoutCounters InMemoryHub::fanout() const {
+  std::scoped_lock lock(mutex_);
+  return fanout_;
 }
 
 }  // namespace idonly

@@ -1,12 +1,18 @@
 // Thread-safe in-process broadcast domain: every endpoint's broadcast lands
 // in every endpoint's mailbox (its own included). The runtime analogue of a
 // LAN segment, used for multi-threaded runtime tests without sockets.
+//
+// Fan-out goes through the shared mailbox layer (net/mailbox.hpp): a
+// broadcast materialises ONE ref-counted frame and each endpoint's
+// FrameMailbox takes a view into it — n reference bumps, not n buffer
+// copies. The hub's FanoutCounters make the sharing observable.
 #pragma once
 
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "runtime/transport.hpp"
 
 namespace idonly {
@@ -16,16 +22,14 @@ class InMemoryHub;
 class InMemoryTransport final : public Transport {
  public:
   void broadcast(std::span<const std::byte> frame) override;
-  [[nodiscard]] std::vector<Frame> drain() override;
+  [[nodiscard]] std::vector<FrameView> drain_views() override;
 
  private:
   friend class InMemoryHub;
   explicit InMemoryTransport(InMemoryHub* hub) : hub_(hub) {}
-  void deliver(Frame frame);
 
   InMemoryHub* hub_;
-  std::mutex mutex_;
-  std::vector<Frame> mailbox_;
+  FrameMailbox mailbox_;
 };
 
 /// Owns the endpoints; outlive every transport handed out.
@@ -34,12 +38,17 @@ class InMemoryHub {
   /// Create a new endpoint on this wire.
   [[nodiscard]] std::unique_ptr<InMemoryTransport> make_endpoint();
 
+  /// Fan-out accounting: unique frames broadcast, per-endpoint deliveries,
+  /// and bytes as delivered (shared payloads counted once per receiver).
+  [[nodiscard]] FanoutCounters fanout() const;
+
  private:
   friend class InMemoryTransport;
   void fan_out(std::span<const std::byte> frame);
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::vector<InMemoryTransport*> endpoints_;
+  FanoutCounters fanout_;
 };
 
 }  // namespace idonly

@@ -13,15 +13,16 @@ RoundDriver::RoundDriver(std::unique_ptr<Process> process, std::unique_ptr<Trans
 Round RoundDriver::run() {
   std::this_thread::sleep_until(config_.epoch);
   for (Round r = 1; r <= config_.max_rounds; ++r) {
-    // Sort arrivals into per-round buffers by their round header.
-    for (const Frame& frame : transport_->drain()) {
+    // Sort arrivals into per-round buffers by their round header. Views are
+    // decoded in place — the shared frame buffer is never copied here.
+    for (const FrameView& view : transport_->drain_views()) {
       std::size_t offset = 0;
-      const auto header = get_varint(frame, offset);
+      const auto header = get_varint(view.bytes, offset);
       if (!header.has_value()) {
         frames_dropped_ += 1;
         continue;
       }
-      const auto msg = decode(std::span(frame).subspan(offset));
+      const auto msg = decode(view.bytes.subspan(offset));
       if (!msg.has_value()) {
         frames_dropped_ += 1;
         continue;

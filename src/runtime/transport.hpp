@@ -18,9 +18,9 @@
 #include <span>
 #include <vector>
 
-namespace idonly {
+#include "net/mailbox.hpp"  // Frame, FrameRef, FrameView — the shared mailbox layer
 
-using Frame = std::vector<std::byte>;
+namespace idonly {
 
 class Transport {
  public:
@@ -30,8 +30,15 @@ class Transport {
   /// model's broadcast is self-inclusive).
   virtual void broadcast(std::span<const std::byte> frame) = 0;
 
-  /// Fetch everything received since the last drain (order unspecified).
-  [[nodiscard]] virtual std::vector<Frame> drain() = 0;
+  /// Fetch everything received since the last drain (order unspecified) as
+  /// zero-copy views: each view shares ownership of a ref-counted frame, so
+  /// a broadcast domain materialises one buffer no matter how many
+  /// endpoints receive it, and decorators narrow views instead of copying.
+  [[nodiscard]] virtual std::vector<FrameView> drain_views() = 0;
+
+  /// Materialising convenience drain: copies each view's bytes into an
+  /// owned Frame. Prefer drain_views() on hot paths.
+  [[nodiscard]] std::vector<Frame> drain();
 };
 
 }  // namespace idonly

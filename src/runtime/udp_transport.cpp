@@ -57,8 +57,8 @@ void UdpTransport::broadcast(std::span<const std::byte> frame) {
   }
 }
 
-std::vector<Frame> UdpTransport::drain() {
-  std::vector<Frame> frames;
+std::vector<FrameView> UdpTransport::drain_views() {
+  std::vector<FrameView> frames;
   std::byte buffer[2048];
   while (true) {
     const ssize_t got = ::recv(fd_, buffer, sizeof(buffer), 0);
@@ -66,7 +66,9 @@ std::vector<Frame> UdpTransport::drain() {
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       break;  // transient error — treat as empty
     }
-    frames.emplace_back(buffer, buffer + got);
+    // Each datagram is its own buffer — no sharing to exploit on receive.
+    auto owned = std::make_shared<const Frame>(buffer, buffer + got);
+    frames.push_back(make_frame_view(std::move(owned)));
   }
   return frames;
 }

@@ -25,7 +25,7 @@ class UdpTransport final : public Transport {
   UdpTransport& operator=(const UdpTransport&) = delete;
 
   void broadcast(std::span<const std::byte> frame) override;
-  [[nodiscard]] std::vector<Frame> drain() override;
+  [[nodiscard]] std::vector<FrameView> drain_views() override;
 
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
 

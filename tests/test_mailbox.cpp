@@ -1,0 +1,234 @@
+// Mailbox-layer tests: ref-counted fan-out, deposit-time dedup against the
+// cached content hash, send-order merging of shared and private traffic, and
+// the byte-frame half used by the runtime transports.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/metrics.hpp"
+#include "common/siphash.hpp"
+#include "net/codec.hpp"
+#include "net/mailbox.hpp"
+#include "net/message.hpp"
+#include "runtime/auth_transport.hpp"
+#include "runtime/inmemory_transport.hpp"
+
+namespace idonly {
+namespace {
+
+Message make_msg(NodeId sender, MsgKind kind, double v) {
+  Message m;
+  m.sender = sender;
+  m.kind = kind;
+  m.value = Value::real(v);
+  return m;
+}
+
+TEST(MessageRef, CachesHashAndWireSize) {
+  const Message msg = make_msg(3, MsgKind::kPresent, 1.5);
+  const MessageRef ref = MessageRef::wrap(msg);
+  EXPECT_EQ(ref.content_hash(), MessageHash{}(msg));
+  EXPECT_EQ(ref.wire_bytes(), encoded_size(msg));
+  EXPECT_EQ(ref.get(), msg);
+  EXPECT_TRUE(static_cast<bool>(ref));
+  EXPECT_FALSE(static_cast<bool>(MessageRef{}));
+}
+
+TEST(MessageRef, WireSizeMatchesCodec) {
+  // The cached size must agree with what encode() actually produces — it
+  // feeds the byte-accounting counters.
+  const Message msgs[] = {
+      make_msg(1, MsgKind::kPresent, 0.0),
+      make_msg(70000, MsgKind::kAck, -123.456),
+      [] {
+        Message m;
+        m.sender = 9;
+        m.kind = MsgKind::kEcho;
+        m.subject = 300;
+        m.instance = 12;
+        m.round_tag = 1000;
+        m.value = Value::bot();
+        return m;
+      }(),
+  };
+  for (const Message& msg : msgs) {
+    std::vector<std::byte> wire;
+    encode(msg, wire);
+    EXPECT_EQ(encoded_size(msg), wire.size()) << msg.to_string();
+    EXPECT_EQ(MessageRef::wrap(msg).wire_bytes(), wire.size());
+  }
+}
+
+TEST(MessageRef, CopyIsReferenceBumpNotDeepCopy) {
+  const MessageRef a = MessageRef::wrap(make_msg(1, MsgKind::kPresent, 2));
+  const MessageRef b = a;
+  EXPECT_EQ(&a.get(), &b.get()) << "copies must share the payload";
+  EXPECT_EQ(a.use_count(), 2);
+}
+
+TEST(MessageRef, EqualityComparesContent) {
+  const MessageRef a = MessageRef::wrap(make_msg(1, MsgKind::kPresent, 2));
+  const MessageRef b = MessageRef::wrap(make_msg(1, MsgKind::kPresent, 2));
+  const MessageRef c = MessageRef::wrap(make_msg(2, MsgKind::kPresent, 2));
+  EXPECT_EQ(a, b) << "same content, distinct cells";
+  EXPECT_FALSE(a == c) << "sender is part of the identity";
+}
+
+TEST(BroadcastLane, DepositDedupsOncePerRound) {
+  BroadcastLane lane;
+  EXPECT_TRUE(lane.deposit(MessageRef::wrap(make_msg(1, MsgKind::kPresent, 2)), 0));
+  EXPECT_FALSE(lane.deposit(MessageRef::wrap(make_msg(1, MsgKind::kPresent, 2)), 1))
+      << "identical sender + content suppressed at deposit, for all receivers at once";
+  EXPECT_TRUE(lane.deposit(MessageRef::wrap(make_msg(1, MsgKind::kPresent, 3)), 2));
+  EXPECT_EQ(lane.size(), 2u);
+  const auto view = lane.view();
+  ASSERT_EQ(view.size(), 2u);
+  EXPECT_EQ(view[0].value, Value::real(2));
+  EXPECT_EQ(view[1].value, Value::real(3));
+  EXPECT_EQ(lane.kind_counts()[static_cast<std::size_t>(MsgKind::kPresent)], 2u);
+
+  lane.clear();
+  EXPECT_TRUE(lane.empty());
+  EXPECT_TRUE(lane.deposit(MessageRef::wrap(make_msg(1, MsgKind::kPresent, 2)), 3))
+      << "dedup scope is one round";
+}
+
+TEST(BroadcastLane, ViewIsStableAcrossIncrementalDeposits) {
+  BroadcastLane lane;
+  lane.deposit(MessageRef::wrap(make_msg(1, MsgKind::kPresent, 1)), 0);
+  EXPECT_EQ(lane.view().size(), 1u);
+  lane.deposit(MessageRef::wrap(make_msg(2, MsgKind::kPresent, 2)), 1);
+  const auto view = lane.view();
+  ASSERT_EQ(view.size(), 2u);
+  EXPECT_EQ(view[0].sender, 1u);
+  EXPECT_EQ(view[1].sender, 2u);
+}
+
+TEST(Mailbox, CollectWithoutPrivateTrafficAliasesLaneView) {
+  BroadcastLane lane;
+  lane.deposit(MessageRef::wrap(make_msg(1, MsgKind::kPresent, 1)), 0);
+  lane.deposit(MessageRef::wrap(make_msg(2, MsgKind::kAck, 2)), 1);
+
+  Mailbox box;
+  std::vector<Message> scratch;
+  FanoutCounters fanout;
+  MessageCounters counters;
+  const auto inbox = box.collect(&lane, scratch, &fanout, &counters);
+  ASSERT_EQ(inbox.size(), 2u);
+  EXPECT_EQ(inbox.data(), lane.view().data()) << "fast path must alias, not copy";
+  EXPECT_EQ(fanout.deliveries, 2u);
+  EXPECT_EQ(fanout.bytes_delivered, lane.wire_bytes());
+  EXPECT_EQ(counters.total_delivered(), 2u);
+}
+
+TEST(Mailbox, CollectMergesInSendOrder) {
+  // seq: lane gets 0 and 2, private unicast gets 1 — the merged inbox must
+  // interleave by send order, like the old single-inbox engine did.
+  BroadcastLane lane;
+  lane.deposit(MessageRef::wrap(make_msg(1, MsgKind::kPresent, 1)), 0);
+  lane.deposit(MessageRef::wrap(make_msg(3, MsgKind::kPresent, 3)), 2);
+
+  Mailbox box;
+  box.deposit(MessageRef::wrap(make_msg(2, MsgKind::kAck, 2)), 1);
+  std::vector<Message> scratch;
+  const auto inbox = box.collect(&lane, scratch);
+  ASSERT_EQ(inbox.size(), 3u);
+  EXPECT_EQ(inbox[0].sender, 1u);
+  EXPECT_EQ(inbox[1].sender, 2u);
+  EXPECT_EQ(inbox[2].sender, 3u);
+  EXPECT_TRUE(box.empty()) << "collect resets the private buffer";
+}
+
+TEST(Mailbox, CollectSuppressesPrivateDuplicateOfLaneMessage) {
+  // The same payload broadcast AND unicast to one receiver in a round is the
+  // per-receiver duplicate the model discards.
+  BroadcastLane lane;
+  lane.deposit(MessageRef::wrap(make_msg(1, MsgKind::kPresent, 1)), 0);
+
+  Mailbox box;
+  box.deposit(MessageRef::wrap(make_msg(1, MsgKind::kPresent, 1)), 1);
+  std::vector<Message> scratch;
+  FanoutCounters fanout;
+  const auto inbox = box.collect(&lane, scratch, &fanout);
+  EXPECT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(fanout.dedup_hits, 1u);
+  EXPECT_EQ(fanout.deliveries, 1u);
+}
+
+TEST(Mailbox, PrivateDepositDedups) {
+  Mailbox box;
+  EXPECT_TRUE(box.deposit(MessageRef::wrap(make_msg(1, MsgKind::kAck, 1)), 0));
+  EXPECT_FALSE(box.deposit(MessageRef::wrap(make_msg(1, MsgKind::kAck, 1)), 1));
+  std::vector<Message> scratch;
+  EXPECT_EQ(box.collect(nullptr, scratch).size(), 1u);
+}
+
+TEST(FrameLayer, ViewSharesOwnershipOfOneBuffer) {
+  const std::byte raw[] = {std::byte{1}, std::byte{2}, std::byte{3}};
+  const FrameView a = make_frame_view(raw);
+  const FrameView b{a.owner, a.bytes.first(2)};  // narrowed decorator view
+  EXPECT_EQ(a.owner.get(), b.owner.get());
+  EXPECT_EQ(a.owner.use_count(), 2);
+  EXPECT_EQ(b.bytes.data(), a.bytes.data()) << "narrowing must not copy";
+  ASSERT_EQ(a.bytes.size(), 3u);
+  EXPECT_EQ(a.bytes[2], std::byte{3});
+}
+
+TEST(FrameLayer, FrameMailboxDrainsDeposits) {
+  FrameMailbox box;
+  EXPECT_EQ(box.size(), 0u);
+  const std::byte raw[] = {std::byte{7}};
+  const FrameView shared = make_frame_view(raw);
+  box.deposit(shared);
+  box.deposit(shared);
+  EXPECT_EQ(box.size(), 2u);
+  const auto views = box.drain();
+  ASSERT_EQ(views.size(), 2u);
+  EXPECT_EQ(views[0].owner.get(), views[1].owner.get()) << "deposits share the frame";
+  EXPECT_EQ(box.size(), 0u);
+}
+
+TEST(FrameLayer, HubFanOutSharesOneFrameAcrossEndpoints) {
+  InMemoryHub hub;
+  auto a = hub.make_endpoint();
+  auto b = hub.make_endpoint();
+  auto c = hub.make_endpoint();
+  const std::byte raw[] = {std::byte{42}, std::byte{43}};
+  a->broadcast(raw);
+
+  const auto va = a->drain_views();
+  const auto vb = b->drain_views();
+  const auto vc = c->drain_views();
+  ASSERT_EQ(va.size(), 1u);
+  ASSERT_EQ(vb.size(), 1u);
+  ASSERT_EQ(vc.size(), 1u);
+  EXPECT_EQ(va[0].bytes.data(), vb[0].bytes.data()) << "one buffer, three views";
+  EXPECT_EQ(vb[0].bytes.data(), vc[0].bytes.data());
+
+  const FanoutCounters fanout = hub.fanout();
+  EXPECT_EQ(fanout.unique_payloads, 1u);
+  EXPECT_EQ(fanout.deliveries, 3u);
+  EXPECT_EQ(fanout.bytes_delivered, 6u);
+}
+
+TEST(FrameLayer, AuthDecoratorStripsTagByNarrowingView) {
+  InMemoryHub hub;
+  const SipHashKey key{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+  AuthTransport a(hub.make_endpoint(), key);
+  AuthTransport b(hub.make_endpoint(), key);
+  const std::byte raw[] = {std::byte{9}, std::byte{8}, std::byte{7}};
+  a.broadcast(raw);
+
+  const auto va = a.drain_views();
+  const auto vb = b.drain_views();
+  ASSERT_EQ(va.size(), 1u);
+  ASSERT_EQ(vb.size(), 1u);
+  ASSERT_EQ(vb[0].bytes.size(), 3u) << "tag stripped";
+  EXPECT_EQ(vb[0].bytes[0], std::byte{9});
+  EXPECT_EQ(va[0].bytes.data(), vb[0].bytes.data())
+      << "verify-and-strip must narrow the shared buffer, not copy it";
+  EXPECT_EQ(va[0].owner.use_count(), 2) << "both receivers still share one frame";
+}
+
+}  // namespace
+}  // namespace idonly

@@ -3,8 +3,10 @@
 // sender stamping, per-round duplicate suppression, dynamic membership.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
+#include <stdexcept>
 
 #include "common/rng.hpp"
 #include "net/process.hpp"
@@ -178,10 +180,16 @@ TEST(SyncSimulator, MetricsCountSentAndDelivered) {
   sim.add_process(std::move(a));
   sim.add_process(std::make_unique<ScriptedProcess>(2));
   sim.run_rounds(2);
-  // Broadcast to 2 members = 2 sends, 2 deliveries.
-  EXPECT_EQ(sim.metrics().messages.total_sent(), 2u);
+  // A broadcast is ONE outgoing message; delivery is counted per recipient.
+  EXPECT_EQ(sim.metrics().messages.total_sent(), 1u);
   EXPECT_EQ(sim.metrics().messages.total_delivered(), 2u);
+  EXPECT_LE(sim.metrics().messages.total_delivered(),
+            sim.metrics().messages.total_sent() * sim.member_count());
   EXPECT_EQ(sim.metrics().rounds_executed, 2);
+  // The fan-out layer saw one unique payload fanned to both members.
+  EXPECT_EQ(sim.metrics().fanout.unique_payloads, 1u);
+  EXPECT_EQ(sim.metrics().fanout.deliveries, 2u);
+  EXPECT_GT(sim.metrics().fanout.bytes_delivered, 0u);
 }
 
 TEST(SyncSimulator, DoneRoundRecorded) {
@@ -310,6 +318,7 @@ TEST(SyncSimulator, EngineFuzzRandomChurnAndTrafficNeverBreaks) {
     Rng rng(seed);
     NodeId next_id = 1;
     std::vector<NodeId> live;
+    std::size_t max_members = 0;
     for (int i = 0; i < 5; ++i) {
       live.push_back(next_id);
       sim.add_process(std::make_unique<Chatterbox>(next_id++, rng.fork()));
@@ -324,13 +333,67 @@ TEST(SyncSimulator, EngineFuzzRandomChurnAndTrafficNeverBreaks) {
         sim.remove_process(live[victim]);
         live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
       }
+      max_members = std::max(max_members, live.size());
       ASSERT_NO_FATAL_FAILURE(sim.step()) << "seed=" << seed << " round=" << round;
     }
     sim.step();  // settle removals/joins issued in the final loop iteration
     EXPECT_EQ(sim.member_count(), live.size()) << seed;
     EXPECT_EQ(sim.round(), 301) << seed;
     EXPECT_GT(sim.metrics().messages.total_delivered(), 0u);
-    EXPECT_LE(sim.metrics().messages.total_delivered(), sim.metrics().messages.total_sent());
+    // sent = outgoing messages; a broadcast reaches at most every member, so
+    // deliveries can exceed sends but never sent × peak membership.
+    EXPECT_LE(sim.metrics().messages.total_delivered(),
+              sim.metrics().messages.total_sent() * max_members);
+  }
+}
+
+TEST(SyncSimulator, AddDuplicateIdThrows) {
+  SyncSimulator sim;
+  sim.add_process(std::make_unique<ScriptedProcess>(1));
+  // Live duplicate: rejected immediately, not at the next step().
+  EXPECT_THROW(sim.add_process(std::make_unique<ScriptedProcess>(1)), std::invalid_argument);
+  sim.step();
+  // Still a duplicate after the join took effect.
+  EXPECT_THROW(sim.add_process(std::make_unique<ScriptedProcess>(1)), std::invalid_argument);
+  // Queued duplicate: two adds of the same id before any step.
+  sim.add_process(std::make_unique<ScriptedProcess>(2));
+  EXPECT_THROW(sim.add_process(std::make_unique<ScriptedProcess>(2)), std::invalid_argument);
+  EXPECT_THROW(sim.add_process(nullptr), std::invalid_argument);
+}
+
+TEST(SyncSimulator, ReAddAfterRemoveSameRoundAllowed) {
+  SyncSimulator sim;
+  sim.add_process(std::make_unique<ScriptedProcess>(1));
+  sim.add_process(std::make_unique<ScriptedProcess>(2));
+  sim.step();
+  // Removal queued this round frees the id for an incoming replacement.
+  sim.remove_process(2);
+  auto fresh = std::make_unique<ScriptedProcess>(2);
+  auto* pfresh = fresh.get();
+  EXPECT_NO_THROW(sim.add_process(std::move(fresh)));
+  sim.run_rounds(2);
+  EXPECT_EQ(sim.member_count(), 2u);
+  EXPECT_EQ(sim.find(2), pfresh);
+}
+
+TEST(SyncSimulator, DelayedMessageNotResurrectedForReusedId) {
+  // A message delayed in flight to node 2 must die with node 2's removal —
+  // it must NOT be delivered to a NEW process that later re-uses id 2.
+  SyncSimulator sim;
+  sim.set_delay_hook([](NodeId, NodeId, const Message&, Round) -> Round { return 3; });
+  auto a = std::make_unique<ScriptedProcess>(1);
+  a->send_in_round(1, Outgoing{NodeId{2}, text_msg(MsgKind::kPresent, 7)});
+  sim.add_process(std::move(a));
+  sim.add_process(std::make_unique<ScriptedProcess>(2));
+  sim.step();  // round 1: send routed, due in round 1 + 1 + 3 = 5
+  sim.remove_process(2);
+  sim.step();  // round 2: removal takes effect, in-flight message purged
+  auto reborn = std::make_unique<ScriptedProcess>(2);
+  auto* preborn = reborn.get();
+  sim.add_process(std::move(reborn));
+  sim.run_rounds(5);  // runs through the old due round
+  for (const auto& [round, inbox] : preborn->received_) {
+    EXPECT_TRUE(inbox.empty()) << "stale delayed message resurrected in local round " << round;
   }
 }
 
