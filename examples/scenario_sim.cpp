@@ -3,8 +3,15 @@
 // hold. Sample scripts live in scenarios/.
 //
 //   $ ./scenario_sim ../scenarios/consensus_twofaced.scn
+//   $ ./scenario_sim ../scenarios/chaos_jitter_storm.scn --seed 17
+//
+// --seed N overrides the script's seed — the CI chaos soak sweeps one
+// script across seeds without editing the file.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <variant>
 
@@ -12,27 +19,44 @@
 
 int main(int argc, char** argv) {
   using namespace idonly;
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: scenario_sim <script-file>\n");
+  const char* path = nullptr;
+  std::optional<std::uint64_t> seed_override;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed_override = std::strtoull(argv[++i], nullptr, 10);
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      path = nullptr;
+      break;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: scenario_sim <script-file> [--seed N]\n");
     return 2;
   }
-  std::ifstream file(argv[1]);
+  std::ifstream file(path);
   if (!file) {
-    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    std::fprintf(stderr, "cannot open %s\n", path);
     return 2;
   }
   std::stringstream buffer;
   buffer << file.rdbuf();
 
-  const auto parsed = parse_script(buffer.str());
+  auto parsed = parse_script(buffer.str());
   if (const auto* error = std::get_if<ParseError>(&parsed)) {
-    std::fprintf(stderr, "%s:%d: %s\n", argv[1], error->line, error->message.c_str());
+    std::fprintf(stderr, "%s:%d: %s\n", path, error->line, error->message.c_str());
     return 2;
   }
-  const auto& script = std::get<ScenarioScript>(parsed);
+  auto& script = std::get<ScenarioScript>(parsed);
+  if (seed_override.has_value()) script.config.seed = *seed_override;
   const ScriptRun run = run_script(script);
 
   std::printf("%s\n", run.summary.c_str());
+  if (!run.chaos_summary.empty()) std::printf("  chaos: %s\n", run.chaos_summary.c_str());
+  for (const auto& violation : run.violations) {
+    std::printf("  VIOLATION: %s\n", violation.c_str());
+  }
   for (const auto& outcome : run.outcomes) {
     std::printf("  expect %-12s : %s (%s)\n", to_string(outcome.expectation).c_str(),
                 outcome.satisfied ? "ok" : "FAILED", outcome.detail.c_str());

@@ -1,0 +1,236 @@
+#include "common/chaos.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace idonly {
+
+namespace {
+
+// Fault-type salts: each verdict draws from an independent pure stream so
+// e.g. raising the drop probability never perturbs delay lengths.
+constexpr std::uint64_t kSaltDrop = 0;
+constexpr std::uint64_t kSaltDuplicate = 1;
+constexpr std::uint64_t kSaltDelay = 2;
+constexpr std::uint64_t kSaltDelayLength = 3;
+constexpr std::uint64_t kSaltCorrupt = 4;
+constexpr std::uint64_t kSaltEntropy = 5;
+constexpr std::uint64_t kSaltLinkDrop = 6;
+constexpr std::uint64_t kSaltLinkDuplicate = 7;
+constexpr std::uint64_t kSaltLinkDelay = 8;
+
+void check_probability(double p, const char* what) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument(std::string("chaos plan: ") + what +
+                                " probability must be in [0, 1]");
+  }
+}
+
+bool in_set(const std::vector<NodeId>& set, NodeId id) noexcept {
+  return std::find(set.begin(), set.end(), id) != set.end();
+}
+
+bool partition_cuts(const ChaosPartition& partition, NodeId from, NodeId to) noexcept {
+  return (in_set(partition.side_a, from) && in_set(partition.side_b, to)) ||
+         (in_set(partition.side_b, from) && in_set(partition.side_a, to));
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDuplicate: return "dup";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kPartitionDrop: return "partition";
+    case FaultKind::kCrashDrop: return "crash";
+  }
+  return "?";
+}
+
+ChaosSchedule::ChaosSchedule(ChaosPlan plan, std::uint64_t seed)
+    : plan_(std::move(plan)), seed_(seed) {
+  for (const ChaosPhase& phase : plan_.phases) {
+    if (phase.first_round > phase.last_round) {
+      throw std::invalid_argument("chaos plan: phase round window is empty (first > last)");
+    }
+    if (phase.first_round < 1) {
+      throw std::invalid_argument("chaos plan: rounds are 1-based");
+    }
+    check_probability(phase.drop, "drop");
+    check_probability(phase.duplicate, "duplicate");
+    check_probability(phase.corrupt, "corrupt");
+    check_probability(phase.delay.probability, "delay");
+    if (phase.delay.probability > 0.0 && phase.delay.max_extra_rounds < 1) {
+      throw std::invalid_argument("chaos plan: delay max_extra_rounds must be >= 1");
+    }
+    for (const LinkFaultSpec& link : phase.link_faults) {
+      check_probability(link.drop, "link drop");
+      check_probability(link.duplicate, "link duplicate");
+      check_probability(link.delay, "link delay");
+    }
+    for (const CrashWindow& crash : phase.crashes) {
+      if (crash.first > crash.last) {
+        throw std::invalid_argument("chaos plan: crash window is empty (first > last)");
+      }
+    }
+    last_faulty_round_ = std::max(last_faulty_round_, phase.last_round);
+  }
+  per_phase_.resize(plan_.phases.size());
+}
+
+std::optional<std::size_t> ChaosSchedule::phase_for(Round round) const noexcept {
+  std::optional<std::size_t> hit;
+  for (std::size_t i = 0; i < plan_.phases.size(); ++i) {
+    if (round >= plan_.phases[i].first_round && round <= plan_.phases[i].last_round) hit = i;
+  }
+  return hit;
+}
+
+double ChaosSchedule::coin(std::uint64_t seed, const LinkEvent& event,
+                           std::uint64_t salt) noexcept {
+  return static_cast<double>(word(seed, event, salt) >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t ChaosSchedule::word(std::uint64_t seed, const LinkEvent& event,
+                                  std::uint64_t salt) noexcept {
+  // Hash-combine the full key through splitmix64: each field perturbs the
+  // state before the next mix, so nearby keys land far apart.
+  std::uint64_t state = seed;
+  (void)splitmix64(state);
+  state ^= static_cast<std::uint64_t>(event.round);
+  (void)splitmix64(state);
+  state ^= event.from;
+  (void)splitmix64(state);
+  state ^= event.to;
+  (void)splitmix64(state);
+  state ^= event.seq;
+  (void)splitmix64(state);
+  state ^= salt;
+  return splitmix64(state);
+}
+
+FaultDecision ChaosSchedule::decide(const LinkEvent& event) {
+  FaultDecision decision;
+  if (event.from == event.to) return decision;  // loopback is never wire
+  const auto phase_index = phase_for(event.round);
+  if (!phase_index.has_value()) return decision;
+  const ChaosPhase& phase = plan_.phases[*phase_index];
+  decision.phase = static_cast<int>(*phase_index);
+  decision.entropy = word(seed_, event, kSaltEntropy);
+
+  // Deterministic structural faults first: a crashed endpoint or a cut
+  // partition kills the frame outright, no coin spent.
+  for (const CrashWindow& crash : phase.crashes) {
+    if ((crash.node == event.from || crash.node == event.to) && event.round >= crash.first &&
+        event.round <= crash.last) {
+      decision.drop = true;
+      record(event, FaultKind::kCrashDrop, *phase_index, 0);
+      return decision;
+    }
+  }
+  for (const ChaosPartition& partition : phase.partitions) {
+    if (partition_cuts(partition, event.from, event.to)) {
+      decision.drop = true;
+      record(event, FaultKind::kPartitionDrop, *phase_index, 0);
+      return decision;
+    }
+  }
+
+  // Per-link asymmetric faults stack on top of the phase-wide ones; the
+  // link coins draw from separate salts so both can be active at once.
+  double drop_p = phase.drop;
+  double duplicate_p = phase.duplicate;
+  double delay_p = phase.delay.probability;
+  for (const LinkFaultSpec& link : phase.link_faults) {
+    if (link.from != event.from || link.to != event.to) continue;
+    if (link.drop > 0.0 && coin(seed_, event, kSaltLinkDrop) < link.drop) drop_p = 1.0;
+    if (link.duplicate > 0.0 && coin(seed_, event, kSaltLinkDuplicate) < link.duplicate) {
+      duplicate_p = 1.0;
+    }
+    if (link.delay > 0.0 && coin(seed_, event, kSaltLinkDelay) < link.delay) delay_p = 1.0;
+  }
+
+  if (drop_p > 0.0 && coin(seed_, event, kSaltDrop) < drop_p) {
+    decision.drop = true;
+    record(event, FaultKind::kDrop, *phase_index, 0);
+    return decision;
+  }
+  if (duplicate_p > 0.0 && coin(seed_, event, kSaltDuplicate) < duplicate_p) {
+    decision.duplicate = true;
+    record(event, FaultKind::kDuplicate, *phase_index, 0);
+  }
+  if (delay_p > 0.0 && coin(seed_, event, kSaltDelay) < delay_p) {
+    const auto span = static_cast<std::uint64_t>(std::max<Round>(phase.delay.max_extra_rounds, 1));
+    decision.delay_rounds =
+        1 + static_cast<Round>(word(seed_, event, kSaltDelayLength) % span);
+    record(event, FaultKind::kDelay, *phase_index, decision.delay_rounds);
+  }
+  if (phase.corrupt > 0.0 && coin(seed_, event, kSaltCorrupt) < phase.corrupt) {
+    decision.corrupt = true;
+    record(event, FaultKind::kCorrupt, *phase_index, 0);
+  }
+  return decision;
+}
+
+void ChaosSchedule::record(const LinkEvent& event, FaultKind kind, std::size_t phase,
+                           Round extra) {
+  std::scoped_lock lock(mutex_);
+  trace_.push_back(FaultRecord{event.round, event.from, event.to, event.seq, kind, extra});
+  FaultCounters& counters = per_phase_[phase];
+  switch (kind) {
+    case FaultKind::kDrop: counters.drops += 1; break;
+    case FaultKind::kDuplicate: counters.duplicates += 1; break;
+    case FaultKind::kDelay: counters.delays += 1; break;
+    case FaultKind::kCorrupt: counters.corrupts += 1; break;
+    case FaultKind::kPartitionDrop: counters.partition_drops += 1; break;
+    case FaultKind::kCrashDrop: counters.crash_drops += 1; break;
+  }
+}
+
+std::vector<FaultRecord> ChaosSchedule::trace() const {
+  std::scoped_lock lock(mutex_);
+  return trace_;
+}
+
+std::vector<FaultRecord> ChaosSchedule::canonical_trace() const {
+  std::vector<FaultRecord> sorted = trace();
+  std::sort(sorted.begin(), sorted.end(), [](const FaultRecord& a, const FaultRecord& b) {
+    if (a.round != b.round) return a.round < b.round;
+    if (a.from != b.from) return a.from < b.from;
+    if (a.to != b.to) return a.to < b.to;
+    if (a.seq != b.seq) return a.seq < b.seq;
+    return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+  });
+  return sorted;
+}
+
+std::string ChaosSchedule::canonical_trace_string() const {
+  std::ostringstream os;
+  for (const FaultRecord& r : canonical_trace()) {
+    os << "r" << r.round << " " << r.from << "->" << r.to << " #" << r.seq << " "
+       << to_string(r.kind);
+    if (r.kind == FaultKind::kDelay) os << "+" << r.extra;
+    os << "\n";
+  }
+  return os.str();
+}
+
+ChaosCounters ChaosSchedule::counters() const {
+  std::scoped_lock lock(mutex_);
+  ChaosCounters out;
+  out.per_phase = per_phase_;
+  return out;
+}
+
+void ChaosSchedule::clear_trace() {
+  std::scoped_lock lock(mutex_);
+  trace_.clear();
+  per_phase_.assign(plan_.phases.size(), FaultCounters{});
+}
+
+}  // namespace idonly

@@ -1,0 +1,65 @@
+#include "common/invariants.hpp"
+
+#include <algorithm>
+
+namespace idonly {
+
+InvariantMonitor::InvariantMonitor(std::vector<Value> correct_inputs)
+    : correct_inputs_(std::move(correct_inputs)) {}
+
+void InvariantMonitor::on_event(const ProtocolEvent& event) {
+  if (event.type != ProtocolEvent::Type::kDecided) return;
+  std::scoped_lock lock(mutex_);
+
+  const auto [it, inserted] = decisions_.emplace(event.node, event.value);
+  if (!inserted) {
+    if (!(it->second == event.value)) {
+      agreement_violations_.push_back("node " + std::to_string(event.node) +
+                                      " decided twice: " + it->second.to_string() + " then " +
+                                      event.value.to_string());
+    }
+    return;
+  }
+  // Agreement: compare against any earlier decider (all earlier ones agree
+  // with each other by induction, so one comparison suffices).
+  for (const auto& [node, value] : decisions_) {
+    if (node == event.node) continue;
+    if (!(value == event.value)) {
+      agreement_violations_.push_back("node " + std::to_string(event.node) + " decided " +
+                                      event.value.to_string() + " but node " +
+                                      std::to_string(node) + " decided " + value.to_string());
+    }
+    break;
+  }
+  if (!correct_inputs_.empty() &&
+      std::find(correct_inputs_.begin(), correct_inputs_.end(), event.value) ==
+          correct_inputs_.end()) {
+    validity_violations_.push_back("node " + std::to_string(event.node) + " decided " +
+                                   event.value.to_string() +
+                                   " which is no correct node's input");
+  }
+}
+
+bool InvariantMonitor::agreement_ok() const {
+  std::scoped_lock lock(mutex_);
+  return agreement_violations_.empty();
+}
+
+bool InvariantMonitor::validity_ok() const {
+  std::scoped_lock lock(mutex_);
+  return validity_violations_.empty();
+}
+
+std::size_t InvariantMonitor::decided_count() const {
+  std::scoped_lock lock(mutex_);
+  return decisions_.size();
+}
+
+std::vector<std::string> InvariantMonitor::violations() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<std::string> out = agreement_violations_;
+  out.insert(out.end(), validity_violations_.begin(), validity_violations_.end());
+  return out;
+}
+
+}  // namespace idonly

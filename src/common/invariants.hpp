@@ -1,0 +1,51 @@
+// Online safety-invariant monitoring for chaos runs.
+//
+// Chaos experiments inject faults while a protocol runs; the question each
+// run answers is "did safety hold?". This observer watches the protocol
+// event stream (common/observer.hpp) and checks the paper's two safety
+// properties as decisions arrive:
+//
+//   * AGREEMENT — every correct node that decides, decides the same value,
+//     and no node decides twice with different values.
+//   * VALIDITY — every decision equals some correct node's input (the
+//     paper's strong validity; skipped when the input set is not supplied).
+//
+// Unlike EventLog this monitor is thread-safe: runtime chaos runs have one
+// RoundDriver thread per node all reporting into one monitor. Attach only
+// correct nodes' processes — Byzantine decisions are unconstrained.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/observer.hpp"
+
+namespace idonly {
+
+class InvariantMonitor final : public ProtocolObserver {
+ public:
+  /// `correct_inputs`: the correct nodes' input values, for the validity
+  /// probe. Empty ⇒ validity is not checked (vacuously ok).
+  explicit InvariantMonitor(std::vector<Value> correct_inputs = {});
+
+  void on_event(const ProtocolEvent& event) override;
+
+  [[nodiscard]] bool agreement_ok() const;
+  [[nodiscard]] bool validity_ok() const;
+  [[nodiscard]] bool ok() const { return agreement_ok() && validity_ok(); }
+
+  [[nodiscard]] std::size_t decided_count() const;
+  /// Human-readable description of every violation observed, in order.
+  [[nodiscard]] std::vector<std::string> violations() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Value> correct_inputs_;
+  std::map<NodeId, Value> decisions_;
+  std::vector<std::string> agreement_violations_;
+  std::vector<std::string> validity_violations_;
+};
+
+}  // namespace idonly

@@ -13,6 +13,39 @@ std::uint64_t MessageCounters::total_delivered() const noexcept {
   return std::accumulate(delivered.begin(), delivered.end(), std::uint64_t{0});
 }
 
+std::uint64_t FaultCounters::total() const noexcept {
+  return drops + duplicates + delays + corrupts + partition_drops + crash_drops;
+}
+
+FaultCounters& FaultCounters::operator+=(const FaultCounters& other) noexcept {
+  drops += other.drops;
+  duplicates += other.duplicates;
+  delays += other.delays;
+  corrupts += other.corrupts;
+  partition_drops += other.partition_drops;
+  crash_drops += other.crash_drops;
+  return *this;
+}
+
+FaultCounters ChaosCounters::total_faults() const noexcept {
+  FaultCounters sum;
+  for (const FaultCounters& phase : per_phase) sum += phase;
+  return sum;
+}
+
+std::string ChaosCounters::summary() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < per_phase.size(); ++i) {
+    const FaultCounters& p = per_phase[i];
+    os << "phase" << i << "[drop=" << p.drops << " dup=" << p.duplicates
+       << " delay=" << p.delays << " corrupt=" << p.corrupts
+       << " partition=" << p.partition_drops << " crash=" << p.crash_drops << "] ";
+  }
+  os << "recovery[backoffs=" << backoffs << " shrinks=" << shrinks << " resyncs=" << resyncs
+     << " restarts=" << restarts << "]";
+  return os.str();
+}
+
 void Metrics::reset() {
   messages = MessageCounters{};
   fanout.reset();

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -41,6 +42,35 @@ struct FanoutCounters {
   std::uint64_t bytes_delivered = 0;  ///< wire-encoded bytes summed over deliveries
 
   void reset() { *this = FanoutCounters{}; }
+};
+
+/// Wire-fault counts injected by one chaos phase (common/chaos.hpp). One
+/// counter per fault verdict the schedule can hand an engine.
+struct FaultCounters {
+  std::uint64_t drops = 0;            ///< frames/messages discarded by coin
+  std::uint64_t duplicates = 0;       ///< delivered twice
+  std::uint64_t delays = 0;           ///< held for one or more extra rounds
+  std::uint64_t corrupts = 0;         ///< one byte flipped (runtime engines)
+  std::uint64_t partition_drops = 0;  ///< killed by a bidirectional partition
+  std::uint64_t crash_drops = 0;      ///< killed by a crash window on an endpoint
+
+  [[nodiscard]] std::uint64_t total() const noexcept;
+  FaultCounters& operator+=(const FaultCounters& other) noexcept;
+};
+
+/// Full fault/recovery accounting for one chaos run: injected faults per
+/// phase (filled by the ChaosSchedule) and the recovery actions the
+/// self-healing runtime took in response (filled by RoundDriver/DriverPool).
+struct ChaosCounters {
+  std::vector<FaultCounters> per_phase;  ///< indexed by phase position in the plan
+  std::uint64_t backoffs = 0;   ///< round-duration growths (late frames crossed threshold)
+  std::uint64_t shrinks = 0;    ///< round-duration reductions after clean rounds
+  std::uint64_t resyncs = 0;    ///< rounds fast-forwarded to catch up with peers
+  std::uint64_t restarts = 0;   ///< wedged driver threads restarted by the watchdog
+
+  [[nodiscard]] FaultCounters total_faults() const noexcept;
+  /// Human-readable per-phase + recovery one-liner for benches and logs.
+  [[nodiscard]] std::string summary() const;
 };
 
 struct Metrics {

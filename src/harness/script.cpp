@@ -1,11 +1,16 @@
 #include "harness/script.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <variant>
 
+#include "common/invariants.hpp"
+#include "core/consensus.hpp"
 #include "core/king_consensus.hpp"
 #include "core/renaming.hpp"
+#include "core/total_order.hpp"
 #include "harness/runner.hpp"
 #include "net/sync_simulator.hpp"
 
@@ -19,6 +24,7 @@ std::string to_string(ScriptProtocol protocol) {
     case ScriptProtocol::kApprox: return "approx";
     case ScriptProtocol::kRotor: return "rotor";
     case ScriptProtocol::kRenaming: return "renaming";
+    case ScriptProtocol::kTotalOrder: return "totalorder";
   }
   return "unknown";
 }
@@ -32,6 +38,7 @@ std::string to_string(Expectation expectation) {
     case Expectation::kGoodRound: return "good-round";
     case Expectation::kWithinRange: return "within-range";
     case Expectation::kContraction: return "contraction";
+    case Expectation::kNoViolations: return "no-violations";
   }
   return "unknown";
 }
@@ -45,6 +52,7 @@ std::optional<ScriptProtocol> parse_protocol(const std::string& word) {
   if (word == "approx") return ScriptProtocol::kApprox;
   if (word == "rotor") return ScriptProtocol::kRotor;
   if (word == "renaming") return ScriptProtocol::kRenaming;
+  if (word == "totalorder") return ScriptProtocol::kTotalOrder;
   return std::nullopt;
 }
 
@@ -56,6 +64,7 @@ std::optional<Expectation> parse_expectation(const std::string& word) {
   if (word == "good-round") return Expectation::kGoodRound;
   if (word == "within-range") return Expectation::kWithinRange;
   if (word == "contraction") return Expectation::kContraction;
+  if (word == "no-violations") return Expectation::kNoViolations;
   return std::nullopt;
 }
 
@@ -73,6 +82,30 @@ std::vector<std::string> split(const std::string& text, char separator) {
   std::istringstream stream(text);
   while (std::getline(stream, part, separator)) parts.push_back(part);
   return parts;
+}
+
+/// "3-8" → (3, 8). Used for round windows and id-index ranges.
+std::optional<std::pair<long long, long long>> parse_dash_range(const std::string& text) {
+  const auto dash = text.find('-');
+  if (dash == std::string::npos || dash == 0 || dash + 1 >= text.size()) return std::nullopt;
+  try {
+    const long long a = std::stoll(text.substr(0, dash));
+    const long long b = std::stoll(text.substr(dash + 1));
+    if (a < 0 || b < 0 || b < a) return std::nullopt;
+    return std::make_pair(a, b);
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+std::optional<double> parse_probability(const std::string& text) {
+  try {
+    const double p = std::stod(text);
+    if (p < 0.0 || p > 1.0) return std::nullopt;
+    return p;
+  } catch (...) {
+    return std::nullopt;
+  }
 }
 
 }  // namespace
@@ -150,6 +183,72 @@ std::variant<ScenarioScript, ParseError> parse_script(const std::string& text) {
       if (!(words >> script.config.crash_round)) return fail("crash-round: expected a number");
     } else if (keyword == "byz-source") {
       script.byz_source = true;
+    } else if (keyword == "chaos") {
+      std::string window;
+      if (!(words >> window)) return fail("chaos: expected <first>-<last> round window");
+      const auto rounds = parse_dash_range(window);
+      if (!rounds.has_value() || rounds->first < 1) {
+        return fail("chaos: bad round window '" + window + "'");
+      }
+      ChaosPhaseSpec phase;
+      phase.first_round = rounds->first;
+      phase.last_round = rounds->second;
+      bool any_fault = false;
+      std::string token;
+      while (words >> token) {
+        const auto eq = token.find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size()) {
+          return fail("chaos: expected <fault>=<spec>, got '" + token + "'");
+        }
+        const std::string key = token.substr(0, eq);
+        const std::string value = token.substr(eq + 1);
+        any_fault = true;
+        if (key == "drop" || key == "dup" || key == "corrupt") {
+          const auto p = parse_probability(value);
+          if (!p.has_value()) return fail("chaos: " + key + " needs a probability in [0,1]");
+          (key == "drop" ? phase.drop : key == "dup" ? phase.duplicate : phase.corrupt) = *p;
+        } else if (key == "delay") {
+          // delay=<p>:<max extra rounds>
+          const auto parts = split(value, ':');
+          const auto p = parse_probability(parts.front());
+          if (parts.size() != 2 || !p.has_value()) {
+            return fail("chaos: delay needs <probability>:<max-extra-rounds>");
+          }
+          try {
+            phase.delay_max_extra = std::stoll(parts[1]);
+          } catch (...) {
+            return fail("chaos: delay needs <probability>:<max-extra-rounds>");
+          }
+          if (phase.delay_max_extra < 1) return fail("chaos: delay max extra rounds must be >= 1");
+          phase.delay_probability = *p;
+        } else if (key == "partition") {
+          const auto range = parse_dash_range(value);
+          if (!range.has_value()) return fail("chaos: partition needs <index>-<index>");
+          phase.partition = std::make_pair(static_cast<std::size_t>(range->first),
+                                           static_cast<std::size_t>(range->second));
+        } else if (key == "crash") {
+          // crash=<index>:<first>-<last>
+          const auto parts = split(value, ':');
+          if (parts.size() != 2) return fail("chaos: crash needs <index>:<first>-<last>");
+          const auto crash_rounds = parse_dash_range(parts[1]);
+          if (!crash_rounds.has_value() || crash_rounds->first < 1) {
+            return fail("chaos: crash needs <index>:<first>-<last>");
+          }
+          ChaosPhaseSpec::CrashSpec crash;
+          try {
+            crash.index = static_cast<std::size_t>(std::stoull(parts[0]));
+          } catch (...) {
+            return fail("chaos: crash needs <index>:<first>-<last>");
+          }
+          crash.first = crash_rounds->first;
+          crash.last = crash_rounds->second;
+          phase.crashes.push_back(crash);
+        } else {
+          return fail("chaos: unknown fault '" + key + "'");
+        }
+      }
+      if (!any_fault) return fail("chaos: phase declares no faults");
+      script.chaos_phases.push_back(std::move(phase));
     } else if (keyword == "expect") {
       std::string name;
       if (!(words >> name)) return fail("expect: missing expectation");
@@ -162,7 +261,51 @@ std::variant<ScenarioScript, ParseError> parse_script(const std::string& text) {
     std::string extra;
     if (words >> extra) return fail("trailing token '" + extra + "'");
   }
+  if (!script.chaos_phases.empty() && script.protocol != ScriptProtocol::kConsensus &&
+      script.protocol != ScriptProtocol::kTotalOrder) {
+    return ParseError{0, "chaos phases are supported for the consensus and totalorder protocols"};
+  }
   return script;
+}
+
+ChaosPlan materialize_chaos_plan(const std::vector<ChaosPhaseSpec>& specs,
+                                 const std::vector<NodeId>& all_ids) {
+  ChaosPlan plan;
+  auto id_at = [&](std::size_t index) {
+    if (index >= all_ids.size()) {
+      throw std::invalid_argument("chaos phase references node index " + std::to_string(index) +
+                                  " but the scenario has only " +
+                                  std::to_string(all_ids.size()) + " nodes");
+    }
+    return all_ids[index];
+  };
+  for (const ChaosPhaseSpec& spec : specs) {
+    ChaosPhase phase;
+    phase.first_round = spec.first_round;
+    phase.last_round = spec.last_round;
+    phase.drop = spec.drop;
+    phase.duplicate = spec.duplicate;
+    phase.corrupt = spec.corrupt;
+    phase.delay.probability = spec.delay_probability;
+    phase.delay.max_extra_rounds = spec.delay_max_extra;
+    if (spec.partition.has_value()) {
+      ChaosPartition partition;
+      for (std::size_t i = spec.partition->first; i <= spec.partition->second; ++i) {
+        partition.side_a.push_back(id_at(i));
+      }
+      for (std::size_t i = 0; i < all_ids.size(); ++i) {
+        if (i < spec.partition->first || i > spec.partition->second) {
+          partition.side_b.push_back(all_ids[i]);
+        }
+      }
+      phase.partitions.push_back(std::move(partition));
+    }
+    for (const ChaosPhaseSpec::CrashSpec& crash : spec.crashes) {
+      phase.crashes.push_back(CrashWindow{id_at(crash.index), crash.first, crash.last});
+    }
+    plan.phases.push_back(std::move(phase));
+  }
+  return plan;
 }
 
 namespace {
@@ -231,14 +374,151 @@ ScriptRun run_consensus_like(const ScenarioScript& script) {
   return result;
 }
 
+/// Consensus (A3) under a chaos schedule, with the invariant monitor wired
+/// through: every correct process reports its decisions into one
+/// InvariantMonitor, and the run's verdicts come from BOTH the output
+/// inspection (as in the clean path) and the monitor's online probes.
+ScriptRun run_chaos_consensus(const ScenarioScript& script) {
+  ScriptRun result;
+  const Scenario scenario = make_scenario(script.config);
+  SyncSimulator sim;
+  auto chaos = std::make_shared<ChaosSchedule>(
+      materialize_chaos_plan(script.chaos_phases, scenario.all_ids()), script.config.seed);
+  sim.set_chaos(chaos);
+
+  std::vector<Value> correct_inputs;
+  for (std::size_t i = 0; i < scenario.correct_ids.size(); ++i) {
+    correct_inputs.push_back(Value::real(script.inputs[i % script.inputs.size()]));
+  }
+  InvariantMonitor monitor(correct_inputs);
+
+  auto factory = [&](NodeId id, std::size_t index) -> std::unique_ptr<Process> {
+    const double input = script.inputs[index % script.inputs.size()];
+    return std::make_unique<ConsensusProcess>(id, Value::real(input));
+  };
+  populate(sim, scenario, factory);
+  for (NodeId id : scenario.correct_ids) {
+    if (auto* p = sim.get<ConsensusProcess>(id)) p->set_observer(&monitor);
+  }
+
+  const bool all_decided = sim.run_until_all_correct_done(script.max_rounds);
+  result.rounds = sim.round();
+  result.messages = sim.metrics().messages.total_delivered();
+  result.chaos_summary = chaos->counters().summary();
+  result.violations = monitor.violations();
+
+  std::optional<Value> first;
+  bool agreement = true;
+  bool validity = false;
+  for (NodeId id : scenario.correct_ids) {
+    auto* p = sim.get<ConsensusProcess>(id);
+    if (p == nullptr || !p->output().has_value()) continue;
+    if (!first.has_value()) first = *p->output();
+    agreement = agreement && *p->output() == *first;
+  }
+  if (first.has_value()) {
+    for (const Value& input : correct_inputs) validity = validity || input == *first;
+  }
+
+  if (wants(script, Expectation::kTermination)) {
+    check(result, Expectation::kTermination, all_decided, "all correct nodes decided");
+  }
+  if (wants(script, Expectation::kAgreement)) {
+    check(result, Expectation::kAgreement, agreement && all_decided, "identical outputs");
+  }
+  if (wants(script, Expectation::kValidity)) {
+    check(result, Expectation::kValidity, validity, "output is a correct input");
+  }
+  if (wants(script, Expectation::kNoViolations)) {
+    check(result, Expectation::kNoViolations, monitor.ok() && agreement,
+          result.violations.empty() ? "invariant monitor clean"
+                                    : result.violations.front());
+  }
+  return result;
+}
+
+/// Total ordering (A6) — with or without chaos. Every correct node submits a
+/// small batch of events; the run checks the paper's chain-prefix and
+/// chain-growth properties over the finalized chains.
+ScriptRun run_chaos_totalorder(const ScenarioScript& script) {
+  ScriptRun result;
+  const Scenario scenario = make_scenario(script.config);
+  SyncSimulator sim;
+  std::shared_ptr<ChaosSchedule> chaos;
+  if (!script.chaos_phases.empty()) {
+    chaos = std::make_shared<ChaosSchedule>(
+        materialize_chaos_plan(script.chaos_phases, scenario.all_ids()), script.config.seed);
+    sim.set_chaos(chaos);
+  }
+
+  auto factory = [](NodeId id, std::size_t) -> std::unique_ptr<Process> {
+    return std::make_unique<TotalOrderProcess>(id, /*founder=*/true);
+  };
+  populate(sim, scenario, factory);
+  for (std::size_t i = 0; i < scenario.correct_ids.size(); ++i) {
+    auto* p = sim.get<TotalOrderProcess>(scenario.correct_ids[i]);
+    if (p == nullptr) continue;
+    for (int k = 0; k < 4; ++k) p->submit_event(static_cast<double>(i * 10 + k));
+  }
+
+  sim.run_rounds(script.max_rounds);
+  result.rounds = sim.round();
+  result.messages = sim.metrics().messages.total_delivered();
+  if (chaos != nullptr) result.chaos_summary = chaos->counters().summary();
+
+  // Chain-prefix: any two correct chains must be prefix-comparable (the
+  // shorter one is a literal prefix of the longer). Chain-growth: every
+  // correct node finalized something by the end of the run.
+  bool growth = !scenario.correct_ids.empty();
+  bool prefix_ok = true;
+  const std::vector<ChainEntry>* longest = nullptr;
+  for (NodeId id : scenario.correct_ids) {
+    auto* p = sim.get<TotalOrderProcess>(id);
+    if (p == nullptr) continue;
+    const auto& chain = p->chain();
+    growth = growth && !chain.empty();
+    if (longest == nullptr || chain.size() > longest->size()) longest = &chain;
+  }
+  for (NodeId id : scenario.correct_ids) {
+    auto* p = sim.get<TotalOrderProcess>(id);
+    if (p == nullptr || longest == nullptr) continue;
+    const auto& chain = p->chain();
+    const bool is_prefix = std::equal(chain.begin(), chain.end(), longest->begin());
+    if (!is_prefix) {
+      prefix_ok = false;
+      result.violations.push_back("node " + std::to_string(id) +
+                                  "'s chain is not a prefix of the longest chain");
+    }
+  }
+
+  if (wants(script, Expectation::kTermination)) {
+    check(result, Expectation::kTermination, growth, "every correct chain grew");
+  }
+  if (wants(script, Expectation::kAgreement)) {
+    check(result, Expectation::kAgreement, prefix_ok, "chains prefix-comparable");
+  }
+  if (wants(script, Expectation::kNoViolations)) {
+    check(result, Expectation::kNoViolations, prefix_ok,
+          result.violations.empty() ? "chain-prefix invariant clean"
+                                    : result.violations.front());
+  }
+  return result;
+}
+
 }  // namespace
 
 ScriptRun run_script(const ScenarioScript& script) {
   ScriptRun result;
   switch (script.protocol) {
     case ScriptProtocol::kConsensus:
+      result = script.chaos_phases.empty() ? run_consensus_like(script)
+                                           : run_chaos_consensus(script);
+      break;
     case ScriptProtocol::kKing:
       result = run_consensus_like(script);
+      break;
+    case ScriptProtocol::kTotalOrder:
+      result = run_chaos_totalorder(script);
       break;
     case ScriptProtocol::kRb: {
       const auto run = run_reliable_broadcast(script.config, script.inputs.front(),

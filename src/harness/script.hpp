@@ -14,14 +14,28 @@
 //   expect validity
 //
 // Keywords:
-//   protocol  consensus | king | rb | approx | rotor | renaming
+//   protocol  consensus | king | rb | approx | rotor | renaming | totalorder
 //   nodes     <count of correct nodes>
 //   inputs    <comma-separated reals, cycled over nodes>   (consensus/king/approx)
 //   byzantine <count> <adversary-name>[,<adversary-name>…] (mix round-robins)
 //   seed, max-rounds, iterations, crash-round              (numbers)
 //   byz-source                                             (rb: Byzantine sender)
+//   chaos     <first>-<last> <fault>=<spec> ...            (one phase per line)
 //   expect    termination | agreement | validity | acceptance | good-round |
-//             within-range | contraction
+//             within-range | contraction | no-violations
+//
+// A `chaos` line declares one ChaosSchedule phase (common/chaos.hpp) active
+// over the inclusive round window. Fault specs:
+//   drop=<p>           phase-wide loss probability
+//   dup=<p>            duplication probability
+//   corrupt=<p>        one-byte corruption probability (trace-only in sims)
+//   delay=<p>:<max>    jitter — probability and max extra rounds
+//   partition=<a>-<b>  bidirectional partition: sorted all_ids[a..b] vs rest
+//   crash=<i>:<f>-<l>  crash window — all_ids[i] is down rounds f..l
+// Node references are INDICES into the scenario's sorted id list (ids are
+// seed-derived, so scripts cannot name them directly); the runner
+// materialises the plan once the scenario ids exist. Chaos lines are
+// accepted for the consensus and totalorder protocols.
 //
 // parse() reports errors with line numbers; run() executes and evaluates
 // every expectation.
@@ -29,14 +43,16 @@
 
 #include <optional>
 #include <string>
+#include <utility>
 #include <variant>
 #include <vector>
 
+#include "common/chaos.hpp"
 #include "harness/scenario.hpp"
 
 namespace idonly {
 
-enum class ScriptProtocol { kConsensus, kKing, kRb, kApprox, kRotor, kRenaming };
+enum class ScriptProtocol { kConsensus, kKing, kRb, kApprox, kRotor, kRenaming, kTotalOrder };
 
 enum class Expectation {
   kTermination,
@@ -46,10 +62,31 @@ enum class Expectation {
   kGoodRound,
   kWithinRange,
   kContraction,
+  kNoViolations,
 };
 
 [[nodiscard]] std::string to_string(ScriptProtocol protocol);
 [[nodiscard]] std::string to_string(Expectation expectation);
+
+/// One parsed `chaos` line. Node references are indices into the sorted
+/// all_ids list; materialize_chaos_plan turns them into concrete NodeIds.
+struct ChaosPhaseSpec {
+  Round first_round = 1;
+  Round last_round = 1;
+  double drop = 0.0;
+  double duplicate = 0.0;
+  double corrupt = 0.0;
+  double delay_probability = 0.0;
+  Round delay_max_extra = 1;
+  /// ids[first..second] (inclusive) form one partition side, the rest the other.
+  std::optional<std::pair<std::size_t, std::size_t>> partition;
+  struct CrashSpec {
+    std::size_t index = 0;
+    Round first = 1;
+    Round last = 1;
+  };
+  std::vector<CrashSpec> crashes;
+};
 
 struct ScenarioScript {
   ScriptProtocol protocol = ScriptProtocol::kConsensus;
@@ -58,8 +95,14 @@ struct ScenarioScript {
   int iterations = 1;
   bool byz_source = false;
   Round max_rounds = 500;
+  std::vector<ChaosPhaseSpec> chaos_phases;
   std::vector<Expectation> expectations;
 };
+
+/// Resolve index-based phase specs against the scenario's sorted id list.
+/// Throws std::invalid_argument when an index is out of range.
+[[nodiscard]] ChaosPlan materialize_chaos_plan(const std::vector<ChaosPhaseSpec>& specs,
+                                               const std::vector<NodeId>& all_ids);
 
 struct ParseError {
   int line = 0;
@@ -81,6 +124,10 @@ struct ScriptRun {
   Round rounds = 0;
   std::uint64_t messages = 0;
   std::string summary;  ///< human-readable result line
+  /// Chaos runs only: injected-fault accounting and observed safety
+  /// violations (empty when the run was clean / chaos-free).
+  std::string chaos_summary;
+  std::vector<std::string> violations;
 };
 
 /// Execute a parsed script and evaluate its expectations.

@@ -1,0 +1,23 @@
+#include "net/chaos_hooks.hpp"
+
+#include <cmath>
+#include <map>
+#include <tuple>
+
+namespace idonly {
+
+DelayModel make_chaos_delay_model(std::shared_ptr<ChaosSchedule> chaos, Time round_duration) {
+  using LinkKey = std::tuple<Round, NodeId, NodeId>;
+  auto seqs = std::make_shared<std::map<LinkKey, std::uint64_t>>();
+  return [chaos = std::move(chaos), seqs, round_duration](NodeId from, NodeId to,
+                                                          const Message& /*msg*/,
+                                                          Time send_time) -> Time {
+    const auto round = static_cast<Round>(std::floor(send_time / round_duration)) + 1;
+    const std::uint64_t seq = (*seqs)[LinkKey{round, from, to}]++;
+    const FaultDecision verdict = chaos->decide(LinkEvent{round, from, to, seq});
+    if (verdict.drop) return -1.0;
+    return static_cast<Time>(1 + verdict.delay_rounds) * round_duration;
+  };
+}
+
+}  // namespace idonly

@@ -54,12 +54,23 @@ void SyncSimulator::route(NodeId from, const std::vector<Outgoing>& outbox) {
       trace_.push_back(TraceEntry{round_, from, out.to, ref.get()});
     }
     auto deposit_private = [&](NodeId to, Member& member) {
-      if (delay_hook_) {
-        const Round extra = delay_hook_(from, to, ref.get(), round_);
-        if (extra > 0) {
-          delayed_[round_ + 1 + extra].emplace_back(to, ref);
-          return;
+      Round extra = 0;
+      if (chaos_) {
+        const std::uint64_t link_seq = chaos_seq_[{from, to}]++;
+        const FaultDecision verdict = chaos_->decide(LinkEvent{round_, from, to, link_seq});
+        if (verdict.drop) return;
+        if (verdict.duplicate) {
+          // Second copy: the model discards duplicate identical messages
+          // from one sender within a round, so it dies in mailbox dedup —
+          // the decision is what must reproduce, and it is in the trace.
+          if (!member.mailbox.deposit(ref, seq_++)) metrics_.fanout.dedup_hits += 1;
         }
+        extra = verdict.delay_rounds;
+      }
+      if (extra == 0 && delay_hook_) extra = delay_hook_(from, to, ref.get(), round_);
+      if (extra > 0) {
+        delayed_[round_ + 1 + extra].emplace_back(to, ref);
+        return;
       }
       if (!member.mailbox.deposit(ref, seq_++)) metrics_.fanout.dedup_hits += 1;
     };
@@ -67,10 +78,10 @@ void SyncSimulator::route(NodeId from, const std::vector<Outgoing>& outbox) {
       auto it = members_.find(*out.to);
       if (it == members_.end()) continue;  // recipient gone — message lost
       deposit_private(*out.to, it->second);
-    } else if (delay_hook_) {
-      // A delay hook may postpone per (from, to) pair, so the broadcast is
-      // no longer uniform across receivers — route it per receiver (the
-      // hook is a test-only synchrony-violation probe; perf is irrelevant).
+    } else if (delay_hook_ || chaos_) {
+      // A delay hook or chaos schedule may fault per (from, to) pair, so the
+      // broadcast is no longer uniform across receivers — route it per
+      // receiver (both are fault-injection probes; perf is irrelevant).
       for (auto& [id, member] : members_) deposit_private(id, member);
     } else {
       if (!lanes_[fill_lane_].deposit(ref, seq_++)) metrics_.fanout.dedup_hits += 1;
@@ -109,6 +120,7 @@ void SyncSimulator::step() {
 
   round_ += 1;
   metrics_.rounds_executed = round_;
+  chaos_seq_.clear();  // link-event sequence numbers are per sent-round
 
   // Deliver synchrony-fault-delayed messages that are due this round. They
   // land in the receiver's private mailbox AFTER last round's routed

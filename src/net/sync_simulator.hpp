@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/chaos.hpp"
 #include "common/metrics.hpp"
 #include "common/types.hpp"
 #include "net/mailbox.hpp"
@@ -79,6 +80,17 @@ class SyncSimulator {
       std::function<Round(NodeId from, NodeId to, const Message& msg, Round sent_round)>;
   void set_delay_hook(DelayHook hook) { delay_hook_ = std::move(hook); }
 
+  /// Install a shared chaos schedule (common/chaos.hpp). Every delivery
+  /// attempt — broadcast fan-out and unicast alike — is keyed as a
+  /// LinkEvent{sent_round, from, to, per-link seq} and the schedule's
+  /// verdict applied: drops skip the deposit, delays reuse the delayed_
+  /// queue, duplicates deposit a second copy (the model's per-round dedup
+  /// suppresses it — the verdict still lands in the shared trace, which is
+  /// the cross-engine contract). Corruption cannot mangle a typed Message;
+  /// it is recorded in the trace only. Self-delivery is never faulted.
+  void set_chaos(std::shared_ptr<ChaosSchedule> chaos) { chaos_ = std::move(chaos); }
+  [[nodiscard]] const std::shared_ptr<ChaosSchedule>& chaos() const noexcept { return chaos_; }
+
   /// Start recording every routed message (ring-buffered at `capacity`).
   /// Intended for tests and debugging; off by default.
   void enable_trace(std::size_t capacity = 1 << 20);
@@ -126,6 +138,8 @@ class SyncSimulator {
   std::size_t trace_capacity_ = 0;
   std::deque<TraceEntry> trace_;
   DelayHook delay_hook_;
+  std::shared_ptr<ChaosSchedule> chaos_;
+  std::map<std::pair<NodeId, NodeId>, std::uint64_t> chaos_seq_;  // per-link, reset each round
   BroadcastLane lanes_[2];
   int fill_lane_ = 0;    // index of the lane collecting this step's sends
   std::uint64_t seq_ = 0;  // global send-order stamp for lane/mailbox merging

@@ -1,0 +1,85 @@
+#include "runtime/chaos_transport.hpp"
+
+#include "net/codec.hpp"
+
+namespace idonly {
+
+namespace {
+
+/// A held view must survive the inner transport's buffer reuse: copy the
+/// bytes into an owned ref when the view does not share ownership already.
+FrameView materialize(FrameView view) {
+  if (view.owner != nullptr) return view;
+  const FrameRef owned = make_frame_ref(view.bytes);
+  return FrameView{owned, std::span<const std::byte>(owned->data(), owned->size())};
+}
+
+}  // namespace
+
+ChaosTransport::ChaosTransport(std::unique_ptr<Transport> inner,
+                               std::shared_ptr<ChaosSchedule> chaos, NodeId self)
+    : inner_(std::move(inner)), chaos_(std::move(chaos)), self_(self) {}
+
+void ChaosTransport::broadcast(std::span<const std::byte> frame) {
+  // Faults are receive-side (see header) — sends pass through untouched.
+  inner_->broadcast(frame);
+}
+
+std::vector<FrameView> ChaosTransport::drain_views() {
+  std::scoped_lock lock(mutex_);
+  std::vector<FrameView> out;
+
+  // Release delayed frames whose hold expired; one drain ≈ one round.
+  std::vector<Held> still_held;
+  for (Held& held : held_) {
+    if (--held.remaining_drains <= 0) {
+      out.push_back(std::move(held.view));
+    } else {
+      still_held.push_back(std::move(held));
+    }
+  }
+  held_ = std::move(still_held);
+
+  for (FrameView& view : inner_->drain_views()) {
+    // Recover the link key from the frame: round header + codec sender.
+    std::size_t offset = 0;
+    const auto header = get_varint(view.bytes, offset);
+    const auto msg = header.has_value() ? decode(view.bytes.subspan(offset)) : std::nullopt;
+    if (!msg.has_value()) {
+      out.push_back(std::move(view));  // unparseable — the driver drops it anyway
+      continue;
+    }
+    const auto round = static_cast<Round>(*header);
+    const NodeId from = msg->sender;
+    const std::uint64_t seq = seq_[{round, from}]++;
+    const FaultDecision verdict = chaos_->decide(LinkEvent{round, from, self_, seq});
+    if (verdict.drop) continue;
+
+    if (verdict.corrupt && view.bytes.size() > offset) {
+      // Flip one payload byte past the round header in a private copy —
+      // wire corruption that decode() (or the protocol) must survive.
+      auto corrupted = std::make_shared<Frame>(view.bytes.begin(), view.bytes.end());
+      const std::size_t pos = offset + verdict.entropy % (corrupted->size() - offset);
+      (*corrupted)[pos] ^= static_cast<std::byte>(1u << ((verdict.entropy >> 8) % 8));
+      view = FrameView{corrupted,
+                       std::span<const std::byte>(corrupted->data(), corrupted->size())};
+    }
+
+    const int copies = verdict.duplicate ? 2 : 1;
+    for (int i = 0; i < copies; ++i) {
+      if (verdict.delay_rounds > 0) {
+        held_.push_back(Held{materialize(view), verdict.delay_rounds});
+      } else {
+        out.push_back(view);
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t ChaosTransport::held_count() const {
+  std::scoped_lock lock(mutex_);
+  return held_.size();
+}
+
+}  // namespace idonly

@@ -1,0 +1,61 @@
+// ChaosSchedule decorator for the runtime's byte transports.
+//
+// Unlike FaultyTransport (an independent coin per frame, send-side), this
+// decorator keys every fault off the shared deterministic schedule so a
+// runtime run reproduces the exact fault trace of a simulator run. Faults
+// are applied on the RECEIVE side: the decorator knows its own endpoint id
+// (`self` = the link's `to`) and recovers the sender and sent round from the
+// frame itself — the varint round header the RoundDriver prepends plus the
+// codec sender field — so the LinkEvent{round, from, to, seq} it hands the
+// schedule is identical to the one the simulators build for the same
+// logical message. Frames that do not parse (no header / codec reject)
+// pass through unfaulted; they are already dying in the driver's decode.
+//
+// Verdicts: drop ⇒ frame vanishes; delay of k rounds ⇒ the view is held for
+// k drain cycles (the driver drains once per round); duplicate ⇒ the view is
+// delivered twice this drain; corrupt ⇒ one payload byte (past the round
+// header, chosen by the verdict's entropy) is flipped in a private copy.
+// Held views are materialised — copied into an owned frame when their
+// backing buffer is not ref-counted — so delaying across the inner
+// transport's buffer reuse is safe.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "common/chaos.hpp"
+#include "runtime/transport.hpp"
+
+namespace idonly {
+
+class ChaosTransport final : public Transport {
+ public:
+  ChaosTransport(std::unique_ptr<Transport> inner, std::shared_ptr<ChaosSchedule> chaos,
+                 NodeId self);
+
+  void broadcast(std::span<const std::byte> frame) override;
+  [[nodiscard]] std::vector<FrameView> drain_views() override;
+
+  [[nodiscard]] NodeId self() const noexcept { return self_; }
+  [[nodiscard]] const std::shared_ptr<ChaosSchedule>& schedule() const noexcept { return chaos_; }
+  /// Frames currently held back by delay verdicts.
+  [[nodiscard]] std::size_t held_count() const;
+
+ private:
+  struct Held {
+    FrameView view;
+    Round remaining_drains = 0;
+  };
+
+  std::unique_ptr<Transport> inner_;
+  std::shared_ptr<ChaosSchedule> chaos_;
+  NodeId self_ = 0;
+  mutable std::mutex mutex_;
+  std::vector<Held> held_;
+  // Per (sent-round, sender) sequence counters; `to` is always self_.
+  std::map<std::pair<Round, NodeId>, std::uint64_t> seq_;
+};
+
+}  // namespace idonly

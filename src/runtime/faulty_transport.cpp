@@ -1,9 +1,27 @@
 #include "runtime/faulty_transport.hpp"
 
+#include <stdexcept>
+
 namespace idonly {
 
+namespace {
+
+void check_probability(double p, const char* what) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument(std::string("FaultModel: ") + what +
+                                " probability must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
 FaultyTransport::FaultyTransport(std::unique_ptr<Transport> inner, FaultModel model, Rng rng)
-    : inner_(std::move(inner)), model_(model), rng_(rng) {}
+    : inner_(std::move(inner)), model_(model), rng_(rng) {
+  check_probability(model_.drop, "drop");
+  check_probability(model_.duplicate, "duplicate");
+  check_probability(model_.delay, "delay");
+  check_probability(model_.corrupt, "corrupt");
+}
 
 void FaultyTransport::broadcast(std::span<const std::byte> frame) {
   // Faults are applied on the SEND side so every receiver sees the same
@@ -21,7 +39,10 @@ void FaultyTransport::broadcast(std::span<const std::byte> frame) {
     corrupted_ += 1;
   }
   inner_->broadcast(copy);
-  if (rng_.chance(model_.duplicate)) inner_->broadcast(copy);
+  if (rng_.chance(model_.duplicate)) {
+    inner_->broadcast(copy);
+    duplicated_ += 1;
+  }
 }
 
 std::vector<FrameView> FaultyTransport::drain_views() {
@@ -30,6 +51,15 @@ std::vector<FrameView> FaultyTransport::drain_views() {
   held_.clear();
   for (FrameView& view : inner_->drain_views()) {
     if (rng_.chance(model_.delay)) {
+      delayed_ += 1;
+      // A held view must stay valid across drain cycles, but the inner
+      // transport only guarantees its bytes until the NEXT drain (a view
+      // with no owner aliases a reusable receive buffer). Materialise such
+      // views into an owned frame before holding them.
+      if (view.owner == nullptr) {
+        const FrameRef owned = make_frame_ref(view.bytes);
+        view = FrameView{owned, std::span<const std::byte>(owned->data(), owned->size())};
+      }
       held_.push_back(std::move(view));
     } else {
       out.push_back(std::move(view));

@@ -23,6 +23,7 @@ struct FaultModel {
 
 class FaultyTransport final : public Transport {
  public:
+  /// Throws std::invalid_argument when any probability is outside [0, 1].
   FaultyTransport(std::unique_ptr<Transport> inner, FaultModel model, Rng rng);
 
   void broadcast(std::span<const std::byte> frame) override;
@@ -30,6 +31,8 @@ class FaultyTransport final : public Transport {
 
   [[nodiscard]] std::uint64_t frames_dropped() const noexcept { return dropped_; }
   [[nodiscard]] std::uint64_t frames_corrupted() const noexcept { return corrupted_; }
+  [[nodiscard]] std::uint64_t frames_duplicated() const noexcept { return duplicated_; }
+  [[nodiscard]] std::uint64_t frames_delayed() const noexcept { return delayed_; }
 
  private:
   std::unique_ptr<Transport> inner_;
@@ -39,6 +42,8 @@ class FaultyTransport final : public Transport {
   std::vector<FrameView> held_;  ///< delayed frames, released next drain
   std::uint64_t dropped_ = 0;
   std::uint64_t corrupted_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t delayed_ = 0;
 };
 
 }  // namespace idonly

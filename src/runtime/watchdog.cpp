@@ -1,0 +1,71 @@
+#include "runtime/watchdog.hpp"
+
+namespace idonly {
+
+DriverPool::DriverPool(WatchdogConfig config) : config_(config) {}
+
+std::size_t DriverPool::add(DriverFactory factory) {
+  Slot slot;
+  slot.factory = std::move(factory);
+  slot.driver = slot.factory();
+  slots_.push_back(std::move(slot));
+  return slots_.size() - 1;
+}
+
+void DriverPool::launch(Slot& slot) {
+  slot.finished = std::make_shared<std::atomic<bool>>(false);
+  slot.last_heartbeat = slot.driver->heartbeat();
+  slot.last_progress = std::chrono::steady_clock::now();
+  // The thread captures the raw driver pointer and its own finished flag —
+  // the watchdog only swaps slot.driver AFTER joining this thread, so the
+  // pointer outlives every dereference.
+  RoundDriver* driver = slot.driver.get();
+  auto finished = slot.finished;
+  slot.thread = std::thread([driver, finished] {
+    driver->run();
+    finished->store(true, std::memory_order_release);
+  });
+}
+
+void DriverPool::run() {
+  for (Slot& slot : slots_) launch(slot);
+
+  for (;;) {
+    bool all_done = true;
+    for (Slot& slot : slots_) {
+      if (slot.finished->load(std::memory_order_acquire)) continue;
+      all_done = false;
+      const auto now = std::chrono::steady_clock::now();
+      const std::uint64_t beat = slot.driver->heartbeat();
+      if (beat != slot.last_heartbeat) {
+        slot.last_heartbeat = beat;
+        slot.last_progress = now;
+        continue;
+      }
+      if (now - slot.last_progress < config_.stall_timeout) continue;
+      if (slot.restarts >= config_.max_restarts_per_slot) {
+        // Restart budget spent and wedged again: retire the slot so the
+        // pool still terminates (the node is simply down from here on).
+        slot.driver->request_stop();
+        slot.thread.join();
+        slot.finished->store(true, std::memory_order_release);
+        continue;
+      }
+      // Wedged: stop, join, rebuild via the factory, rejoin as late node.
+      slot.driver->request_stop();
+      slot.thread.join();
+      slot.driver = slot.factory();
+      slot.restarts += 1;
+      restarts_total_ += 1;
+      launch(slot);
+    }
+    if (all_done) break;
+    std::this_thread::sleep_for(config_.poll_interval);
+  }
+
+  for (Slot& slot : slots_) {
+    if (slot.thread.joinable()) slot.thread.join();
+  }
+}
+
+}  // namespace idonly

@@ -1,0 +1,85 @@
+// Watchdog-supervised pool of RoundDriver threads.
+//
+// A deployment runs one RoundDriver thread per local process. A thread can
+// wedge — a misconfigured epoch far in the future, a transport that never
+// returns, an OS-level stall — and the paper's model already tells us the
+// remedy: the id-only protocols explicitly tolerate a node that announces
+// itself late, so a wedged process can simply be killed and RELAUNCHED as a
+// late joiner instead of taking the whole run down.
+//
+// The pool launches every registered driver, then polls heartbeats (one
+// tick per executed round). When a driver's heartbeat stalls for
+// `stall_timeout` while its thread is still live, the watchdog stops it
+// (RoundDriver::request_stop — the sliced sleep observes it within ~5 ms),
+// joins the thread, builds a FRESH driver via the slot's factory, and
+// relaunches. The factory decides what rejoining means: typically a new
+// process instance (losing in-flight state, like a crashed host) on a new
+// transport endpoint, with an epoch that drops it into the current round.
+//
+// `stall_timeout` must comfortably exceed the slowest legitimate round —
+// with the adaptive clock that is `max_round_duration` — or healthy slow
+// drivers get recycled.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <thread>
+
+#include "runtime/round_driver.hpp"
+
+namespace idonly {
+
+struct WatchdogConfig {
+  std::chrono::milliseconds poll_interval{5};
+  /// Heartbeat silence after which a live thread counts as wedged.
+  std::chrono::milliseconds stall_timeout{500};
+  /// Restart budget per slot; a slot that wedges again after spending it is
+  /// stopped and retired (the node stays down — no unbounded relaunch
+  /// loops, and the pool still terminates).
+  std::size_t max_restarts_per_slot = 1;
+};
+
+class DriverPool {
+ public:
+  /// Invoked for the initial launch and again for every watchdog restart.
+  using DriverFactory = std::function<std::unique_ptr<RoundDriver>()>;
+
+  explicit DriverPool(WatchdogConfig config = {});
+
+  /// Register a driver slot before run(). Returns the slot index.
+  std::size_t add(DriverFactory factory);
+
+  /// Launch all drivers plus the watchdog loop (runs on the calling
+  /// thread); blocks until every driver finished. Restarted drivers count —
+  /// run() returns only when the final incarnation of each slot is done.
+  void run();
+
+  [[nodiscard]] std::uint64_t restarts() const noexcept { return restarts_total_; }
+  /// The slot's current (post-run: final) driver. Valid between add() and
+  /// destruction; during run() the pointer may be swapped by a restart, so
+  /// only poke it from the watchdog thread or after run() returns.
+  [[nodiscard]] RoundDriver& driver(std::size_t slot) { return *slots_.at(slot).driver; }
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+
+ private:
+  struct Slot {
+    DriverFactory factory;
+    std::unique_ptr<RoundDriver> driver;
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> finished;  // owned per incarnation
+    std::uint64_t last_heartbeat = 0;
+    std::chrono::steady_clock::time_point last_progress{};
+    std::size_t restarts = 0;
+  };
+
+  void launch(Slot& slot);
+
+  WatchdogConfig config_;
+  std::deque<Slot> slots_;  // deque: slots hold threads, addresses must be stable
+  std::uint64_t restarts_total_ = 0;
+};
+
+}  // namespace idonly
