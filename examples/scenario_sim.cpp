@@ -7,23 +7,48 @@
 //
 // --seed N overrides the script's seed — the CI chaos soak sweeps one
 // script across seeds without editing the file.
+// --trace PATH writes the run's flight-recorder JSONL export (replay it
+// through trace_diff to compare two seeds' executions); --trace-chrome PATH
+// writes the chrome://tracing JSON view; --metrics prints the Prometheus
+// text exposition of the run's counters.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <variant>
 
 #include "harness/script.hpp"
 
+namespace {
+
+bool write_file(const char* path, const std::string& content) {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << content;
+  return file.good();
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace idonly;
   const char* path = nullptr;
+  const char* trace_path = nullptr;
+  const char* chrome_path = nullptr;
+  bool print_metrics = false;
   std::optional<std::uint64_t> seed_override;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seed_override = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-chrome") == 0 && i + 1 < argc) {
+      chrome_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      print_metrics = true;
     } else if (path == nullptr) {
       path = argv[i];
     } else {
@@ -32,7 +57,9 @@ int main(int argc, char** argv) {
     }
   }
   if (path == nullptr) {
-    std::fprintf(stderr, "usage: scenario_sim <script-file> [--seed N]\n");
+    std::fprintf(stderr,
+                 "usage: scenario_sim <script-file> [--seed N] [--trace PATH] "
+                 "[--trace-chrome PATH] [--metrics]\n");
     return 2;
   }
   std::ifstream file(path);
@@ -50,9 +77,25 @@ int main(int argc, char** argv) {
   }
   auto& script = std::get<ScenarioScript>(parsed);
   if (seed_override.has_value()) script.config.seed = *seed_override;
-  const ScriptRun run = run_script(script);
+  ScriptOptions options;
+  if (trace_path != nullptr || chrome_path != nullptr) {
+    options.recorder = std::make_shared<TraceRecorder>(TraceEngine::kSync);
+  }
+  const ScriptRun run = run_script(script, options);
+
+  if (trace_path != nullptr && !write_file(trace_path, options.recorder->jsonl())) {
+    std::fprintf(stderr, "cannot write %s\n", trace_path);
+    return 2;
+  }
+  if (chrome_path != nullptr && !write_file(chrome_path, options.recorder->chrome_trace_json())) {
+    std::fprintf(stderr, "cannot write %s\n", chrome_path);
+    return 2;
+  }
 
   std::printf("%s\n", run.summary.c_str());
+  if (print_metrics && !run.metrics_exposition.empty()) {
+    std::printf("%s", run.metrics_exposition.c_str());
+  }
   if (!run.chaos_summary.empty()) std::printf("  chaos: %s\n", run.chaos_summary.c_str());
   for (const auto& violation : run.violations) {
     std::printf("  VIOLATION: %s\n", violation.c_str());

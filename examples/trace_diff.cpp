@@ -1,0 +1,53 @@
+// trace_diff — compare two flight-recorder JSONL traces (canonical or full
+// export, see common/trace.hpp) and report the first divergent canonical
+// link record.
+//
+//   $ ./scenario_sim scenarios/chaos_partition_heal.scn --seed 5 --trace a.jsonl
+//   $ ./scenario_sim scenarios/chaos_partition_heal.scn --seed 5 --trace b.jsonl
+//   $ ./trace_diff a.jsonl b.jsonl
+//   traces identical (1224 canonical records)
+//
+// Exit codes: 0 = identical, 1 = diverged, 2 = usage/IO error.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "check/trace_diff.hpp"
+
+namespace {
+
+bool read_file(const char* path, std::string& out) {
+  std::ifstream file(path);
+  if (!file) return false;
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace idonly;
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: trace_diff <left.jsonl> <right.jsonl>\n");
+    return 2;
+  }
+  std::string left;
+  std::string right;
+  if (!read_file(argv[1], left)) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 2;
+  }
+  if (!read_file(argv[2], right)) {
+    std::fprintf(stderr, "cannot open %s\n", argv[2]);
+    return 2;
+  }
+  const TraceDiffResult result = diff_canonical_traces(left, right);
+  std::printf("%s\n", result.to_string().c_str());
+  if (result.left_records == 0 && result.right_records == 0) {
+    std::fprintf(stderr, "warning: neither trace contains canonical link records\n");
+  }
+  return result.diverged ? 1 : 0;
+}

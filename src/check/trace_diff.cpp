@@ -1,0 +1,144 @@
+#include "check/trace_diff.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace idonly {
+
+namespace {
+
+/// One parsed link record in normalized form.
+struct LinkRecord {
+  Round round = 0;
+  NodeId from = 0;
+  NodeId to = 0;
+  std::uint64_t seq = 0;
+  std::string kind;
+  std::int64_t extra = 0;
+
+  [[nodiscard]] std::string normalized() const {
+    std::ostringstream os;
+    os << "r" << round << " " << from << "->" << to << " #" << seq << " " << kind;
+    if (extra != 0) os << "+" << extra;
+    return os.str();
+  }
+
+  friend bool operator==(const LinkRecord&, const LinkRecord&) = default;
+};
+
+bool record_less(const LinkRecord& a, const LinkRecord& b) noexcept {
+  if (a.round != b.round) return a.round < b.round;
+  if (a.from != b.from) return a.from < b.from;
+  if (a.to != b.to) return a.to < b.to;
+  if (a.seq != b.seq) return a.seq < b.seq;
+  return a.kind < b.kind;
+}
+
+/// Extract the integer following `"key":` in a JSON object line. Tolerant
+/// by design: these lines come from our own exporters, not arbitrary JSON.
+std::optional<std::int64_t> extract_int(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  try {
+    return std::stoll(line.substr(pos + needle.size()));
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+std::optional<std::string> extract_string(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  const auto start = pos + needle.size();
+  const auto end = line.find('"', start);
+  if (end == std::string::npos) return std::nullopt;
+  return line.substr(start, end - start);
+}
+
+/// Parse every link-family record out of a JSONL export (canonical or
+/// full); other lines — the header, engine-local events — are skipped.
+std::vector<LinkRecord> parse_link_records(const std::string& jsonl) {
+  std::vector<LinkRecord> out;
+  std::istringstream stream(jsonl);
+  std::string line;
+  while (std::getline(stream, line)) {
+    const auto kind = extract_string(line, "kind");
+    if (!kind.has_value() || kind->rfind("link_", 0) != 0) continue;
+    LinkRecord rec;
+    rec.kind = *kind;
+    const auto round = extract_int(line, "round");
+    const auto from = extract_int(line, "from");
+    const auto to = extract_int(line, "to");
+    if (!round.has_value() || !from.has_value() || !to.has_value()) continue;
+    rec.round = *round;
+    rec.from = static_cast<NodeId>(*from);
+    rec.to = static_cast<NodeId>(*to);
+    if (rec.from == rec.to) continue;  // loopback: never part of the contract
+    // Full-export lines carry both the capture "seq" and the "link_seq";
+    // canonical lines carry the link sequence as "seq".
+    const auto link_seq = extract_int(line, "link_seq");
+    const auto seq = link_seq.has_value() ? link_seq : extract_int(line, "seq");
+    rec.seq = static_cast<std::uint64_t>(seq.value_or(0));
+    rec.extra = extract_int(line, "extra").value_or(0);
+    out.push_back(std::move(rec));
+  }
+  std::sort(out.begin(), out.end(), record_less);
+  return out;
+}
+
+}  // namespace
+
+std::string TraceDiffResult::to_string() const {
+  std::ostringstream os;
+  if (!diverged) {
+    os << "traces identical (" << left_records << " canonical records)";
+    return os.str();
+  }
+  os << "first divergence at record " << index << ": node=" << node << " round=" << round
+     << " seq=" << seq << "\n  left : " << (left.empty() ? "<missing>" : left)
+     << "\n  right: " << (right.empty() ? "<missing>" : right);
+  return os.str();
+}
+
+TraceDiffResult diff_canonical_traces(const std::string& left_jsonl,
+                                      const std::string& right_jsonl) {
+  const std::vector<LinkRecord> left = parse_link_records(left_jsonl);
+  const std::vector<LinkRecord> right = parse_link_records(right_jsonl);
+  TraceDiffResult result;
+  result.left_records = left.size();
+  result.right_records = right.size();
+
+  const std::size_t common = std::min(left.size(), right.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (left[i] == right[i]) continue;
+    // The earlier record (in canonical order) is where divergence enters.
+    const LinkRecord& first = record_less(left[i], right[i]) ? left[i] : right[i];
+    result.diverged = true;
+    result.index = i;
+    result.node = first.to;
+    result.round = first.round;
+    result.from = first.from;
+    result.seq = first.seq;
+    result.left = left[i].normalized();
+    result.right = right[i].normalized();
+    return result;
+  }
+  if (left.size() != right.size()) {
+    const LinkRecord& first = left.size() > right.size() ? left[common] : right[common];
+    result.diverged = true;
+    result.index = common;
+    result.node = first.to;
+    result.round = first.round;
+    result.from = first.from;
+    result.seq = first.seq;
+    result.left = left.size() > right.size() ? left[common].normalized() : "";
+    result.right = right.size() > left.size() ? right[common].normalized() : "";
+  }
+  return result;
+}
+
+}  // namespace idonly

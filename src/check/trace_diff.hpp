@@ -1,0 +1,49 @@
+// Trace divergence diff: turn the chaos-determinism guarantee into a
+// debugging workflow.
+//
+// Two runs of the same seed must produce byte-identical canonical link
+// records (common/trace.hpp). When they do not, the interesting question is
+// not "are they different" but "what is the FIRST divergent record": the
+// earliest (round, from, to, seq) where the two executions took different
+// chaos verdicts is where the bug (or the non-determinism) entered.
+//
+// diff_canonical_traces() accepts either export format — the canonical
+// JSONL or the full JSONL (header and engine-local records are skipped, so
+// a sync-engine flight recording can be compared directly against a
+// runtime one). Records are re-sorted into canonical order before
+// comparison, so trace concatenation order cannot produce false positives.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace idonly {
+
+struct TraceDiffResult {
+  bool diverged = false;
+  /// Position of the first divergent record in the canonical order.
+  std::size_t index = 0;
+  // The first divergent record's identity (the receiver is the node whose
+  // flight recorder holds the record).
+  NodeId node = 0;
+  Round round = 0;
+  NodeId from = 0;
+  std::uint64_t seq = 0;  ///< per-(round, from, to) link sequence
+  /// The normalized records at the divergence ("" = that trace ran out).
+  std::string left;
+  std::string right;
+  /// Link records recognized on each side (0+0 ⇒ nothing to compare).
+  std::size_t left_records = 0;
+  std::size_t right_records = 0;
+
+  /// "traces identical (N records)" or "first divergence at ...".
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Compare two traces' canonical link records; see file comment.
+[[nodiscard]] TraceDiffResult diff_canonical_traces(const std::string& left_jsonl,
+                                                    const std::string& right_jsonl);
+
+}  // namespace idonly

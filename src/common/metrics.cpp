@@ -2,6 +2,7 @@
 
 #include <numeric>
 #include <sstream>
+#include <utility>
 
 namespace idonly {
 
@@ -58,6 +59,63 @@ std::string Metrics::summary() const {
   os << "rounds=" << rounds_executed << " sent=" << messages.total_sent()
      << " delivered=" << messages.total_delivered() << " dedup_hits=" << fanout.dedup_hits
      << " bytes=" << fanout.bytes_delivered << " done_nodes=" << done_round.size();
+  return os.str();
+}
+
+namespace {
+
+void expose(std::ostringstream& os, const char* name, const char* type, std::uint64_t value) {
+  os << "# TYPE " << name << " " << type << "\n" << name << " " << value << "\n";
+}
+
+}  // namespace
+
+std::string prometheus_exposition(const Metrics& metrics, const ChaosCounters* chaos) {
+  std::ostringstream os;
+  expose(os, "idonly_rounds_executed", "counter",
+         static_cast<std::uint64_t>(metrics.rounds_executed < 0 ? 0 : metrics.rounds_executed));
+
+  os << "# TYPE idonly_messages_sent_total counter\n";
+  for (std::size_t k = 0; k < MessageCounters::kKinds; ++k) {
+    if (metrics.messages.sent[k] == 0) continue;
+    os << "idonly_messages_sent_total{kind=\"" << k << "\"} " << metrics.messages.sent[k] << "\n";
+  }
+  os << "# TYPE idonly_messages_delivered_total counter\n";
+  for (std::size_t k = 0; k < MessageCounters::kKinds; ++k) {
+    if (metrics.messages.delivered[k] == 0) continue;
+    os << "idonly_messages_delivered_total{kind=\"" << k << "\"} " << metrics.messages.delivered[k]
+       << "\n";
+  }
+
+  expose(os, "idonly_fanout_deliveries_total", "counter", metrics.fanout.deliveries);
+  expose(os, "idonly_fanout_unique_payloads_total", "counter", metrics.fanout.unique_payloads);
+  expose(os, "idonly_fanout_dedup_hits_total", "counter", metrics.fanout.dedup_hits);
+  expose(os, "idonly_fanout_bytes_delivered_total", "counter", metrics.fanout.bytes_delivered);
+  expose(os, "idonly_done_nodes", "gauge", metrics.done_round.size());
+
+  if (chaos != nullptr) {
+    os << "# TYPE idonly_chaos_faults_total counter\n";
+    for (std::size_t i = 0; i < chaos->per_phase.size(); ++i) {
+      const FaultCounters& p = chaos->per_phase[i];
+      const std::pair<const char*, std::uint64_t> faults[] = {
+          {"drop", p.drops},           {"dup", p.duplicates},
+          {"delay", p.delays},         {"corrupt", p.corrupts},
+          {"partition", p.partition_drops}, {"crash", p.crash_drops}};
+      for (const auto& [fault, count] : faults) {
+        if (count == 0) continue;
+        os << "idonly_chaos_faults_total{phase=\"" << i << "\",fault=\"" << fault << "\"} "
+           << count << "\n";
+      }
+    }
+    os << "# TYPE idonly_recovery_actions_total counter\n";
+    const std::pair<const char*, std::uint64_t> actions[] = {{"backoff", chaos->backoffs},
+                                                             {"shrink", chaos->shrinks},
+                                                             {"resync", chaos->resyncs},
+                                                             {"restart", chaos->restarts}};
+    for (const auto& [action, count] : actions) {
+      os << "idonly_recovery_actions_total{action=\"" << action << "\"} " << count << "\n";
+    }
+  }
   return os.str();
 }
 

@@ -85,4 +85,13 @@ struct Metrics {
   [[nodiscard]] std::string summary() const;
 };
 
+/// Prometheus-style text exposition of every counter above (plus the chaos
+/// fault/recovery counters when `chaos` is non-null): `# TYPE` headers and
+/// one sample per line, suitable for a node-exporter textfile collector or
+/// test assertions. Message kinds are labeled by their numeric MsgKind
+/// index (the names live in net/, which common/ must not depend on);
+/// zero-valued per-kind samples are omitted to keep the snapshot small.
+[[nodiscard]] std::string prometheus_exposition(const Metrics& metrics,
+                                                const ChaosCounters* chaos = nullptr);
+
 }  // namespace idonly

@@ -38,4 +38,13 @@ std::vector<ProtocolEvent> EventLog::of_type(ProtocolEvent::Type type) const {
   return out;
 }
 
+std::vector<ProtocolEvent> ConcurrentEventLog::of_type(ProtocolEvent::Type type) const {
+  std::scoped_lock lock(mutex_);
+  std::vector<ProtocolEvent> out;
+  for (const ProtocolEvent& event : events_) {
+    if (event.type == type) out.push_back(event);
+  }
+  return out;
+}
+
 }  // namespace idonly

@@ -6,7 +6,9 @@
 // streams instead of poking at internals.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -41,7 +43,10 @@ class ProtocolObserver {
   virtual void on_event(const ProtocolEvent& event) = 0;
 };
 
-/// Simple collecting observer for tests and tools.
+/// Simple collecting observer for tests and tools. NOT thread-safe: it is
+/// the right choice only when every event comes from one thread (the
+/// simulators step processes sequentially). Anything shared across runtime
+/// driver threads must use ConcurrentEventLog below.
 class EventLog final : public ProtocolObserver {
  public:
   void on_event(const ProtocolEvent& event) override { events_.push_back(event); }
@@ -50,6 +55,36 @@ class EventLog final : public ProtocolObserver {
   void clear() { events_.clear(); }
 
  private:
+  std::vector<ProtocolEvent> events_;
+};
+
+/// Mutex-guarded collecting observer for multi-threaded runs: one instance
+/// may be shared across RoundDriver threads (and survive watchdog
+/// restarts). Readers get snapshot copies — the internal vector is never
+/// exposed by reference, so a concurrent on_event cannot invalidate a
+/// reader's view.
+class ConcurrentEventLog final : public ProtocolObserver {
+ public:
+  void on_event(const ProtocolEvent& event) override {
+    std::scoped_lock lock(mutex_);
+    events_.push_back(event);
+  }
+  [[nodiscard]] std::vector<ProtocolEvent> events() const {
+    std::scoped_lock lock(mutex_);
+    return events_;
+  }
+  [[nodiscard]] std::vector<ProtocolEvent> of_type(ProtocolEvent::Type type) const;
+  [[nodiscard]] std::size_t size() const {
+    std::scoped_lock lock(mutex_);
+    return events_.size();
+  }
+  void clear() {
+    std::scoped_lock lock(mutex_);
+    events_.clear();
+  }
+
+ private:
+  mutable std::mutex mutex_;
   std::vector<ProtocolEvent> events_;
 };
 

@@ -10,9 +10,15 @@ double percentile_sorted(const std::vector<double>& sorted, double q) {
   if (sorted.empty()) return 0;
   if (q <= 0) return sorted.front();
   if (q >= 1) return sorted.back();
-  // Nearest-rank: smallest index i with (i+1)/n >= q.
-  const auto rank = static_cast<std::size_t>(std::ceil(q * static_cast<double>(sorted.size())));
-  return sorted[rank == 0 ? 0 : rank - 1];
+  // Nearest-rank: smallest rank with rank/n >= q. The product q·n needs an
+  // epsilon guard before ceil: e.g. 0.3 * 10 evaluates to 3.0000000000000004
+  // in IEEE double, which would otherwise ceil into rank 4 and return the
+  // wrong sample (off by one whenever q·n is mathematically an integer).
+  const double scaled = q * static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(scaled - 1e-9));
+  if (rank < 1) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
 }
 
 Summary summarize(std::vector<double> samples) {

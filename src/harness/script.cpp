@@ -322,7 +322,7 @@ bool wants(const ScenarioScript& script, Expectation expectation) {
   return false;
 }
 
-ScriptRun run_consensus_like(const ScenarioScript& script) {
+ScriptRun run_consensus_like(const ScenarioScript& script, const ScriptOptions& options) {
   ScriptRun result;
   // The king variant shares the harness shape; run it through a local
   // simulator, the early-terminating one through the standard runner.
@@ -339,6 +339,7 @@ ScriptRun run_consensus_like(const ScenarioScript& script) {
   } else {
     const Scenario scenario = make_scenario(script.config);
     SyncSimulator sim;
+    sim.set_trace_recorder(options.recorder);
     auto factory = [&](NodeId id, std::size_t index) -> std::unique_ptr<Process> {
       const double input = script.inputs[index % script.inputs.size()];
       return std::make_unique<KingConsensusProcess>(id, Value::real(input));
@@ -347,6 +348,7 @@ ScriptRun run_consensus_like(const ScenarioScript& script) {
     all_decided = sim.run_until_all_correct_done(script.max_rounds);
     result.rounds = sim.round();
     result.messages = sim.metrics().messages.total_delivered();
+    result.metrics_exposition = prometheus_exposition(sim.metrics());
     std::optional<Value> first;
     agreement = true;
     for (NodeId id : scenario.correct_ids) {
@@ -378,10 +380,11 @@ ScriptRun run_consensus_like(const ScenarioScript& script) {
 /// through: every correct process reports its decisions into one
 /// InvariantMonitor, and the run's verdicts come from BOTH the output
 /// inspection (as in the clean path) and the monitor's online probes.
-ScriptRun run_chaos_consensus(const ScenarioScript& script) {
+ScriptRun run_chaos_consensus(const ScenarioScript& script, const ScriptOptions& options) {
   ScriptRun result;
   const Scenario scenario = make_scenario(script.config);
   SyncSimulator sim;
+  sim.set_trace_recorder(options.recorder);
   auto chaos = std::make_shared<ChaosSchedule>(
       materialize_chaos_plan(script.chaos_phases, scenario.all_ids()), script.config.seed);
   sim.set_chaos(chaos);
@@ -391,6 +394,12 @@ ScriptRun run_chaos_consensus(const ScenarioScript& script) {
     correct_inputs.push_back(Value::real(script.inputs[i % script.inputs.size()]));
   }
   InvariantMonitor monitor(correct_inputs);
+  // With a recorder, protocol events flow into the flight recording AND on
+  // to the invariant monitor (TraceObserver chains).
+  TraceObserver trace_observer(options.recorder, &monitor);
+  ProtocolObserver* observer =
+      options.recorder != nullptr ? static_cast<ProtocolObserver*>(&trace_observer)
+                                  : static_cast<ProtocolObserver*>(&monitor);
 
   auto factory = [&](NodeId id, std::size_t index) -> std::unique_ptr<Process> {
     const double input = script.inputs[index % script.inputs.size()];
@@ -398,13 +407,15 @@ ScriptRun run_chaos_consensus(const ScenarioScript& script) {
   };
   populate(sim, scenario, factory);
   for (NodeId id : scenario.correct_ids) {
-    if (auto* p = sim.get<ConsensusProcess>(id)) p->set_observer(&monitor);
+    if (auto* p = sim.get<ConsensusProcess>(id)) p->set_observer(observer);
   }
 
   const bool all_decided = sim.run_until_all_correct_done(script.max_rounds);
   result.rounds = sim.round();
   result.messages = sim.metrics().messages.total_delivered();
-  result.chaos_summary = chaos->counters().summary();
+  const ChaosCounters chaos_counters = chaos->counters();
+  result.chaos_summary = chaos_counters.summary();
+  result.metrics_exposition = prometheus_exposition(sim.metrics(), &chaos_counters);
   result.violations = monitor.violations();
 
   std::optional<Value> first;
@@ -440,10 +451,11 @@ ScriptRun run_chaos_consensus(const ScenarioScript& script) {
 /// Total ordering (A6) — with or without chaos. Every correct node submits a
 /// small batch of events; the run checks the paper's chain-prefix and
 /// chain-growth properties over the finalized chains.
-ScriptRun run_chaos_totalorder(const ScenarioScript& script) {
+ScriptRun run_chaos_totalorder(const ScenarioScript& script, const ScriptOptions& options) {
   ScriptRun result;
   const Scenario scenario = make_scenario(script.config);
   SyncSimulator sim;
+  sim.set_trace_recorder(options.recorder);
   std::shared_ptr<ChaosSchedule> chaos;
   if (!script.chaos_phases.empty()) {
     chaos = std::make_shared<ChaosSchedule>(
@@ -464,7 +476,13 @@ ScriptRun run_chaos_totalorder(const ScenarioScript& script) {
   sim.run_rounds(script.max_rounds);
   result.rounds = sim.round();
   result.messages = sim.metrics().messages.total_delivered();
-  if (chaos != nullptr) result.chaos_summary = chaos->counters().summary();
+  if (chaos != nullptr) {
+    const ChaosCounters chaos_counters = chaos->counters();
+    result.chaos_summary = chaos_counters.summary();
+    result.metrics_exposition = prometheus_exposition(sim.metrics(), &chaos_counters);
+  } else {
+    result.metrics_exposition = prometheus_exposition(sim.metrics());
+  }
 
   // Chain-prefix: any two correct chains must be prefix-comparable (the
   // shorter one is a literal prefix of the longer). Chain-growth: every
@@ -507,18 +525,20 @@ ScriptRun run_chaos_totalorder(const ScenarioScript& script) {
 
 }  // namespace
 
-ScriptRun run_script(const ScenarioScript& script) {
+ScriptRun run_script(const ScenarioScript& script) { return run_script(script, ScriptOptions{}); }
+
+ScriptRun run_script(const ScenarioScript& script, const ScriptOptions& options) {
   ScriptRun result;
   switch (script.protocol) {
     case ScriptProtocol::kConsensus:
-      result = script.chaos_phases.empty() ? run_consensus_like(script)
-                                           : run_chaos_consensus(script);
+      result = script.chaos_phases.empty() ? run_consensus_like(script, options)
+                                           : run_chaos_consensus(script, options);
       break;
     case ScriptProtocol::kKing:
-      result = run_consensus_like(script);
+      result = run_consensus_like(script, options);
       break;
     case ScriptProtocol::kTotalOrder:
-      result = run_chaos_totalorder(script);
+      result = run_chaos_totalorder(script, options);
       break;
     case ScriptProtocol::kRb: {
       const auto run = run_reliable_broadcast(script.config, script.inputs.front(),

@@ -41,6 +41,7 @@
 // every expectation.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -48,6 +49,7 @@
 #include <vector>
 
 #include "common/chaos.hpp"
+#include "common/trace.hpp"
 #include "harness/scenario.hpp"
 
 namespace idonly {
@@ -128,9 +130,23 @@ struct ScriptRun {
   /// violations (empty when the run was clean / chaos-free).
   std::string chaos_summary;
   std::vector<std::string> violations;
+  /// Prometheus-style snapshot of the run's metrics counters. Filled by the
+  /// runs that own their simulator (consensus/king/totalorder, chaos or
+  /// not); empty for the protocols routed through the one-call harness.
+  std::string metrics_exposition;
+};
+
+/// Optional instrumentation for run_script.
+struct ScriptOptions {
+  /// Flight recorder (common/trace.hpp) wired through the run's engine:
+  /// sends, deliveries, link verdicts (chaos runs), and protocol events are
+  /// captured for the runs that own their simulator — the same set that
+  /// fills ScriptRun::metrics_exposition.
+  std::shared_ptr<TraceRecorder> recorder;
 };
 
 /// Execute a parsed script and evaluate its expectations.
 [[nodiscard]] ScriptRun run_script(const ScenarioScript& script);
+[[nodiscard]] ScriptRun run_script(const ScenarioScript& script, const ScriptOptions& options);
 
 }  // namespace idonly

@@ -23,6 +23,7 @@ void AsyncSimulator::dispatch_out(NodeId from, const std::vector<AsyncOutgoing>&
     // Wrap once; a broadcast's n events share the payload by reference.
     const MessageRef ref = MessageRef::wrap(std::move(msg));
     fanout_.unique_payloads += 1;
+    if (recorder_) recorder_->record_send(from, /*round=*/0, o.to);
     auto deliver_to = [&](NodeId to) {
       const Time latency = delay_(from, to, ref.get(), now_);
       if (latency < 0) return;  // delay model may drop (models "never delivered" in a run prefix)
@@ -77,6 +78,7 @@ void AsyncSimulator::run(Time horizon) {
     } else {
       fanout_.deliveries += 1;
       fanout_.bytes_delivered += ev.msg.wire_bytes();
+      if (recorder_) recorder_->record_deliver(ev.to, /*round=*/0, ev.msg.get().sender);
       p.on_message(now_, ev.msg.get(), out);
     }
     dispatch_out(ev.to, out);

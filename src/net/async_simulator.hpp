@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "common/types.hpp"
 #include "net/mailbox.hpp"
 #include "net/message.hpp"
@@ -82,6 +83,13 @@ class AsyncSimulator {
   /// as reference bumps; deliveries are counted when handed to a process.
   [[nodiscard]] const FanoutCounters& fanout() const noexcept { return fanout_; }
 
+  /// Attach a flight recorder: sends and deliveries are captured (round 0 —
+  /// the async model has no rounds; link verdicts come from a
+  /// recorder-aware chaos delay model, see net/chaos_hooks.hpp).
+  void set_trace_recorder(std::shared_ptr<TraceRecorder> recorder) {
+    recorder_ = std::move(recorder);
+  }
+
  private:
   struct Event {
     Time at;
@@ -105,6 +113,7 @@ class AsyncSimulator {
   std::uint64_t seq_ = 0;
   bool started_ = false;
   FanoutCounters fanout_;
+  std::shared_ptr<TraceRecorder> recorder_;
 };
 
 }  // namespace idonly

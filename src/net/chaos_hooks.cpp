@@ -7,14 +7,20 @@
 namespace idonly {
 
 DelayModel make_chaos_delay_model(std::shared_ptr<ChaosSchedule> chaos, Time round_duration) {
+  return make_chaos_delay_model(std::move(chaos), round_duration, nullptr);
+}
+
+DelayModel make_chaos_delay_model(std::shared_ptr<ChaosSchedule> chaos, Time round_duration,
+                                  std::shared_ptr<TraceRecorder> recorder) {
   using LinkKey = std::tuple<Round, NodeId, NodeId>;
   auto seqs = std::make_shared<std::map<LinkKey, std::uint64_t>>();
-  return [chaos = std::move(chaos), seqs, round_duration](NodeId from, NodeId to,
-                                                          const Message& /*msg*/,
-                                                          Time send_time) -> Time {
+  return [chaos = std::move(chaos), seqs, round_duration, recorder = std::move(recorder)](
+             NodeId from, NodeId to, const Message& /*msg*/, Time send_time) -> Time {
     const auto round = static_cast<Round>(std::floor(send_time / round_duration)) + 1;
     const std::uint64_t seq = (*seqs)[LinkKey{round, from, to}]++;
-    const FaultDecision verdict = chaos->decide(LinkEvent{round, from, to, seq});
+    const LinkEvent event{round, from, to, seq};
+    const FaultDecision verdict = chaos->decide(event);
+    if (recorder != nullptr) recorder->record_link_verdict(event, verdict);
     if (verdict.drop) return -1.0;
     return static_cast<Time>(1 + verdict.delay_rounds) * round_duration;
   };

@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "common/chaos.hpp"
+#include "common/trace.hpp"
 #include "net/async_simulator.hpp"
 
 namespace idonly {
@@ -30,5 +31,13 @@ namespace idonly {
 /// engines. The model is stateful; use one instance per simulator run.
 [[nodiscard]] DelayModel make_chaos_delay_model(std::shared_ptr<ChaosSchedule> chaos,
                                                 Time round_duration);
+
+/// Same, with a flight recorder: every verdict the model asks for is also
+/// recorded as a canonical link record, so the async engine's
+/// `canonical_jsonl()` is byte-comparable with the other engines' traces.
+/// Pass a null recorder to get the plain model.
+[[nodiscard]] DelayModel make_chaos_delay_model(std::shared_ptr<ChaosSchedule> chaos,
+                                                Time round_duration,
+                                                std::shared_ptr<TraceRecorder> recorder);
 
 }  // namespace idonly

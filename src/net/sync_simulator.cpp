@@ -53,11 +53,14 @@ void SyncSimulator::route(NodeId from, const std::vector<Outgoing>& outbox) {
       if (trace_.size() >= trace_capacity_) trace_.pop_front();
       trace_.push_back(TraceEntry{round_, from, out.to, ref.get()});
     }
+    if (recorder_) recorder_->record_send(from, round_, out.to);
     auto deposit_private = [&](NodeId to, Member& member) {
       Round extra = 0;
       if (chaos_) {
         const std::uint64_t link_seq = chaos_seq_[{from, to}]++;
-        const FaultDecision verdict = chaos_->decide(LinkEvent{round_, from, to, link_seq});
+        const LinkEvent event{round_, from, to, link_seq};
+        const FaultDecision verdict = chaos_->decide(event);
+        if (recorder_) recorder_->record_link_verdict(event, verdict);
         if (verdict.drop) return;
         if (verdict.duplicate) {
           // Second copy: the model discards duplicate identical messages
@@ -156,6 +159,11 @@ void SyncSimulator::step() {
     const BroadcastLane* lane = member.joined_round == round_ ? nullptr : &deliver_lane;
     dispatches.push_back(Dispatch{
         id, member.mailbox.collect(lane, member.scratch, &metrics_.fanout, &metrics_.messages)});
+    if (recorder_) {
+      for (const Message& msg : dispatches.back().inbox) {
+        recorder_->record_deliver(id, round_, msg.sender);
+      }
+    }
   }
 
   std::vector<Outgoing> outbox;

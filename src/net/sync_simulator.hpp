@@ -27,6 +27,7 @@
 
 #include "common/chaos.hpp"
 #include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "common/types.hpp"
 #include "net/mailbox.hpp"
 #include "net/process.hpp"
@@ -91,6 +92,17 @@ class SyncSimulator {
   void set_chaos(std::shared_ptr<ChaosSchedule> chaos) { chaos_ = std::move(chaos); }
   [[nodiscard]] const std::shared_ptr<ChaosSchedule>& chaos() const noexcept { return chaos_; }
 
+  /// Attach a flight recorder (common/trace.hpp): every send, every
+  /// delivery, and — when a chaos schedule is installed — every link
+  /// verdict is recorded. Off (null) by default; the broadcast fast path is
+  /// untouched when no recorder is set.
+  void set_trace_recorder(std::shared_ptr<TraceRecorder> recorder) {
+    recorder_ = std::move(recorder);
+  }
+  [[nodiscard]] const std::shared_ptr<TraceRecorder>& trace_recorder() const noexcept {
+    return recorder_;
+  }
+
   /// Start recording every routed message (ring-buffered at `capacity`).
   /// Intended for tests and debugging; off by default.
   void enable_trace(std::size_t capacity = 1 << 20);
@@ -139,6 +151,7 @@ class SyncSimulator {
   std::deque<TraceEntry> trace_;
   DelayHook delay_hook_;
   std::shared_ptr<ChaosSchedule> chaos_;
+  std::shared_ptr<TraceRecorder> recorder_;
   std::map<std::pair<NodeId, NodeId>, std::uint64_t> chaos_seq_;  // per-link, reset each round
   BroadcastLane lanes_[2];
   int fill_lane_ = 0;    // index of the lane collecting this step's sends

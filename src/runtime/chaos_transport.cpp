@@ -52,7 +52,9 @@ std::vector<FrameView> ChaosTransport::drain_views() {
     const auto round = static_cast<Round>(*header);
     const NodeId from = msg->sender;
     const std::uint64_t seq = seq_[{round, from}]++;
-    const FaultDecision verdict = chaos_->decide(LinkEvent{round, from, self_, seq});
+    const LinkEvent event{round, from, self_, seq};
+    const FaultDecision verdict = chaos_->decide(event);
+    if (recorder_ != nullptr) recorder_->record_link_verdict(event, verdict);
     if (verdict.drop) continue;
 
     if (verdict.corrupt && view.bytes.size() > offset) {

@@ -26,6 +26,7 @@
 #include <utility>
 
 #include "common/chaos.hpp"
+#include "common/trace.hpp"
 #include "runtime/transport.hpp"
 
 namespace idonly {
@@ -43,6 +44,13 @@ class ChaosTransport final : public Transport {
   /// Frames currently held back by delay verdicts.
   [[nodiscard]] std::size_t held_count() const;
 
+  /// Attach a flight recorder: every verdict this transport asks the
+  /// schedule for is recorded as a canonical link record (node = self).
+  void set_trace_recorder(std::shared_ptr<TraceRecorder> recorder) {
+    std::scoped_lock lock(mutex_);
+    recorder_ = std::move(recorder);
+  }
+
  private:
   struct Held {
     FrameView view;
@@ -51,6 +59,7 @@ class ChaosTransport final : public Transport {
 
   std::unique_ptr<Transport> inner_;
   std::shared_ptr<ChaosSchedule> chaos_;
+  std::shared_ptr<TraceRecorder> recorder_;
   NodeId self_ = 0;
   mutable std::mutex mutex_;
   std::vector<Held> held_;

@@ -32,11 +32,13 @@ Round RoundDriver::run() {
   auto duration = config_.round_duration;
   auto deadline = config_.epoch;
   Round clean_streak = 0;
+  TraceRecorder* const rec = config_.recorder.get();
+  const NodeId self = process_->id();
 
   for (Round r = 1; r <= config_.max_rounds; ++r) {
-    if (stop_requested()) return rounds_executed_;
+    if (stop_requested()) return rounds_executed();
     heartbeat_.fetch_add(1, std::memory_order_relaxed);
-    const std::uint64_t late_before = frames_late_;
+    const std::uint64_t late_before = frames_late_.load(std::memory_order_relaxed);
 
     // Sort arrivals into per-round buffers by their round header. Views are
     // decoded in place — the shared frame buffer is never copied here.
@@ -44,17 +46,28 @@ Round RoundDriver::run() {
       std::size_t offset = 0;
       const auto header = get_varint(view.bytes, offset);
       if (!header.has_value()) {
-        frames_dropped_ += 1;
+        frames_dropped_.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
       const auto msg = decode(view.bytes.subspan(offset));
       if (!msg.has_value()) {
-        frames_dropped_ += 1;
+        frames_dropped_.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
       const auto sent_round = static_cast<Round>(*header);
       if (sent_round < r - 1) {
-        frames_late_ += 1;  // synchrony violated for this frame
+        frames_late_.fetch_add(1, std::memory_order_relaxed);  // synchrony violated
+        if (rec != nullptr) {
+          rec->record(TraceRecord{.kind = TraceEventKind::kLateFrame,
+                                  .node = self,
+                                  .round = r,
+                                  .seq = 0,
+                                  .from = msg->sender,
+                                  .to = self,
+                                  .link_seq = 0,
+                                  .extra = sent_round,
+                                  .detail = {}});
+        }
         continue;
       }
       buffered_[sent_round].push_back(*msg);
@@ -66,25 +79,30 @@ Round RoundDriver::run() {
       inbox = std::move(it->second);
       buffered_.erase(it);
     }
+    if (rec != nullptr) {
+      for (const Message& msg : inbox) rec->record_deliver(self, r, msg.sender);
+    }
 
     std::vector<Outgoing> out;
     process_->on_round(RoundInfo{r, r}, inbox, out);
-    rounds_executed_ = r;
+    rounds_executed_.store(r, std::memory_order_relaxed);
 
     for (Outgoing& o : out) {
-      o.msg.sender = process_->id();  // stamp our identity (see header note)
+      o.msg.sender = self;  // stamp our identity (see header note)
       // The runtime wire is a broadcast domain; engine-level unicast
       // degrades to broadcast + receiver-side relevance.
       Frame frame;
       put_varint(static_cast<std::uint64_t>(r), frame);
       encode(o.msg, frame);
       transport_->broadcast(frame);
+      if (rec != nullptr) rec->record_send(self, r, o.to);
     }
 
-    const std::uint64_t late_this_round = frames_late_ - late_before;
+    const std::uint64_t late_this_round =
+        frames_late_.load(std::memory_order_relaxed) - late_before;
     frames_late_last_round_.store(late_this_round, std::memory_order_relaxed);
 
-    if (process_->done()) return rounds_executed_;
+    if (process_->done()) return rounds_executed();
 
     if (!config_.adaptive) {
       interruptible_sleep_until(config_.epoch + r * config_.round_duration);
@@ -99,7 +117,10 @@ Round RoundDriver::run() {
           config_.max_round_duration);
       if (grown > duration) {
         duration = grown;
-        backoffs_ += 1;
+        backoffs_.fetch_add(1, std::memory_order_relaxed);
+        if (rec != nullptr) {
+          rec->record_clock(self, TraceEventKind::kClockBackoff, r, duration.count());
+        }
       }
       clean_streak = 0;
     } else if (late_this_round == 0) {
@@ -110,7 +131,10 @@ Round RoundDriver::run() {
             config_.round_duration,
             std::chrono::milliseconds(static_cast<std::int64_t>(
                 static_cast<double>(duration.count()) / config_.backoff_factor)));
-        shrinks_ += 1;
+        shrinks_.fetch_add(1, std::memory_order_relaxed);
+        if (rec != nullptr) {
+          rec->record_clock(self, TraceEventKind::kClockShrink, r, duration.count());
+        }
         clean_streak = 0;
       }
     } else {
@@ -124,12 +148,15 @@ Round RoundDriver::run() {
     // sleep and catch up instead of letting every subsequent inbox be late.
     const bool peers_ahead = !buffered_.empty() && buffered_.rbegin()->first > r;
     if (peers_ahead) {
-      resyncs_ += 1;
+      resyncs_.fetch_add(1, std::memory_order_relaxed);
+      if (rec != nullptr) {
+        rec->record_clock(self, TraceEventKind::kClockResync, r, buffered_.rbegin()->first);
+      }
     } else {
       interruptible_sleep_until(deadline);
     }
   }
-  return rounds_executed_;
+  return rounds_executed();
 }
 
 }  // namespace idonly

@@ -44,6 +44,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/trace.hpp"
 #include "common/types.hpp"
 #include "net/process.hpp"
 #include "runtime/transport.hpp"
@@ -66,6 +67,11 @@ struct RoundDriverConfig {
   std::chrono::milliseconds max_round_duration{200};
   /// Consecutive clean (zero-late) rounds before one shrink step.
   Round shrink_after_clean_rounds = 2;
+
+  /// Optional flight recorder (common/trace.hpp): sends, deliveries, late
+  /// frames, and every self-healing clock transition are captured. May be
+  /// shared across drivers — the recorder is thread-safe.
+  std::shared_ptr<TraceRecorder> recorder;
 };
 
 class RoundDriver {
@@ -92,11 +98,21 @@ class RoundDriver {
   }
 
   [[nodiscard]] Process& process() noexcept { return *process_; }
-  [[nodiscard]] Round rounds_executed() const noexcept { return rounds_executed_; }
+  // All counters below are written by the driver thread and routinely read
+  // by other threads (watchdog, chaos soak pollers, benches) while run() is
+  // live, so they are atomics — relaxed is enough, they are monotonic
+  // statistics with no ordering contract.
+  [[nodiscard]] Round rounds_executed() const noexcept {
+    return rounds_executed_.load(std::memory_order_relaxed);
+  }
   /// Malformed frames (bad header or codec reject).
-  [[nodiscard]] std::uint64_t frames_dropped() const noexcept { return frames_dropped_; }
+  [[nodiscard]] std::uint64_t frames_dropped() const noexcept {
+    return frames_dropped_.load(std::memory_order_relaxed);
+  }
   /// Frames that arrived after their delivery round — synchrony was violated.
-  [[nodiscard]] std::uint64_t frames_late() const noexcept { return frames_late_; }
+  [[nodiscard]] std::uint64_t frames_late() const noexcept {
+    return frames_late_.load(std::memory_order_relaxed);
+  }
   /// Late frames observed in the most recently executed round (0 after a
   /// clean round — the "healed" signal the chaos soak asserts on).
   [[nodiscard]] std::uint64_t frames_late_last_round() const noexcept {
@@ -104,9 +120,15 @@ class RoundDriver {
   }
 
   // Recovery accounting (see ChaosCounters in common/metrics.hpp).
-  [[nodiscard]] std::uint64_t backoffs() const noexcept { return backoffs_; }
-  [[nodiscard]] std::uint64_t shrinks() const noexcept { return shrinks_; }
-  [[nodiscard]] std::uint64_t resyncs() const noexcept { return resyncs_; }
+  [[nodiscard]] std::uint64_t backoffs() const noexcept {
+    return backoffs_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t shrinks() const noexcept {
+    return shrinks_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t resyncs() const noexcept {
+    return resyncs_.load(std::memory_order_relaxed);
+  }
   /// Current adapted duration (== config round_duration when not adaptive
   /// or fully healed). Thread-safe snapshot in milliseconds.
   [[nodiscard]] std::chrono::milliseconds current_round_duration() const noexcept {
@@ -121,12 +143,12 @@ class RoundDriver {
   std::unique_ptr<Transport> transport_;
   RoundDriverConfig config_;
   std::map<Round, std::vector<Message>> buffered_;  // by sender round header
-  Round rounds_executed_ = 0;
-  std::uint64_t frames_dropped_ = 0;
-  std::uint64_t frames_late_ = 0;
-  std::uint64_t backoffs_ = 0;
-  std::uint64_t shrinks_ = 0;
-  std::uint64_t resyncs_ = 0;
+  std::atomic<Round> rounds_executed_{0};
+  std::atomic<std::uint64_t> frames_dropped_{0};
+  std::atomic<std::uint64_t> frames_late_{0};
+  std::atomic<std::uint64_t> backoffs_{0};
+  std::atomic<std::uint64_t> shrinks_{0};
+  std::atomic<std::uint64_t> resyncs_{0};
   std::atomic<std::uint64_t> frames_late_last_round_{0};
   std::atomic<bool> stop_requested_{false};
   std::atomic<std::uint64_t> heartbeat_{0};

@@ -54,9 +54,15 @@ void DriverPool::run() {
       // Wedged: stop, join, rebuild via the factory, rejoin as late node.
       slot.driver->request_stop();
       slot.thread.join();
+      const NodeId wedged_id = slot.driver->process().id();
+      const Round wedged_round = slot.driver->rounds_executed();
       slot.driver = slot.factory();
       slot.restarts += 1;
-      restarts_total_ += 1;
+      restarts_total_.fetch_add(1, std::memory_order_relaxed);
+      if (config_.recorder != nullptr) {
+        config_.recorder->record_clock(wedged_id, TraceEventKind::kWatchdogRestart, wedged_round,
+                                       static_cast<std::int64_t>(slot.restarts));
+      }
       launch(slot);
     }
     if (all_done) break;

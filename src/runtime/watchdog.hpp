@@ -21,6 +21,7 @@
 // drivers get recycled.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
@@ -28,6 +29,7 @@
 #include <memory>
 #include <thread>
 
+#include "common/trace.hpp"
 #include "runtime/round_driver.hpp"
 
 namespace idonly {
@@ -40,6 +42,9 @@ struct WatchdogConfig {
   /// stopped and retired (the node stays down — no unbounded relaunch
   /// loops, and the pool still terminates).
   std::size_t max_restarts_per_slot = 1;
+  /// Optional flight recorder: every watchdog restart is captured as a
+  /// kWatchdogRestart record on the restarted node.
+  std::shared_ptr<TraceRecorder> recorder;
 };
 
 class DriverPool {
@@ -57,7 +62,11 @@ class DriverPool {
   /// run() returns only when the final incarnation of each slot is done.
   void run();
 
-  [[nodiscard]] std::uint64_t restarts() const noexcept { return restarts_total_; }
+  /// Thread-safe: written by the watchdog loop, routinely polled from other
+  /// threads while run() is live.
+  [[nodiscard]] std::uint64_t restarts() const noexcept {
+    return restarts_total_.load(std::memory_order_relaxed);
+  }
   /// The slot's current (post-run: final) driver. Valid between add() and
   /// destruction; during run() the pointer may be swapped by a restart, so
   /// only poke it from the watchdog thread or after run() returns.
@@ -79,7 +88,7 @@ class DriverPool {
 
   WatchdogConfig config_;
   std::deque<Slot> slots_;  // deque: slots hold threads, addresses must be stable
-  std::uint64_t restarts_total_ = 0;
+  std::atomic<std::uint64_t> restarts_total_{0};
 };
 
 }  // namespace idonly

@@ -294,6 +294,34 @@ TEST(Stats, PercentileNearestRank) {
   EXPECT_DOUBLE_EQ(percentile_sorted({}, 0.5), 0.0);
 }
 
+TEST(Stats, PercentileEdgesEmptySingleAndFull) {
+  // Empty input: defined as 0 for every q, including the endpoints.
+  EXPECT_DOUBLE_EQ(percentile_sorted({}, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted({}, 1.0), 0.0);
+  // Single sample: every q maps to it.
+  const std::vector<double> one{42.0};
+  for (double q : {0.0, 0.25, 0.5, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(percentile_sorted(one, q), 42.0) << "q=" << q;
+  }
+  // q = 1.0 must index the LAST element, never one past it.
+  const std::vector<double> pair{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(pair, 1.0), 2.0);
+}
+
+TEST(Stats, PercentileExactRankBoundariesAreNotPushedUpByFloatNoise) {
+  // Nearest-rank: rank = ceil(q * n). When q * n is mathematically an
+  // integer, floating point can land a hair above it (0.3 * 10 ==
+  // 3.0000000000000004) and ceil would then overshoot to the NEXT sample —
+  // the off-by-one this pins down.
+  const std::vector<double> sorted{10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.3), 30.0) << "rank 3, not 4";
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.7), 70.0);
+  std::vector<double> twenty;
+  for (int i = 1; i <= 20; ++i) twenty.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(percentile_sorted(twenty, 0.95), 19.0) << "0.95 * 20 is exactly rank 19";
+  EXPECT_DOUBLE_EQ(percentile_sorted(twenty, 0.05), 1.0);
+}
+
 TEST(Stats, ToStringMentionsFields) {
   const std::string s = summarize({1, 2, 3}).to_string();
   EXPECT_NE(s.find("mean=2"), std::string::npos);

@@ -143,5 +143,41 @@ TEST(Observer, EventLogFilterAndClear) {
   EXPECT_TRUE(log.events().empty());
 }
 
+TEST(Observer, ConcurrentEventLogMatchesEventLogSemantics) {
+  // Same single-threaded contract as EventLog (the thread-safety itself is
+  // exercised in test_metrics_race): insertion order, filtering, clearing.
+  ConcurrentEventLog log;
+  log.on_event({Type::kDecided, 1, 1, Value::bot(), 0, 0});
+  log.on_event({Type::kAccepted, 2, 2, Value::bot(), 0, 0});
+  log.on_event({Type::kDecided, 3, 5, Value::real(1.0), 0, 2});
+
+  EXPECT_EQ(log.size(), 3u);
+  const auto events = log.events();  // snapshot copy, not a reference
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].node, 1u);
+  EXPECT_EQ(events[2].round, 5);
+  const auto decided = log.of_type(Type::kDecided);
+  ASSERT_EQ(decided.size(), 2u);
+  EXPECT_EQ(decided[1].phase, 2);
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_TRUE(log.events().empty());
+}
+
+TEST(Observer, ConcurrentEventLogCollectsFromAProcess) {
+  SyncSimulator sim;
+  ConcurrentEventLog log;
+  const std::vector<NodeId> ids{10, 20, 30, 40};
+  for (NodeId id : ids) {
+    auto p = std::make_unique<ReliableBroadcastProcess>(id, /*source=*/10, Value::real(7.0));
+    if (id == 20) p->set_observer(&log);
+    sim.add_process(std::move(p));
+  }
+  sim.run_rounds(8);
+  const auto accepts = log.of_type(Type::kAccepted);
+  ASSERT_EQ(accepts.size(), 1u);
+  EXPECT_EQ(accepts[0].subject, 10u);
+}
+
 }  // namespace
 }  // namespace idonly
