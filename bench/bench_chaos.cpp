@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "common/chaos.hpp"
 #include "core/consensus.hpp"
 #include "net/sync_simulator.hpp"
@@ -118,15 +119,16 @@ int run(const char* path) {
   out << "  \"nodes\": " << kNodes << ",\n  \"seeds\": " << kSeeds << ",\n";
   out << "  \"burst_rounds\": \"2-11\",\n";
   out << "  \"clean\": {\"rounds_per_sec\": "
-      << (clean_elapsed > 0 ? static_cast<double>(clean_total) / clean_elapsed : 0)
-      << ", \"mean_rounds_to_decide\": " << static_cast<double>(clean_total) / kSeeds
-      << "},\n";
+      << bench::fixed3(clean_elapsed > 0 ? static_cast<double>(clean_total) / clean_elapsed : 0)
+      << ", \"mean_rounds_to_decide\": "
+      << bench::fixed3(static_cast<double>(clean_total) / kSeeds) << "},\n";
   out << "  \"loss_levels\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const LossResult& r = results[i];
-    out << "    {\"loss\": " << r.loss << ", \"rounds_per_sec\": " << r.rounds_per_sec
-        << ", \"mean_rounds_to_decide\": " << r.mean_rounds_to_decide
-        << ", \"mean_recovery_rounds\": " << r.mean_recovery_rounds
+    out << "    {\"loss\": " << bench::fixed3(r.loss)
+        << ", \"rounds_per_sec\": " << bench::fixed3(r.rounds_per_sec)
+        << ", \"mean_rounds_to_decide\": " << bench::fixed3(r.mean_rounds_to_decide)
+        << ", \"mean_recovery_rounds\": " << bench::fixed3(r.mean_recovery_rounds)
         << ", \"faults_injected\": " << r.faults_injected
         << ", \"all_terminated\": " << (r.all_terminated ? "true" : "false") << "}"
         << (i + 1 < results.size() ? "," : "") << "\n";

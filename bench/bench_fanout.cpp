@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "harness/runner.hpp"
 #include "net/codec.hpp"
 #include "runtime/inmemory_transport.hpp"
@@ -121,11 +122,11 @@ bool write_json(const std::string& path, const std::vector<FanoutResult>& result
     out << "    {\n"
         << "      \"n_correct\": " << r.config.n_correct << ",\n"
         << "      \"n_byzantine\": " << r.config.n_byz << ",\n"
-        << "      \"rounds_per_sec\": " << r.rounds_per_sec << ",\n"
-        << "      \"deliveries_per_sec\": " << r.deliveries_per_sec << ",\n"
-        << "      \"seed_baseline_rounds_per_sec\": " << r.config.seed_baseline_rounds_per_sec
-        << ",\n"
-        << "      \"speedup_vs_seed\": " << r.speedup_vs_seed << "\n"
+        << "      \"rounds_per_sec\": " << bench::fixed3(r.rounds_per_sec) << ",\n"
+        << "      \"deliveries_per_sec\": " << bench::fixed3(r.deliveries_per_sec) << ",\n"
+        << "      \"seed_baseline_rounds_per_sec\": "
+        << bench::fixed3(r.config.seed_baseline_rounds_per_sec) << ",\n"
+        << "      \"speedup_vs_seed\": " << bench::fixed3(r.speedup_vs_seed) << "\n"
         << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ],\n  \"hub\": [\n";
@@ -133,8 +134,8 @@ bool write_json(const std::string& path, const std::vector<FanoutResult>& result
     const HubResult& r = hub_results[i];
     out << "    {\n"
         << "      \"endpoints\": " << r.endpoints << ",\n"
-        << "      \"broadcasts_per_sec\": " << r.broadcasts_per_sec << ",\n"
-        << "      \"deliveries_per_sec\": " << r.deliveries_per_sec << ",\n"
+        << "      \"broadcasts_per_sec\": " << bench::fixed3(r.broadcasts_per_sec) << ",\n"
+        << "      \"deliveries_per_sec\": " << bench::fixed3(r.deliveries_per_sec) << ",\n"
         << "      \"unique_payloads\": " << r.unique_payloads << ",\n"
         << "      \"bytes_delivered\": " << r.bytes_delivered << "\n"
         << "    }" << (i + 1 < hub_results.size() ? "," : "") << "\n";

@@ -1,0 +1,22 @@
+// Shared formatting for the machine-readable BENCH_*.json artifacts.
+//
+// Rates are rounded to fixed precision before emission: the artifacts are
+// committed and diffed by the CI perf gate, and the default ostream
+// formatting (6 significant digits, switching to scientific notation past
+// 1e6) makes numeric comparison and human review needlessly noisy.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace idonly::bench {
+
+/// A rate (rounds/sec, deliveries/sec, ...) as a fixed three-decimal JSON
+/// number, e.g. 12345.678. Never scientific notation, locale-independent.
+inline std::string fixed3(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  return buf;
+}
+
+}  // namespace idonly::bench

@@ -1,0 +1,122 @@
+// Parallel round-engine benchmark with a machine-readable artifact: steps
+// reliable broadcast (the broadcast-heaviest protocol, O(n²) message visits
+// per round) at large n across a sweep of thread counts, and writes
+// BENCH_parallel.json with rounds/sec per (n, threads) cell.
+//
+// Two numbers matter:
+//   * rounds/sec at threads=1 — the hot-path container overhaul (flat quorum
+//     sets, dispatch arena, cached member ids) against the committed
+//     pre-overhaul baseline;
+//   * the threads>1 cells — the deterministic parallel engine's scaling on
+//     the machine at hand (ideal on multi-core; a wash on one core, by
+//     design: the merge phase is sequential and the trace is bit-identical
+//     at every thread count — that invariant is enforced by
+//     test_parallel_exec, not here).
+//
+// Usage: bench_parallel [output.json]   (default: BENCH_parallel.json)
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "core/reliable_broadcast.hpp"
+#include "net/sync_simulator.hpp"
+
+namespace idonly {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr Round kRoundsPerRun = 8;
+constexpr double kMinSeconds = 1.5;
+
+struct Cell {
+  std::size_t n = 0;
+  unsigned threads = 0;
+  /// rounds/sec at the pre-overhaul commit, threads=1, RelWithDebInfo, dev
+  /// machine (0 = no baseline recorded for this cell).
+  double seed_baseline_rounds_per_sec = 0;
+  double rounds_per_sec = 0;
+  double speedup_vs_seed = 0;
+};
+
+void run_cell(Cell& cell) {
+  std::uint64_t rounds = 0;
+  const auto start = Clock::now();
+  double elapsed = 0;
+  std::uint64_t seed = 0;
+  while (elapsed < kMinSeconds) {
+    seed += 1;  // fresh simulator per run; seed only varies construction order
+    SyncSimulator sim;
+    sim.set_threads(cell.threads);
+    for (std::size_t i = 0; i < cell.n; ++i) {
+      sim.add_process(std::make_unique<ReliableBroadcastProcess>(
+          static_cast<NodeId>(i + 1), /*source=*/1, Value::real(42.0)));
+    }
+    sim.run_rounds(kRoundsPerRun);
+    rounds += kRoundsPerRun;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  }
+  cell.rounds_per_sec = static_cast<double>(rounds) / elapsed;
+  cell.speedup_vs_seed = cell.seed_baseline_rounds_per_sec > 0
+                             ? cell.rounds_per_sec / cell.seed_baseline_rounds_per_sec
+                             : 0;
+}
+
+bool write_json(const std::string& path, const std::vector<Cell>& cells) {
+  std::ofstream out(path);
+  out << "{\n  \"benchmark\": \"parallel\",\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    out << "    {\n"
+        << "      \"n\": " << c.n << ",\n"
+        << "      \"threads\": " << c.threads << ",\n"
+        << "      \"rounds_per_sec\": " << bench::fixed3(c.rounds_per_sec) << ",\n"
+        << "      \"seed_baseline_rounds_per_sec\": "
+        << bench::fixed3(c.seed_baseline_rounds_per_sec) << ",\n"
+        << "      \"speedup_vs_seed\": " << bench::fixed3(c.speedup_vs_seed) << "\n"
+        << "    }" << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.good();
+}
+
+}  // namespace
+}  // namespace idonly
+
+int main(int argc, char** argv) {
+  using namespace idonly;
+  const std::string path = argc > 1 ? argv[1] : "BENCH_parallel.json";
+
+  // threads=1 baselines: pre-overhaul rounds/sec on the dev machine
+  // (reliable broadcast, 8 rounds/run, RelWithDebInfo). Threaded cells have
+  // no seed baseline — the engine did not exist.
+  std::vector<Cell> cells;
+  for (const std::size_t n : {200UL, 400UL, 800UL}) {
+    for (const unsigned threads : {1U, 2U, 4U, 8U}) {
+      Cell cell;
+      cell.n = n;
+      cell.threads = threads;
+      if (threads == 1) {
+        cell.seed_baseline_rounds_per_sec = n == 200 ? 913.390 : n == 400 ? 248.920 : 0;
+      }
+      cells.push_back(cell);
+    }
+  }
+
+  for (Cell& cell : cells) {
+    run_cell(cell);
+    std::printf("rb n=%zu threads=%u: %.2f rounds/sec (%.2fx vs seed)\n", cell.n, cell.threads,
+                cell.rounds_per_sec, cell.speedup_vs_seed);
+  }
+
+  if (!write_json(path, cells)) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

@@ -11,6 +11,8 @@
 // through trace_diff to compare two seeds' executions); --trace-chrome PATH
 // writes the chrome://tracing JSON view; --metrics prints the Prometheus
 // text exposition of the run's counters.
+// --threads N runs the round engine on N worker threads; the run — and its
+// trace export — is bit-identical for every N (CI diffs them to prove it).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,10 +41,13 @@ int main(int argc, char** argv) {
   const char* trace_path = nullptr;
   const char* chrome_path = nullptr;
   bool print_metrics = false;
+  unsigned threads = 1;
   std::optional<std::uint64_t> seed_override;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seed_override = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-chrome") == 0 && i + 1 < argc) {
@@ -58,7 +63,7 @@ int main(int argc, char** argv) {
   }
   if (path == nullptr) {
     std::fprintf(stderr,
-                 "usage: scenario_sim <script-file> [--seed N] [--trace PATH] "
+                 "usage: scenario_sim <script-file> [--seed N] [--threads N] [--trace PATH] "
                  "[--trace-chrome PATH] [--metrics]\n");
     return 2;
   }
@@ -78,6 +83,7 @@ int main(int argc, char** argv) {
   auto& script = std::get<ScenarioScript>(parsed);
   if (seed_override.has_value()) script.config.seed = *seed_override;
   ScriptOptions options;
+  options.threads = threads;
   if (trace_path != nullptr || chrome_path != nullptr) {
     options.recorder = std::make_shared<TraceRecorder>(TraceEngine::kSync);
   }

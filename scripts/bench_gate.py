@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: compare a freshly measured bench JSON artifact against
+the committed baseline and fail when any throughput figure regresses past
+the tolerance.
+
+    bench_gate.py fresh.json committed_baseline.json [--tolerance 0.20]
+
+Rules:
+  * The two files must have the same structure (same keys, same array
+    lengths) — a shape change means the baseline needs regenerating, which
+    should be a deliberate commit, not a silent pass.
+  * Every numeric field whose key ends in `_per_sec` is a throughput
+    figure: fresh >= baseline * (1 - tolerance) or the gate fails.
+  * All other fields are informational (counts, means, configs) and are
+    only checked for structural presence, because they legitimately vary
+    with machine speed (e.g. seeds completed within a wall-clock budget).
+
+Exit 0 when every gate holds; exit 1 with a per-field report otherwise.
+"""
+import argparse
+import json
+import sys
+
+RATE_SUFFIX = "_per_sec"
+
+
+def walk(fresh, baseline, path, failures, checked):
+    if isinstance(baseline, dict):
+        if not isinstance(fresh, dict) or set(fresh) != set(baseline):
+            failures.append(f"{path or '$'}: structure mismatch (keys differ)")
+            return
+        for key in baseline:
+            walk(fresh[key], baseline[key], f"{path}.{key}" if path else key,
+                 failures, checked)
+    elif isinstance(baseline, list):
+        if not isinstance(fresh, list) or len(fresh) != len(baseline):
+            failures.append(f"{path}: structure mismatch (array length)")
+            return
+        for i, (f, b) in enumerate(zip(fresh, baseline)):
+            walk(f, b, f"{path}[{i}]", failures, checked)
+    elif isinstance(baseline, (int, float)) and not isinstance(baseline, bool):
+        key = path.rsplit(".", 1)[-1]
+        if key.endswith(RATE_SUFFIX):
+            floor = baseline * (1.0 - ARGS.tolerance)
+            status = "ok" if fresh >= floor else "REGRESSION"
+            checked.append(
+                f"  {status:>10}  {path}: {fresh:.3f} vs baseline "
+                f"{baseline:.3f} (floor {floor:.3f})")
+            if fresh < floor:
+                failures.append(
+                    f"{path}: {fresh:.3f} < {floor:.3f} "
+                    f"(baseline {baseline:.3f}, tolerance {ARGS.tolerance:.0%})")
+
+
+def main():
+    global ARGS
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh")
+    parser.add_argument("baseline")
+    parser.add_argument("--tolerance", type=float, default=0.20)
+    ARGS = parser.parse_args()
+
+    with open(ARGS.fresh) as fh:
+        fresh = json.load(fh)
+    with open(ARGS.baseline) as fh:
+        baseline = json.load(fh)
+
+    failures, checked = [], []
+    walk(fresh, baseline, "", failures, checked)
+
+    print(f"bench_gate: {ARGS.fresh} vs {ARGS.baseline} "
+          f"(tolerance {ARGS.tolerance:.0%})")
+    for line in checked:
+        print(line)
+    if failures:
+        print(f"FAILED: {len(failures)} gate(s) tripped", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"ok: {len(checked)} throughput gate(s) hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,8 @@
 #include "baselines/known_f_approx.hpp"
 
 #include <algorithm>
-#include <set>
 
+#include "common/flat_set.hpp"
 #include "common/value.hpp"
 
 namespace idonly {
@@ -23,10 +23,10 @@ void KnownFApproxProcess::on_round(RoundInfo round, std::span<const Message> inb
   if (done_) return;
   if (round.local >= 2) {
     std::vector<double> received;
-    std::set<NodeId> seen;
+    FlatSet<NodeId> seen;
     for (const Message& m : inbox) {
       if (m.kind != MsgKind::kApproxValue || m.value.is_bot()) continue;
-      if (!seen.insert(m.sender).second) continue;
+      if (!seen.insert(m.sender)) continue;
       received.push_back(m.value.as_real());
     }
     if (const auto next = known_f_approx_step(std::move(received), f_); next.has_value()) {

@@ -1,0 +1,133 @@
+// Sorted-vector flat containers for hot-path quorum bookkeeping.
+//
+// The core protocols touch their quorum sets once per message per round —
+// Θ(n²) probes per round across an all-to-all network — and the node-based
+// std::set/std::map they used to sit on pay a heap allocation plus a
+// pointer-chasing tree walk per probe. A FlatSet keeps its elements in one
+// sorted contiguous vector: membership tests are cache-friendly binary
+// searches, and the dominant insertion pattern (senders arrive in ascending
+// id order because the engine routes members in ascending id order) hits an
+// O(1) append fast path. FlatMap is the same idea for small key → value
+// tables (quorum counters key by payload/candidate; a round sees a handful
+// of distinct keys but thousands of probes).
+//
+// Deliberately minimal: only the operations the protocol layer uses. Both
+// containers iterate in ascending key order, so replacing std::set/std::map
+// never changes the deterministic iteration order protocol code relies on.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace idonly {
+
+template <typename T, typename Compare = std::less<T>>
+class FlatSet {
+ public:
+  using value_type = T;
+  using const_iterator = typename std::vector<T>::const_iterator;
+
+  FlatSet() = default;
+
+  FlatSet(std::initializer_list<T> init) {
+    for (const T& v : init) insert(v);
+  }
+
+  /// Migration convenience: std::set iterates in ascending order, so the
+  /// copy is a straight append.
+  FlatSet(const std::set<T, Compare>& from) : values_(from.begin(), from.end()) {}  // NOLINT
+
+  /// Returns true when the value was inserted (false: already present).
+  bool insert(const T& value) {
+    // Ascending-arrival fast path: the engine steps and routes members in
+    // ascending id order, so most inserts land past the current back.
+    if (values_.empty() || comp_(values_.back(), value)) {
+      values_.push_back(value);
+      return true;
+    }
+    const auto it = std::lower_bound(values_.begin(), values_.end(), value, comp_);
+    if (it != values_.end() && !comp_(value, *it)) return false;
+    values_.insert(it, value);
+    return true;
+  }
+
+  /// Returns true when the value was present and removed.
+  bool erase(const T& value) {
+    const auto it = std::lower_bound(values_.begin(), values_.end(), value, comp_);
+    if (it == values_.end() || comp_(value, *it)) return false;
+    values_.erase(it);
+    return true;
+  }
+
+  [[nodiscard]] bool contains(const T& value) const {
+    const auto it = std::lower_bound(values_.begin(), values_.end(), value, comp_);
+    return it != values_.end() && !comp_(value, *it);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+  void clear() noexcept { values_.clear(); }
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  [[nodiscard]] const_iterator begin() const noexcept { return values_.begin(); }
+  [[nodiscard]] const_iterator end() const noexcept { return values_.end(); }
+  /// The underlying sorted storage (ascending).
+  [[nodiscard]] const std::vector<T>& values() const noexcept { return values_; }
+
+  friend bool operator==(const FlatSet& a, const FlatSet& b) { return a.values_ == b.values_; }
+
+ private:
+  std::vector<T> values_;
+  [[no_unique_address]] Compare comp_;
+};
+
+template <typename Key, typename V, typename Compare = std::less<Key>>
+class FlatMap {
+ public:
+  using value_type = std::pair<Key, V>;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+  using iterator = typename std::vector<value_type>::iterator;
+
+  FlatMap() = default;
+
+  /// std::map semantics: default-construct on first access.
+  V& operator[](const Key& key) {
+    const auto it = lower_bound(key);
+    if (it != entries_.end() && !comp_(key, it->first)) return it->second;
+    return entries_.emplace(it, key, V{})->second;
+  }
+
+  [[nodiscard]] const_iterator find(const Key& key) const {
+    const auto it = lower_bound(key);
+    return it != entries_.end() && !comp_(key, it->first) ? it : entries_.end();
+  }
+
+  [[nodiscard]] bool contains(const Key& key) const { return find(key) != entries_.end(); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  void clear() noexcept { entries_.clear(); }
+
+  [[nodiscard]] const_iterator begin() const noexcept { return entries_.begin(); }
+  [[nodiscard]] const_iterator end() const noexcept { return entries_.end(); }
+
+ private:
+  [[nodiscard]] const_iterator lower_bound(const Key& key) const {
+    return std::lower_bound(entries_.begin(), entries_.end(), key,
+                            [this](const value_type& e, const Key& k) { return comp_(e.first, k); });
+  }
+  [[nodiscard]] iterator lower_bound(const Key& key) {
+    return std::lower_bound(entries_.begin(), entries_.end(), key,
+                            [this](const value_type& e, const Key& k) { return comp_(e.first, k); });
+  }
+
+  std::vector<value_type> entries_;
+  [[no_unique_address]] Compare comp_;
+};
+
+}  // namespace idonly

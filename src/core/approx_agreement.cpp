@@ -1,8 +1,8 @@
 #include "core/approx_agreement.hpp"
 
 #include <algorithm>
-#include <set>
 
+#include "common/flat_set.hpp"
 #include "common/thresholds.hpp"
 
 namespace idonly {
@@ -26,10 +26,10 @@ void ApproxAgreementProcess::reduce(std::span<const Message> inbox) {
   // in a round only gets its first counted (any fixed rule is equivalent —
   // the adversary controls the value either way).
   std::vector<double> received;
-  std::set<NodeId> seen;
+  FlatSet<NodeId> seen;
   for (const Message& m : inbox) {
     if (m.kind != MsgKind::kApproxValue || m.value.is_bot()) continue;
-    if (!seen.insert(m.sender).second) continue;
+    if (!seen.insert(m.sender)) continue;
     received.push_back(m.value.as_real());
   }
   if (const auto next = approx_agree_step(std::move(received)); next.has_value()) {

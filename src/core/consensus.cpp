@@ -19,7 +19,7 @@ ConsensusProcess::ConsensusProcess(NodeId self, Value input)
 QuorumCounter<Value> ConsensusProcess::count_phase_messages(
     std::span<const Message> inbox, MsgKind kind, std::optional<MsgKind> heard_marker) const {
   QuorumCounter<Value> tally;
-  std::set<NodeId> heard;
+  FlatSet<NodeId> heard;  // inbox senders arrive ascending → append fast path
   for (const Message& m : inbox) {
     if (!membership_.knows(m.sender)) continue;  // discard non-members (Alg. 3 caption)
     if (m.kind == kind) {

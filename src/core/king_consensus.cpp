@@ -33,7 +33,7 @@ void KingConsensusProcess::on_round(RoundInfo round, std::span<const Message> in
   auto tally = [&](MsgKind kind, std::optional<MsgKind> marker,
                    const std::optional<Value>& mine) {
     QuorumCounter<Value> counts;
-    std::set<NodeId> heard;
+    FlatSet<NodeId> heard;  // inbox senders arrive ascending → append fast path
     for (const Message& m : inbox) {
       if (!membership_.knows(m.sender)) continue;
       if (m.kind == kind) {

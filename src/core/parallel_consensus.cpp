@@ -17,7 +17,7 @@ Message pair_msg(MsgKind kind, InstanceTag tag, PairId pair, const Value& v) {
 
 ParallelConsensusMachine::ParallelConsensusMachine(
     NodeId self, InstanceTag tag, std::vector<InputPair> inputs,
-    std::optional<std::set<NodeId>> membership_restriction)
+    std::optional<FlatSet<NodeId>> membership_restriction)
     : self_(self),
       tag_(tag),
       pending_inputs_(std::move(inputs)),
@@ -41,7 +41,7 @@ QuorumCounter<Value> ParallelConsensusMachine::tally(std::span<const Message> in
                                                      MsgKind kind, std::optional<MsgKind> heard_marker,
                                                      std::optional<Value> fill) const {
   QuorumCounter<Value> counts;
-  std::set<NodeId> heard;
+  FlatSet<NodeId> heard;  // inbox senders arrive ascending → append fast path
   for (const Message& m : inbox) {
     if (!accepts(m) || m.subject != pair) continue;
     if (m.kind == kind) {

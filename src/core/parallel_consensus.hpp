@@ -26,9 +26,9 @@
 
 #include <map>
 #include <optional>
-#include <set>
 #include <vector>
 
+#include "common/flat_set.hpp"
 #include "common/types.hpp"
 #include "common/value.hpp"
 #include "core/participant_tracker.hpp"
@@ -58,7 +58,7 @@ class ParallelConsensusMachine {
   /// S at instance start and only accepts messages from S; empty optional
   /// means "no restriction" (standalone use).
   ParallelConsensusMachine(NodeId self, InstanceTag tag, std::vector<InputPair> inputs,
-                           std::optional<std::set<NodeId>> membership_restriction = std::nullopt);
+                           std::optional<FlatSet<NodeId>> membership_restriction = std::nullopt);
 
   /// Advance one local round. `inbox` is this round's full inbox (the
   /// machine filters by instance tag and membership itself); outgoing
@@ -105,7 +105,7 @@ class ParallelConsensusMachine {
   NodeId self_;
   InstanceTag tag_;
   std::vector<InputPair> pending_inputs_;
-  std::optional<std::set<NodeId>> restriction_;
+  std::optional<FlatSet<NodeId>> restriction_;
   RotorCore rotor_;
   ParticipantTracker membership_;
   bool membership_frozen_ = false;

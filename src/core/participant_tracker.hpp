@@ -7,15 +7,18 @@
 // cumulatively across rounds, which is the reading under which Lemmas 1–4 of
 // the paper hold (a correct node echoes a given message once per round at
 // most, and per-round duplicates are already dropped by the engine).
+//
+// Both sit on sorted-vector flat containers (common/flat_set.hpp): they are
+// probed once per message per round — Θ(n²) probes per round network-wide —
+// and inbox senders arrive in ascending id order, so inserts hit the flat
+// set's append fast path instead of allocating tree nodes.
 #pragma once
 
-#include <map>
 #include <optional>
-#include <set>
 #include <span>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
 
+#include "common/flat_set.hpp"
 #include "common/types.hpp"
 #include "net/message.hpp"
 
@@ -34,10 +37,11 @@ class ParticipantTracker {
 
   [[nodiscard]] std::size_t n_v() const noexcept { return seen_.size(); }
   [[nodiscard]] bool knows(NodeId id) const { return seen_.contains(id); }
-  [[nodiscard]] const std::unordered_set<NodeId>& ids() const noexcept { return seen_; }
+  /// Ascending-id iteration.
+  [[nodiscard]] const FlatSet<NodeId>& ids() const noexcept { return seen_; }
 
  private:
-  std::unordered_set<NodeId> seen_;
+  FlatSet<NodeId> seen_;
 };
 
 /// Counts distinct senders per key, cumulatively across rounds. Key is the
@@ -47,7 +51,7 @@ template <typename Key, typename Compare = std::less<Key>>
 class QuorumCounter {
  public:
   /// Returns true when this (key, sender) pair is new.
-  bool add(const Key& key, NodeId sender) { return senders_[key].insert(sender).second; }
+  bool add(const Key& key, NodeId sender) { return senders_[key].insert(sender); }
 
   [[nodiscard]] std::size_t count(const Key& key) const {
     auto it = senders_.find(key);
@@ -65,14 +69,15 @@ class QuorumCounter {
     return out;
   }
 
-  [[nodiscard]] const std::map<Key, std::set<NodeId>, Compare>& all() const noexcept {
+  /// Ascending-key iteration of (key, distinct-sender set) pairs.
+  [[nodiscard]] const FlatMap<Key, FlatSet<NodeId>, Compare>& all() const noexcept {
     return senders_;
   }
 
   void clear() { senders_.clear(); }
 
  private:
-  std::map<Key, std::set<NodeId>, Compare> senders_;
+  FlatMap<Key, FlatSet<NodeId>, Compare> senders_;
 };
 
 }  // namespace idonly

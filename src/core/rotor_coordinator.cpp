@@ -1,6 +1,6 @@
 #include "core/rotor_coordinator.hpp"
 
-#include <algorithm>
+#include <utility>
 
 #include "common/thresholds.hpp"
 
@@ -37,7 +37,7 @@ RotorCore::StepResult RotorCore::step(std::size_t n_v, std::int64_t r) {
 
   // Candidate maintenance in reliable-broadcast fashion (Alg. 2 lines 8–11).
   for (const auto& [candidate, senders] : echoes_.all()) {
-    if (candidate_set_.contains(candidate)) continue;
+    if (candidates_.contains(candidate)) continue;
     if (at_least_one_third(senders.size(), n_v)) {
       Message echo;
       echo.kind = MsgKind::kEcho;
@@ -45,23 +45,17 @@ RotorCore::StepResult RotorCore::step(std::size_t n_v, std::int64_t r) {
       echo.instance = instance_;
       result.relay.push_back(echo);
     }
-    if (at_least_two_thirds(senders.size(), n_v)) {
-      candidate_set_.insert(candidate);
-      candidates_.insert(std::lower_bound(candidates_.begin(), candidates_.end(), candidate),
-                         candidate);
-    }
+    if (at_least_two_thirds(senders.size(), n_v)) candidates_.insert(candidate);
   }
 
   // Selection: p = C_v[r mod |C_v|] (Alg. 2 line 12).
   if (!candidates_.empty()) {
     const std::size_t idx =
         static_cast<std::size_t>(r % static_cast<std::int64_t>(candidates_.size()));
-    const NodeId p = candidates_[idx];
+    const NodeId p = candidates_.values()[idx];
     result.coordinator = p;
-    if (selected_.contains(p)) {
+    if (!selected_.insert(p)) {
       result.repeated = true;  // caller decides whether to terminate
-    } else {
-      selected_.insert(p);
     }
   }
   return result;

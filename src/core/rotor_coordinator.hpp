@@ -21,9 +21,9 @@
 #pragma once
 
 #include <optional>
-#include <set>
 #include <vector>
 
+#include "common/flat_set.hpp"
 #include "common/observer.hpp"
 #include "common/types.hpp"
 #include "common/value.hpp"
@@ -63,16 +63,17 @@ class RotorCore {
   [[nodiscard]] StepResult step(std::size_t n_v, std::int64_t r);
 
   /// Sorted candidate set C_v.
-  [[nodiscard]] const std::vector<NodeId>& candidates() const noexcept { return candidates_; }
-  [[nodiscard]] const std::set<NodeId>& selected() const noexcept { return selected_; }
+  [[nodiscard]] const std::vector<NodeId>& candidates() const noexcept {
+    return candidates_.values();
+  }
+  [[nodiscard]] const FlatSet<NodeId>& selected() const noexcept { return selected_; }
 
  private:
   NodeId self_;
   InstanceTag instance_;
-  QuorumCounter<NodeId> echoes_;        // candidate id -> distinct echoers
-  std::vector<NodeId> candidates_;      // C_v, ascending
-  std::set<NodeId> candidate_set_;      // membership mirror of candidates_
-  std::set<NodeId> selected_;           // S_v
+  QuorumCounter<NodeId> echoes_;  // candidate id -> distinct echoers
+  FlatSet<NodeId> candidates_;    // C_v, ascending (selection indexes .values())
+  FlatSet<NodeId> selected_;      // S_v
 };
 
 /// Standalone Alg. 2: selects coordinators until one repeats; records what

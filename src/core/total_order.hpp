@@ -26,9 +26,9 @@
 #include <deque>
 #include <map>
 #include <optional>
-#include <set>
 #include <vector>
 
+#include "common/flat_set.hpp"
 #include "common/observer.hpp"
 #include "common/types.hpp"
 #include "common/value.hpp"
@@ -70,7 +70,7 @@ class TotalOrderProcess final : public Process {
   /// Largest round R such that every instance ≤ R is final (0 = none yet).
   [[nodiscard]] Round finalized_upto() const noexcept { return finalized_upto_; }
   [[nodiscard]] Round protocol_round() const noexcept { return r_; }
-  [[nodiscard]] const std::set<NodeId>& membership() const noexcept { return members_; }
+  [[nodiscard]] const FlatSet<NodeId>& membership() const noexcept { return members_; }
   [[nodiscard]] std::size_t live_instances() const noexcept;
 
   /// Non-owning; must outlive the process. Receives kChainExtended events.
@@ -102,7 +102,7 @@ class TotalOrderProcess final : public Process {
   bool announced_leave_ = false;
   bool leaving_ = false;
   Round r_ = 0;             ///< protocol round counter (shared across nodes)
-  std::set<NodeId> members_;                    ///< S
+  FlatSet<NodeId> members_;                     ///< S
   std::map<Round, std::vector<NodeId>> scheduled_adds_;  ///< S-adds by effective round
   std::deque<double> pending_events_;
   std::map<Round, InstanceRun> instances_;          ///< live (non-final) instances

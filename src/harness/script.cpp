@@ -340,6 +340,7 @@ ScriptRun run_consensus_like(const ScenarioScript& script, const ScriptOptions& 
     const Scenario scenario = make_scenario(script.config);
     SyncSimulator sim;
     sim.set_trace_recorder(options.recorder);
+    sim.set_threads(options.threads);
     auto factory = [&](NodeId id, std::size_t index) -> std::unique_ptr<Process> {
       const double input = script.inputs[index % script.inputs.size()];
       return std::make_unique<KingConsensusProcess>(id, Value::real(input));
@@ -385,6 +386,7 @@ ScriptRun run_chaos_consensus(const ScenarioScript& script, const ScriptOptions&
   const Scenario scenario = make_scenario(script.config);
   SyncSimulator sim;
   sim.set_trace_recorder(options.recorder);
+  sim.set_threads(options.threads);
   auto chaos = std::make_shared<ChaosSchedule>(
       materialize_chaos_plan(script.chaos_phases, scenario.all_ids()), script.config.seed);
   sim.set_chaos(chaos);
@@ -456,6 +458,7 @@ ScriptRun run_chaos_totalorder(const ScenarioScript& script, const ScriptOptions
   const Scenario scenario = make_scenario(script.config);
   SyncSimulator sim;
   sim.set_trace_recorder(options.recorder);
+  sim.set_threads(options.threads);
   std::shared_ptr<ChaosSchedule> chaos;
   if (!script.chaos_phases.empty()) {
     chaos = std::make_shared<ChaosSchedule>(

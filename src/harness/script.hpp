@@ -143,6 +143,10 @@ struct ScriptOptions {
   /// captured for the runs that own their simulator — the same set that
   /// fills ScriptRun::metrics_exposition.
   std::shared_ptr<TraceRecorder> recorder;
+  /// Worker threads for the round engine (net/parallel_exec.hpp). Applies
+  /// to the runs that own their simulator; results — including the trace —
+  /// are bit-identical for every value, so this is purely a speed knob.
+  unsigned threads = 1;
 };
 
 /// Execute a parsed script and evaluate its expectations.

@@ -22,6 +22,7 @@
 #include "common/types.hpp"
 #include "net/mailbox.hpp"
 #include "net/message.hpp"
+#include "net/parallel_exec.hpp"
 
 namespace idonly {
 
@@ -75,6 +76,15 @@ class AsyncSimulator {
   /// Run until the event queue drains or `horizon` simulated time elapses.
   void run(Time horizon);
 
+  /// Shard callback execution across `threads` threads (1 = sequential, the
+  /// default). Events sharing one timestamp form a batch; per-node event
+  /// groups run concurrently while sends, timer re-arms, and trace records
+  /// are applied sequentially in event-sequence order — the observable
+  /// execution (delivery order, latency draws, traces) is identical for
+  /// every thread count (DESIGN.md §8).
+  void set_threads(unsigned threads);
+  [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+
   [[nodiscard]] Time now() const noexcept { return now_; }
   [[nodiscard]] AsyncProcess* find(NodeId id);
   [[nodiscard]] std::vector<NodeId> ids() const;
@@ -104,6 +114,8 @@ class AsyncSimulator {
 
   void dispatch_out(NodeId from, const std::vector<AsyncOutgoing>& out);
   void rearm_timer(AsyncProcess& p);
+  void run_sequential(Time horizon);
+  void run_batched(Time horizon);
 
   DelayModel delay_;
   std::map<NodeId, std::unique_ptr<AsyncProcess>> processes_;
@@ -112,6 +124,8 @@ class AsyncSimulator {
   Time now_ = 0;
   std::uint64_t seq_ = 0;
   bool started_ = false;
+  unsigned threads_ = 1;
+  std::unique_ptr<ParallelExecutor> executor_;  // live iff threads_ > 1
   FanoutCounters fanout_;
   std::shared_ptr<TraceRecorder> recorder_;
 };

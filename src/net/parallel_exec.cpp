@@ -1,0 +1,83 @@
+#include "net/parallel_exec.hpp"
+
+namespace idonly {
+
+ParallelExecutor::ParallelExecutor(unsigned threads) : threads_(threads < 1 ? 1 : threads) {
+  // The calling thread participates in every batch, so spawn threads-1.
+  for (unsigned i = 1; i < threads_; ++i) {
+    pool_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ParallelExecutor::~ParallelExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : pool_) t.join();
+}
+
+void ParallelExecutor::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stopping_ || generation_ != seen_generation; });
+      if (stopping_) return;
+      seen_generation = generation_;
+    }
+    work();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      busy_workers_ -= 1;
+    }
+    done_.notify_one();
+  }
+}
+
+void ParallelExecutor::work() {
+  while (true) {
+    std::size_t index;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (cursor_ >= batch_size_) return;
+      index = cursor_++;
+    }
+    try {
+      (*fn_)(index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (first_error_ == nullptr) first_error_ = std::current_exception();
+    }
+  }
+}
+
+void ParallelExecutor::run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (pool_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = &fn;
+    batch_size_ = n;
+    cursor_ = 0;
+    first_error_ = nullptr;
+    busy_workers_ = static_cast<unsigned>(pool_.size());
+    generation_ += 1;
+  }
+  wake_.notify_all();
+  work();  // the caller claims indices too
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] { return busy_workers_ == 0; });
+    fn_ = nullptr;
+    error = first_error_;
+  }
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+}  // namespace idonly

@@ -18,6 +18,7 @@ void SyncSimulator::add_process(std::unique_ptr<Process> process) {
     // messages all die — so the replacement joins cleanly next round
     // (instead of step() mistaking it for the departing node).
     members_.erase(id);
+    member_ids_dirty_ = true;
     std::erase_if(pending_joins_,
                   [id](const std::unique_ptr<Process>& p) { return p->id() == id; });
     for (auto& [due, entries] : delayed_) {
@@ -35,6 +36,13 @@ void SyncSimulator::add_process(std::unique_ptr<Process> process) {
 }
 
 void SyncSimulator::remove_process(NodeId id) { pending_removals_.push_back(id); }
+
+void SyncSimulator::set_threads(unsigned threads) {
+  if (threads < 1) threads = 1;
+  if (threads == threads_) return;
+  threads_ = threads;
+  executor_ = threads_ > 1 ? std::make_unique<ParallelExecutor>(threads_) : nullptr;
+}
 
 void SyncSimulator::route(NodeId from, const std::vector<Outgoing>& outbox) {
   // Each outgoing message is stamped (unforgeable identity), wrapped into a
@@ -101,6 +109,7 @@ void SyncSimulator::step() {
   // later process re-using the id must not inherit them.
   for (NodeId id : pending_removals_) {
     members_.erase(id);
+    member_ids_dirty_ = true;
     std::erase_if(pending_joins_,
                   [id](const std::unique_ptr<Process>& p) { return p->id() == id; });
     for (auto& [due, entries] : delayed_) {
@@ -118,6 +127,7 @@ void SyncSimulator::step() {
     member.process = std::move(joiner);
     member.joined_round = round_ + 1;
     members_.emplace(id, std::move(member));
+    member_ids_dirty_ = true;
   }
   pending_joins_.clear();
 
@@ -147,36 +157,53 @@ void SyncSimulator::step() {
   fill_lane_ ^= 1;
   lanes_[fill_lane_].clear();
 
-  struct Dispatch {
-    NodeId id;
-    std::span<const Message> inbox;
-  };
-  std::vector<Dispatch> dispatches;
-  dispatches.reserve(members_.size());
+  // The dispatch arena persists across rounds: slab/scratch capacity from
+  // the previous round is reused, so steady-state rounds allocate nothing.
+  if (dispatches_.size() > members_.size()) dispatches_.resize(members_.size());
+  dispatches_.reserve(members_.size());
+  std::size_t slot = 0;
   for (auto& [id, member] : members_) {
+    if (slot == dispatches_.size()) dispatches_.emplace_back();
+    Dispatch& dispatch = dispatches_[slot++];
+    dispatch.id = id;
+    dispatch.member = &member;
+    dispatch.outbox.clear();
+    dispatch.became_done = false;
     // A member admitted at the start of THIS step was not a receiver of last
     // round's broadcasts — it gets no lane, and its mailbox is empty.
     const BroadcastLane* lane = member.joined_round == round_ ? nullptr : &deliver_lane;
-    dispatches.push_back(Dispatch{
-        id, member.mailbox.collect(lane, member.scratch, &metrics_.fanout, &metrics_.messages)});
+    dispatch.inbox =
+        member.mailbox.collect(lane, member.scratch, &metrics_.fanout, &metrics_.messages);
     if (recorder_) {
-      for (const Message& msg : dispatches.back().inbox) {
+      for (const Message& msg : dispatch.inbox) {
         recorder_->record_deliver(id, round_, msg.sender);
       }
     }
   }
 
-  std::vector<Outgoing> outbox;
-  for (const Dispatch& dispatch : dispatches) {
-    auto it = members_.find(dispatch.id);
-    if (it == members_.end()) continue;
-    Member& member = it->second;
+  // Parallel phase: each process steps into its private outbox slab. No
+  // shared engine state is touched — inbox spans stay valid because routing
+  // hasn't started, and each process owns its own slab and RNG.
+  const auto step_one = [this](std::size_t index) {
+    Dispatch& dispatch = dispatches_[index];
+    Member& member = *dispatch.member;
     const bool was_done = member.process->done();
-    outbox.clear();
     RoundInfo info{round_, round_ - member.joined_round + 1};
-    member.process->on_round(info, dispatch.inbox, outbox);
-    route(dispatch.id, outbox);
-    if (!was_done && member.process->done()) metrics_.done_round[dispatch.id] = round_;
+    member.process->on_round(info, dispatch.inbox, dispatch.outbox);
+    dispatch.became_done = !was_done && member.process->done();
+  };
+  if (executor_ != nullptr && dispatches_.size() > 1) {
+    executor_->run(dispatches_.size(), step_one);
+  } else {
+    for (std::size_t i = 0; i < dispatches_.size(); ++i) step_one(i);
+  }
+
+  // Sequential merge in ascending-id order: every order-sensitive effect —
+  // send sequence stamps, chaos verdicts, trace records, metrics — happens
+  // here, in exactly the order the sequential engine used.
+  for (Dispatch& dispatch : dispatches_) {
+    route(dispatch.id, dispatch.outbox);
+    if (dispatch.became_done) metrics_.done_round[dispatch.id] = round_;
   }
 }
 
@@ -227,11 +254,16 @@ const Process* SyncSimulator::find(NodeId id) const {
   return nullptr;
 }
 
-std::vector<NodeId> SyncSimulator::member_ids() const {
-  std::vector<NodeId> ids;
-  ids.reserve(members_.size());
-  for (const auto& [id, member] : members_) ids.push_back(id);
-  return ids;
+const std::vector<NodeId>& SyncSimulator::member_ids() const {
+  // Rebuilt only after membership changes — run_until predicates call this
+  // every round, and at large n the fresh-vector-per-call cost was visible.
+  if (member_ids_dirty_) {
+    member_ids_cache_.clear();
+    member_ids_cache_.reserve(members_.size());
+    for (const auto& [id, member] : members_) member_ids_cache_.push_back(id);
+    member_ids_dirty_ = false;
+  }
+  return member_ids_cache_;
 }
 
 void SyncSimulator::enable_trace(std::size_t capacity) {

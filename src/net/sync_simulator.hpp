@@ -14,7 +14,12 @@
 //
 // Determinism: processes are stepped in ascending id order and all protocol
 // randomness flows from explicit seeds, so a (scenario, seed) pair replays
-// bit-identically.
+// bit-identically. With set_threads(k > 1) the per-round stepping is sharded
+// across a persistent worker pool (net/parallel_exec.hpp): each process
+// fills a private outbox slab in the parallel phase, and the slabs are
+// merged and routed sequentially in ascending-id order — so send sequence
+// stamps, chaos verdicts, trace records, and RNG draws are bit-identical to
+// the sequential engine for every thread count (DESIGN.md §8).
 #pragma once
 
 #include <deque>
@@ -30,6 +35,7 @@
 #include "common/trace.hpp"
 #include "common/types.hpp"
 #include "net/mailbox.hpp"
+#include "net/parallel_exec.hpp"
 #include "net/process.hpp"
 
 namespace idonly {
@@ -50,6 +56,13 @@ class SyncSimulator {
 
   /// Execute one synchronous round.
   void step();
+
+  /// Shard the per-round process stepping across `threads` threads (1 =
+  /// sequential, the default). The observable execution — delivery order,
+  /// sequence stamps, chaos verdicts, traces — is identical for every
+  /// value; only wall-clock changes. May be called between rounds.
+  void set_threads(unsigned threads);
+  [[nodiscard]] unsigned threads() const noexcept { return threads_; }
 
   /// Execute rounds until `pred()` is true or `max_rounds` elapse; returns
   /// true when the predicate fired.
@@ -121,7 +134,9 @@ class SyncSimulator {
     return dynamic_cast<T*>(find(id));
   }
 
-  [[nodiscard]] std::vector<NodeId> member_ids() const;
+  /// Sorted live-member ids. Served from a cache invalidated on membership
+  /// change (run_until predicates may call this every round).
+  [[nodiscard]] const std::vector<NodeId>& member_ids() const;
   [[nodiscard]] std::size_t member_count() const noexcept { return members_.size(); }
 
   /// Iterate live correct (non-Byzantine) processes.
@@ -135,6 +150,18 @@ class SyncSimulator {
     std::vector<Message> scratch;  // merge buffer, reused across rounds
   };
 
+  /// One member's slice of a round, assembled before anyone steps. The
+  /// outbox slab and done flags live here so the parallel phase touches only
+  /// private state; dispatches_ persists across rounds (the round arena —
+  /// slab/scratch capacity is reused, steady-state rounds allocate nothing).
+  struct Dispatch {
+    NodeId id = 0;
+    Member* member = nullptr;
+    std::span<const Message> inbox;
+    std::vector<Outgoing> outbox;  // private slab, merged in ascending-id order
+    bool became_done = false;
+  };
+
   // Broadcast fan-out goes through the shared mailbox layer: one deposit
   // into the round's BroadcastLane instead of a copy per receiver. Two lanes
   // alternate: the one filled last step is consumed (all members read its
@@ -144,6 +171,11 @@ class SyncSimulator {
   std::map<NodeId, Member> members_;                 // ordered → deterministic stepping
   std::vector<std::unique_ptr<Process>> pending_joins_;
   std::vector<NodeId> pending_removals_;
+  std::vector<Dispatch> dispatches_;                 // round arena, reused across rounds
+  unsigned threads_ = 1;
+  std::unique_ptr<ParallelExecutor> executor_;       // live iff threads_ > 1
+  mutable std::vector<NodeId> member_ids_cache_;
+  mutable bool member_ids_dirty_ = true;
   Round round_ = 0;
   Metrics metrics_;
   bool tracing_ = false;

@@ -92,6 +92,7 @@ Round RoundDriver::run() {
       // The runtime wire is a broadcast domain; engine-level unicast
       // degrades to broadcast + receiver-side relevance.
       Frame frame;
+      frame.reserve(encoded_size(o.msg) + 10);  // payload + max round varint
       put_varint(static_cast<std::uint64_t>(r), frame);
       encode(o.msg, frame);
       transport_->broadcast(frame);

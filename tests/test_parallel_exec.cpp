@@ -1,0 +1,318 @@
+// Deterministic parallel round engine tests: for every thread count, the
+// observable execution — delivery order, duplicate suppression, chaos
+// verdicts, metrics, flight-recorder traces — must be bit-identical to the
+// sequential engine. The parallel phase only fills private outbox slabs; all
+// order-sensitive effects happen in the sequential ascending-id merge, so
+// these tests compare full (not just canonical) trace exports byte-for-byte.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "common/chaos.hpp"
+#include "common/trace.hpp"
+#include "core/consensus.hpp"
+#include "net/async_simulator.hpp"
+#include "net/parallel_exec.hpp"
+#include "net/sync_simulator.hpp"
+
+namespace idonly {
+namespace {
+
+// ------------------------------------------------------- ParallelExecutor --
+
+TEST(ParallelExecutor, RunsEveryIndexExactlyOnce) {
+  ParallelExecutor pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h.store(0);
+  pool.run(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelExecutor, ReusableAcrossBatchesAndEmptyBatch) {
+  ParallelExecutor pool(3);
+  pool.run(0, [](std::size_t) { FAIL() << "empty batch must not invoke fn"; });
+  std::atomic<int> total{0};
+  for (int batch = 0; batch < 50; ++batch) {
+    pool.run(7, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 350);
+}
+
+TEST(ParallelExecutor, PropagatesFirstWorkerException) {
+  ParallelExecutor pool(4);
+  EXPECT_THROW(
+      pool.run(64,
+               [](std::size_t i) {
+                 if (i == 13) throw std::runtime_error("boom");
+               }),
+      std::runtime_error);
+  // The pool must survive a throwing batch.
+  std::atomic<int> total{0};
+  pool.run(8, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 8);
+}
+
+TEST(ParallelExecutor, SingleThreadRunsInline) {
+  ParallelExecutor pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  int total = 0;  // no atomics needed: everything runs on the caller
+  pool.run(5, [&](std::size_t) { total += 1; });
+  EXPECT_EQ(total, 5);
+}
+
+// ---------------------------------------------------- sync engine fixture --
+
+/// Broadcasts a value derived from (id, round) every round, re-sends one
+/// message as an exact duplicate (exercising same-round suppression), and
+/// records everything it receives.
+class ChatterProcess final : public Process {
+ public:
+  using Process::Process;
+
+  void on_round(RoundInfo round, std::span<const Message> inbox,
+                std::vector<Outgoing>& out) override {
+    std::ostringstream line;
+    line << "r" << round.global << ":";
+    for (const Message& m : inbox) line << " " << m.sender << "/" << m.value.to_string();
+    log.push_back(line.str());
+    Message m;
+    m.kind = MsgKind::kEcho;
+    m.value = Value::real(static_cast<double>(id()) * 1000 + static_cast<double>(round.global));
+    broadcast(out, m);
+    broadcast(out, m);  // exact duplicate — must be suppressed at every receiver
+    Message ping;
+    ping.kind = MsgKind::kAck;
+    ping.value = Value::real(static_cast<double>(round.global));
+    unicast(out, (id() % 5) + 1, ping);  // cross-traffic to a fixed peer
+  }
+  [[nodiscard]] bool done() const override { return false; }
+
+  std::vector<std::string> log;
+};
+
+struct SyncRunResult {
+  std::map<NodeId, std::vector<std::string>> logs;
+  std::vector<NodeId> member_ids;
+  std::uint64_t dedup_hits = 0;
+  std::uint64_t deliveries = 0;
+  std::string full_trace;
+  std::string canonical_trace;
+
+  friend bool operator==(const SyncRunResult&, const SyncRunResult&) = default;
+};
+
+/// Chatter nodes 1..n with chaos faults and mid-run churn: node n+1 joins at
+/// round 4, node 2 leaves at round 6, node 2's id is re-used at round 9.
+SyncRunResult run_churn_scenario(unsigned threads, std::size_t n) {
+  SyncSimulator sim;
+  sim.set_threads(threads);
+  auto recorder = std::make_shared<TraceRecorder>(TraceEngine::kSync);
+  sim.set_trace_recorder(recorder);
+  ChaosPhase burst;
+  burst.first_round = 2;
+  burst.last_round = 10;
+  burst.drop = 0.10;
+  burst.duplicate = 0.05;
+  burst.delay.probability = 0.05;
+  burst.delay.max_extra_rounds = 2;
+  sim.set_chaos(std::make_shared<ChaosSchedule>(ChaosPlan{{burst}}, /*seed=*/0xC0FFEE));
+
+  SyncRunResult result;
+  const auto harvest = [&](const ChatterProcess* p) {
+    auto& slot = result.logs[p->id()];
+    slot.insert(slot.end(), p->log.begin(), p->log.end());
+  };
+
+  std::vector<ChatterProcess*> procs;
+  for (std::size_t i = 1; i <= n; ++i) {
+    auto p = std::make_unique<ChatterProcess>(static_cast<NodeId>(i));
+    procs.push_back(p.get());
+    sim.add_process(std::move(p));
+  }
+  for (Round r = 1; r <= 12; ++r) {
+    if (r == 4) {
+      auto p = std::make_unique<ChatterProcess>(static_cast<NodeId>(n + 1));
+      procs.push_back(p.get());
+      sim.add_process(std::move(p));
+    }
+    if (r == 6) {
+      // The simulator destroys the leaver at the start of this step —
+      // harvest its log and drop the pointer before it dangles.
+      ChatterProcess* leaver = sim.get<ChatterProcess>(2);
+      harvest(leaver);
+      std::erase(procs, leaver);
+      sim.remove_process(2);
+    }
+    if (r == 9) {
+      auto p = std::make_unique<ChatterProcess>(2);
+      procs.push_back(p.get());
+      sim.add_process(std::move(p));
+    }
+    sim.step();
+  }
+
+  for (const ChatterProcess* p : procs) harvest(p);
+  result.member_ids = sim.member_ids();
+  result.dedup_hits = sim.metrics().fanout.dedup_hits;
+  result.deliveries = sim.metrics().fanout.deliveries;
+  result.full_trace = recorder->jsonl();
+  result.canonical_trace = recorder->canonical_jsonl();
+  return result;
+}
+
+TEST(ParallelSyncEngine, ChurnChaosRunIdenticalAcrossThreadCounts) {
+  const SyncRunResult reference = run_churn_scenario(/*threads=*/1, /*n=*/12);
+  EXPECT_GT(reference.dedup_hits, 0u) << "scenario must exercise duplicate suppression";
+  for (const unsigned threads : {2U, 8U}) {
+    const SyncRunResult sweep = run_churn_scenario(threads, 12);
+    EXPECT_EQ(sweep.logs, reference.logs) << "threads=" << threads;
+    EXPECT_EQ(sweep.member_ids, reference.member_ids) << "threads=" << threads;
+    EXPECT_EQ(sweep.dedup_hits, reference.dedup_hits) << "threads=" << threads;
+    EXPECT_EQ(sweep.deliveries, reference.deliveries) << "threads=" << threads;
+    EXPECT_EQ(sweep.canonical_trace, reference.canonical_trace) << "threads=" << threads;
+    EXPECT_EQ(sweep.full_trace, reference.full_trace) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelSyncEngine, ConsensusDecisionsIdenticalAcrossThreadCounts) {
+  const auto run = [](unsigned threads) {
+    SyncSimulator sim;
+    sim.set_threads(threads);
+    ChaosPhase burst;
+    burst.first_round = 2;
+    burst.last_round = 8;
+    burst.drop = 0.15;
+    sim.set_chaos(std::make_shared<ChaosSchedule>(ChaosPlan{{burst}}, /*seed=*/7));
+    for (std::size_t i = 1; i <= 9; ++i) {
+      sim.add_process(std::make_unique<ConsensusProcess>(
+          static_cast<NodeId>(i), Value::real(static_cast<double>(i % 2))));
+    }
+    const bool done = sim.run_until_all_correct_done(500);
+    std::vector<std::pair<Round, Value>> outcome;
+    for (NodeId id : sim.member_ids()) {
+      const auto* p = dynamic_cast<const ConsensusProcess*>(
+          static_cast<const SyncSimulator&>(sim).find(id));
+      outcome.emplace_back(sim.metrics().done_round.at(id),
+                           p->output().value_or(Value::bot()));
+    }
+    return std::tuple(done, sim.round(), outcome);
+  };
+  const auto reference = run(1);
+  EXPECT_TRUE(std::get<0>(reference));
+  for (const unsigned threads : {2U, 8U}) {
+    EXPECT_EQ(run(threads), reference) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelSyncEngine, SetThreadsMidRunKeepsDeterminism) {
+  const auto run = [](bool flip) {
+    SyncSimulator sim;
+    if (!flip) sim.set_threads(4);
+    std::vector<ChatterProcess*> procs;
+    for (std::size_t i = 1; i <= 6; ++i) {
+      auto p = std::make_unique<ChatterProcess>(static_cast<NodeId>(i));
+      procs.push_back(p.get());
+      sim.add_process(std::move(p));
+    }
+    for (Round r = 1; r <= 8; ++r) {
+      if (flip && r == 4) sim.set_threads(4);  // engine swap between rounds
+      sim.step();
+    }
+    std::map<NodeId, std::vector<std::string>> logs;
+    for (const ChatterProcess* p : procs) logs[p->id()] = p->log;
+    return logs;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+// -------------------------------------------------------------- async engine --
+
+/// Async stressor: broadcasts at start, relays the first `hops` arrivals
+/// (same-latency fan-out keeps many events in one timestamp batch), and
+/// fires a re-arming timer three times.
+class AsyncChatter final : public AsyncProcess {
+ public:
+  AsyncChatter(NodeId id, int hops) : AsyncProcess(id), hops_(hops) {}
+
+  void on_start(Time, std::vector<AsyncOutgoing>& out) override {
+    Message m;
+    m.kind = MsgKind::kPresent;
+    m.value = Value::real(static_cast<double>(id()));
+    out.push_back(AsyncOutgoing{std::nullopt, m});
+  }
+  void on_message(Time now, const Message& msg, std::vector<AsyncOutgoing>& out) override {
+    std::ostringstream line;
+    line << "m@" << now << " " << msg.sender << "/" << msg.value.to_string();
+    log.push_back(line.str());
+    if (hops_ > 0) {
+      hops_ -= 1;
+      Message relay;
+      relay.kind = MsgKind::kEcho;
+      relay.value = Value::real(static_cast<double>(id()) * 100 + static_cast<double>(hops_));
+      out.push_back(AsyncOutgoing{std::nullopt, relay});
+    }
+  }
+  void on_timer(Time now, std::vector<AsyncOutgoing>& out) override {
+    std::ostringstream line;
+    line << "t@" << now;
+    log.push_back(line.str());
+    fires_ += 1;
+    Message tick;
+    tick.kind = MsgKind::kAck;
+    tick.value = Value::real(static_cast<double>(fires_));
+    out.push_back(AsyncOutgoing{(id() % 4) + 1, tick});
+  }
+  [[nodiscard]] std::optional<Time> timer_deadline() const override {
+    if (fires_ >= 3) return std::nullopt;
+    return 0.5 + static_cast<Time>(fires_) * 0.7;
+  }
+  [[nodiscard]] bool decided() const override { return fires_ >= 3; }
+  [[nodiscard]] Value decision() const override { return Value::bot(); }
+
+  std::vector<std::string> log;
+
+ private:
+  int hops_;
+  int fires_ = 0;
+};
+
+TEST(ParallelAsyncEngine, BatchedRunIdenticalAcrossThreadCounts) {
+  const auto run = [](unsigned threads) {
+    // Latency depends on (from, to) so batches interleave messages and
+    // timers at distinct instants while same-time groups stay non-trivial.
+    AsyncSimulator sim([](NodeId from, NodeId to, const Message&, Time) {
+      return 0.25 + 0.25 * static_cast<Time>((from + to) % 3);
+    });
+    sim.set_threads(threads);
+    auto recorder = std::make_shared<TraceRecorder>(TraceEngine::kAsync);
+    sim.set_trace_recorder(recorder);
+    std::vector<AsyncChatter*> procs;
+    for (std::size_t i = 1; i <= 8; ++i) {
+      auto p = std::make_unique<AsyncChatter>(static_cast<NodeId>(i), /*hops=*/3);
+      procs.push_back(p.get());
+      sim.add_process(std::move(p));
+    }
+    sim.run(/*horizon=*/50.0);
+    std::map<NodeId, std::vector<std::string>> logs;
+    for (const AsyncChatter* p : procs) logs[p->id()] = p->log;
+    return std::tuple(logs, sim.fanout().deliveries, sim.fanout().bytes_delivered,
+                      recorder->jsonl());
+  };
+  const auto reference = run(1);
+  EXPECT_GT(std::get<1>(reference), 0u);
+  for (const unsigned threads : {2U, 8U}) {
+    EXPECT_EQ(run(threads), reference) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace idonly
