@@ -4,6 +4,7 @@ the committed baseline and fail when any throughput figure regresses past
 the tolerance.
 
     bench_gate.py fresh.json committed_baseline.json [--tolerance 0.20]
+        [--scaling-floor 1.0] [--scaling-threads 8] [--scaling-min-cores 2]
 
 Rules:
   * The two files must have the same structure (same keys, same array
@@ -14,11 +15,19 @@ Rules:
   * All other fields are informational (counts, means, configs) and are
     only checked for structural presence, because they legitimately vary
     with machine speed (e.g. seeds completed within a wall-clock budget).
+  * Scaling gate: when the FRESH artifact carries (n, threads,
+    rounds_per_sec) cells (BENCH_parallel.json), every n must satisfy
+    rate(threads=--scaling-threads) >= rate(threads=1) * --scaling-floor.
+    The check measures the fresh run only (the committed file pins absolute
+    throughput; this pins the parallel engine's shape) and is skipped — with
+    a notice — on machines with fewer than --scaling-min-cores cores, where
+    thread scaling is physically meaningless.
 
 Exit 0 when every gate holds; exit 1 with a per-field report otherwise.
 """
 import argparse
 import json
+import os
 import sys
 
 RATE_SUFFIX = "_per_sec"
@@ -52,12 +61,51 @@ def walk(fresh, baseline, path, failures, checked):
                     f"(baseline {baseline:.3f}, tolerance {ARGS.tolerance:.0%})")
 
 
+def check_scaling(fresh, failures, checked):
+    """Thread-scaling gate on the fresh artifact's (n, threads) cells."""
+    cells = fresh.get("cells") if isinstance(fresh, dict) else None
+    if not isinstance(cells, list):
+        return
+    rates = {}
+    for cell in cells:
+        if not isinstance(cell, dict):
+            return
+        if not {"n", "threads", "rounds_per_sec"} <= set(cell):
+            return
+        rates[(cell["n"], cell["threads"])] = cell["rounds_per_sec"]
+    cores = os.cpu_count() or 1
+    if cores < ARGS.scaling_min_cores:
+        print(f"scaling gate: skipped ({cores} core(s) < "
+              f"--scaling-min-cores {ARGS.scaling_min_cores})")
+        return
+    for n in sorted({n for n, _ in rates}):
+        base = rates.get((n, 1))
+        wide = rates.get((n, ARGS.scaling_threads))
+        if base is None or wide is None or base <= 0:
+            continue
+        ratio = wide / base
+        status = "ok" if ratio >= ARGS.scaling_floor else "REGRESSION"
+        checked.append(
+            f"  {status:>10}  scaling n={n}: {ARGS.scaling_threads}t/1t = "
+            f"{ratio:.2f}x (floor {ARGS.scaling_floor:.2f}x)")
+        if ratio < ARGS.scaling_floor:
+            failures.append(
+                f"scaling n={n}: threads={ARGS.scaling_threads} at "
+                f"{wide:.3f} is {ratio:.2f}x of threads=1 at {base:.3f} "
+                f"(floor {ARGS.scaling_floor:.2f}x)")
+
+
 def main():
     global ARGS
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("fresh")
     parser.add_argument("baseline")
     parser.add_argument("--tolerance", type=float, default=0.20)
+    parser.add_argument("--scaling-floor", type=float, default=1.0,
+                        help="minimum rate(scaling-threads)/rate(1t) per n")
+    parser.add_argument("--scaling-threads", type=int, default=8)
+    parser.add_argument("--scaling-min-cores", type=int, default=2,
+                        help="skip the scaling gate below this core count")
     ARGS = parser.parse_args()
 
     with open(ARGS.fresh) as fh:
@@ -65,11 +113,11 @@ def main():
     with open(ARGS.baseline) as fh:
         baseline = json.load(fh)
 
-    failures, checked = [], []
-    walk(fresh, baseline, "", failures, checked)
-
     print(f"bench_gate: {ARGS.fresh} vs {ARGS.baseline} "
           f"(tolerance {ARGS.tolerance:.0%})")
+    failures, checked = [], []
+    walk(fresh, baseline, "", failures, checked)
+    check_scaling(fresh, failures, checked)
     for line in checked:
         print(line)
     if failures:

@@ -114,7 +114,7 @@ std::uint64_t ChaosSchedule::word(std::uint64_t seed, const LinkEvent& event,
   return splitmix64(state);
 }
 
-FaultDecision ChaosSchedule::decide(const LinkEvent& event) {
+FaultDecision ChaosSchedule::peek(const LinkEvent& event) const noexcept {
   FaultDecision decision;
   if (event.from == event.to) return decision;  // loopback is never wire
   const auto phase_index = phase_for(event.round);
@@ -129,14 +129,14 @@ FaultDecision ChaosSchedule::decide(const LinkEvent& event) {
     if ((crash.node == event.from || crash.node == event.to) && event.round >= crash.first &&
         event.round <= crash.last) {
       decision.drop = true;
-      record(event, FaultKind::kCrashDrop, *phase_index, 0);
+      decision.drop_kind = FaultKind::kCrashDrop;
       return decision;
     }
   }
   for (const ChaosPartition& partition : phase.partitions) {
     if (partition_cuts(partition, event.from, event.to)) {
       decision.drop = true;
-      record(event, FaultKind::kPartitionDrop, *phase_index, 0);
+      decision.drop_kind = FaultKind::kPartitionDrop;
       return decision;
     }
   }
@@ -157,29 +157,62 @@ FaultDecision ChaosSchedule::decide(const LinkEvent& event) {
 
   if (drop_p > 0.0 && coin(seed_, event, kSaltDrop) < drop_p) {
     decision.drop = true;
-    record(event, FaultKind::kDrop, *phase_index, 0);
+    decision.drop_kind = FaultKind::kDrop;
     return decision;
   }
   if (duplicate_p > 0.0 && coin(seed_, event, kSaltDuplicate) < duplicate_p) {
     decision.duplicate = true;
-    record(event, FaultKind::kDuplicate, *phase_index, 0);
   }
   if (delay_p > 0.0 && coin(seed_, event, kSaltDelay) < delay_p) {
     const auto span = static_cast<std::uint64_t>(std::max<Round>(phase.delay.max_extra_rounds, 1));
     decision.delay_rounds =
         1 + static_cast<Round>(word(seed_, event, kSaltDelayLength) % span);
-    record(event, FaultKind::kDelay, *phase_index, decision.delay_rounds);
   }
   if (phase.corrupt > 0.0 && coin(seed_, event, kSaltCorrupt) < phase.corrupt) {
     decision.corrupt = true;
-    record(event, FaultKind::kCorrupt, *phase_index, 0);
   }
   return decision;
 }
 
-void ChaosSchedule::record(const LinkEvent& event, FaultKind kind, std::size_t phase,
-                           Round extra) {
+FaultDecision ChaosSchedule::decide(const LinkEvent& event) {
+  const FaultDecision decision = peek(event);
+  commit(event, decision);
+  return decision;
+}
+
+void ChaosSchedule::commit(const LinkEvent& event, const FaultDecision& verdict) {
+  if (!verdict.faulted()) return;
   std::scoped_lock lock(mutex_);
+  commit_locked(event, verdict);
+}
+
+void ChaosSchedule::commit_batch(std::span<const std::pair<LinkEvent, FaultDecision>> staged) {
+  if (staged.empty()) return;
+  std::scoped_lock lock(mutex_);
+  for (const auto& [event, verdict] : staged) commit_locked(event, verdict);
+}
+
+void ChaosSchedule::commit_locked(const LinkEvent& event, const FaultDecision& verdict) {
+  // Record order within one verdict mirrors the historical decide() order:
+  // (crash | partition | drop) terminally, else duplicate, delay, corrupt.
+  if (verdict.drop) {
+    record_locked(event, verdict.drop_kind, static_cast<std::size_t>(verdict.phase), 0);
+    return;
+  }
+  if (verdict.duplicate) {
+    record_locked(event, FaultKind::kDuplicate, static_cast<std::size_t>(verdict.phase), 0);
+  }
+  if (verdict.delay_rounds > 0) {
+    record_locked(event, FaultKind::kDelay, static_cast<std::size_t>(verdict.phase),
+                  verdict.delay_rounds);
+  }
+  if (verdict.corrupt) {
+    record_locked(event, FaultKind::kCorrupt, static_cast<std::size_t>(verdict.phase), 0);
+  }
+}
+
+void ChaosSchedule::record_locked(const LinkEvent& event, FaultKind kind, std::size_t phase,
+                                  Round extra) {
   trace_.push_back(FaultRecord{event.round, event.from, event.to, event.seq, kind, extra});
   FaultCounters& counters = per_phase_[phase];
   switch (kind) {

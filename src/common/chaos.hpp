@@ -23,7 +23,9 @@
 #include <cstdint>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/metrics.hpp"
@@ -119,6 +121,15 @@ struct FaultDecision {
   Round delay_rounds = 0;   ///< extra rounds to hold the frame (0 = on time)
   int phase = -1;           ///< active phase index, -1 when no phase covers the round
   std::uint64_t entropy = 0;  ///< deterministic per-event word (corrupt position/bit)
+  /// Which drop flavour fired (meaningful only when `drop`): crash window,
+  /// partition, or the plain drop coin. Lets commit() reconstruct the exact
+  /// fault records a verdict implies without re-deriving them.
+  FaultKind drop_kind = FaultKind::kDrop;
+
+  /// True when the verdict implies at least one fault record.
+  [[nodiscard]] bool faulted() const noexcept {
+    return drop || duplicate || corrupt || delay_rounds > 0;
+  }
 };
 
 /// One recorded fault, in the order the engine asked. `canonical_trace()`
@@ -143,8 +154,24 @@ class ChaosSchedule {
   ChaosSchedule(ChaosPlan plan, std::uint64_t seed);
 
   /// Verdict for one delivery attempt — pure in (seed, plan, event); the
-  /// only mutation is trace/counter recording (thread-safe).
+  /// only mutation is trace/counter recording (thread-safe). Equivalent to
+  /// peek() + commit().
   [[nodiscard]] FaultDecision decide(const LinkEvent& event);
+
+  /// The verdict alone — PURE and lock-free, safe to call concurrently from
+  /// any number of merge lanes. Records nothing: pair with commit() /
+  /// commit_batch() so the fault trace and counters still fill in.
+  [[nodiscard]] FaultDecision peek(const LinkEvent& event) const noexcept;
+
+  /// Record the fault trace entries and counters `verdict` implies (no-op
+  /// for clean verdicts). One lock acquisition.
+  void commit(const LinkEvent& event, const FaultDecision& verdict);
+
+  /// Bulk commit under ONE lock — the merge lanes' flush path. Per-link
+  /// record order is preserved within a batch; cross-batch order is
+  /// engine-dependent, exactly like interleaved decide() calls (the
+  /// canonical trace sorts it away).
+  void commit_batch(std::span<const std::pair<LinkEvent, FaultDecision>> staged);
 
   /// Phase index covering `round`, or nullopt. Later phases win overlaps.
   [[nodiscard]] std::optional<std::size_t> phase_for(Round round) const noexcept;
@@ -177,7 +204,8 @@ class ChaosSchedule {
                                           std::uint64_t salt) noexcept;
 
  private:
-  void record(const LinkEvent& event, FaultKind kind, std::size_t phase, Round extra);
+  void commit_locked(const LinkEvent& event, const FaultDecision& verdict);
+  void record_locked(const LinkEvent& event, FaultKind kind, std::size_t phase, Round extra);
 
   ChaosPlan plan_;
   std::uint64_t seed_ = 0;

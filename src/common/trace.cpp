@@ -81,26 +81,32 @@ bool is_canonical(TraceEventKind kind) noexcept {
   }
 }
 
-void TraceObserver::on_event(const ProtocolEvent& event) {
-  if (recorder_ != nullptr) recorder_->record_protocol(event);
-  if (next_ != nullptr) next_->on_event(event);
+TraceRecord make_send_record(NodeId node, Round round, std::optional<NodeId> to) noexcept {
+  return TraceRecord{.kind = TraceEventKind::kSend,
+                     .node = node,
+                     .round = round,
+                     .seq = 0,
+                     .from = node,
+                     .to = to.value_or(0),
+                     .link_seq = 0,
+                     .extra = to.has_value() ? 0 : 1,  // 1 = broadcast
+                     .detail = {}};
 }
 
-TraceRecorder::TraceRecorder(TraceEngine engine, std::size_t per_node_capacity)
-    : engine_(engine), capacity_(per_node_capacity == 0 ? 1 : per_node_capacity) {}
-
-void TraceRecorder::record(TraceRecord rec) {
-  std::scoped_lock lock(mutex_);
-  NodeRing& ring = rings_[rec.node];
-  rec.seq = ring.next_seq++;
-  if (ring.records.size() >= capacity_) {
-    ring.records.pop_front();
-    ring.evicted += 1;
-  }
-  ring.records.push_back(std::move(rec));
+TraceRecord make_deliver_record(NodeId node, Round round, NodeId from) noexcept {
+  return TraceRecord{.kind = TraceEventKind::kDeliver,
+                     .node = node,
+                     .round = round,
+                     .seq = 0,
+                     .from = from,
+                     .to = node,
+                     .link_seq = 0,
+                     .extra = 0,
+                     .detail = {}};
 }
 
-void TraceRecorder::record_link_verdict(const LinkEvent& event, const FaultDecision& verdict) {
+TraceRecord make_link_verdict_record(const LinkEvent& event,
+                                     const FaultDecision& verdict) noexcept {
   // Priority is a pure function of the verdict, so the chosen kind
   // reproduces across engines exactly like the verdict itself.
   TraceEventKind kind = TraceEventKind::kLinkClean;
@@ -113,7 +119,7 @@ void TraceRecorder::record_link_verdict(const LinkEvent& event, const FaultDecis
   } else if (verdict.corrupt) {
     kind = TraceEventKind::kLinkCorrupt;
   }
-  record(TraceRecord{.kind = kind,
+  return TraceRecord{.kind = kind,
                      .node = event.to,
                      .round = event.round,
                      .seq = 0,
@@ -121,31 +127,48 @@ void TraceRecorder::record_link_verdict(const LinkEvent& event, const FaultDecis
                      .to = event.to,
                      .link_seq = event.seq,
                      .extra = verdict.delay_rounds,
-                     .detail = {}});
+                     .detail = {}};
+}
+
+void TraceObserver::on_event(const ProtocolEvent& event) {
+  if (recorder_ != nullptr) recorder_->record_protocol(event);
+  if (next_ != nullptr) next_->on_event(event);
+}
+
+TraceRecorder::TraceRecorder(TraceEngine engine, std::size_t per_node_capacity)
+    : engine_(engine), capacity_(per_node_capacity == 0 ? 1 : per_node_capacity) {}
+
+void TraceRecorder::record(TraceRecord rec) {
+  std::scoped_lock lock(mutex_);
+  record_locked(std::move(rec));
+}
+
+void TraceRecorder::record_batch(std::span<TraceRecord> records) {
+  if (records.empty()) return;
+  std::scoped_lock lock(mutex_);
+  for (TraceRecord& rec : records) record_locked(std::move(rec));
+}
+
+void TraceRecorder::record_locked(TraceRecord rec) {
+  NodeRing& ring = rings_[rec.node];
+  rec.seq = ring.next_seq++;
+  if (ring.records.size() >= capacity_) {
+    ring.records.pop_front();
+    ring.evicted += 1;
+  }
+  ring.records.push_back(std::move(rec));
+}
+
+void TraceRecorder::record_link_verdict(const LinkEvent& event, const FaultDecision& verdict) {
+  record(make_link_verdict_record(event, verdict));
 }
 
 void TraceRecorder::record_send(NodeId node, Round round, std::optional<NodeId> to) {
-  record(TraceRecord{.kind = TraceEventKind::kSend,
-                     .node = node,
-                     .round = round,
-                     .seq = 0,
-                     .from = node,
-                     .to = to.value_or(0),
-                     .link_seq = 0,
-                     .extra = to.has_value() ? 0 : 1,  // 1 = broadcast
-                     .detail = {}});
+  record(make_send_record(node, round, to));
 }
 
 void TraceRecorder::record_deliver(NodeId node, Round round, NodeId from) {
-  record(TraceRecord{.kind = TraceEventKind::kDeliver,
-                     .node = node,
-                     .round = round,
-                     .seq = 0,
-                     .from = from,
-                     .to = node,
-                     .link_seq = 0,
-                     .extra = 0,
-                     .detail = {}});
+  record(make_deliver_record(node, round, from));
 }
 
 void TraceRecorder::record_protocol(const ProtocolEvent& event) {

@@ -37,6 +37,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -95,6 +96,16 @@ struct TraceRecord {
   friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
 };
 
+/// Record builders, shared by the recorder's convenience methods and the
+/// parallel engines' per-lane staging buffers (which construct records
+/// lock-free during the lane merge and flush them via record_batch()).
+/// The capture `seq` is left 0 — record()/record_batch() stamp it.
+[[nodiscard]] TraceRecord make_send_record(NodeId node, Round round,
+                                           std::optional<NodeId> to) noexcept;
+[[nodiscard]] TraceRecord make_deliver_record(NodeId node, Round round, NodeId from) noexcept;
+[[nodiscard]] TraceRecord make_link_verdict_record(const LinkEvent& event,
+                                                   const FaultDecision& verdict) noexcept;
+
 class TraceRecorder;
 
 /// ProtocolObserver adapter: forwards every event into the recorder (and
@@ -124,6 +135,14 @@ class TraceRecorder {
   /// Append one record to `rec.node`'s ring; stamps the per-node capture
   /// sequence and evicts the oldest record once the ring is full.
   void record(TraceRecord rec);
+
+  /// Append a batch under ONE lock acquisition, preserving batch order.
+  /// This is the parallel engines' flush path: each merge lane stages
+  /// records for ITS nodes lock-free and flushes once per phase. Because a
+  /// node's records are only ever staged by the lane that owns it, per-ring
+  /// order — and therefore every export — is independent of the order in
+  /// which concurrent lanes flush.
+  void record_batch(std::span<TraceRecord> records);
 
   /// One chaos verdict exactly as the engine asked it. Self-links are still
   /// recorded (kept out of the canonical export, kept in the full trace).
@@ -165,6 +184,8 @@ class TraceRecorder {
     std::uint64_t next_seq = 0;
     std::uint64_t evicted = 0;
   };
+
+  void record_locked(TraceRecord rec);
 
   TraceEngine engine_;
   std::size_t capacity_;

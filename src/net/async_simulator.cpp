@@ -16,12 +16,20 @@ void AsyncSimulator::add_process(std::unique_ptr<AsyncProcess> process) {
   processes_.emplace(id, std::move(process));
 }
 
-void AsyncSimulator::dispatch_out(NodeId from, const std::vector<AsyncOutgoing>& out) {
-  for (const AsyncOutgoing& o : out) {
-    Message msg = o.msg;
-    msg.sender = from;
-    // Wrap once; a broadcast's n events share the payload by reference.
-    const MessageRef ref = MessageRef::wrap(std::move(msg));
+void AsyncSimulator::dispatch_out(NodeId from, const std::vector<AsyncOutgoing>& out,
+                                  const std::vector<MessageRef>* wrapped) {
+  for (std::size_t j = 0; j < out.size(); ++j) {
+    const AsyncOutgoing& o = out[j];
+    // Wrap once; a broadcast's n events share the payload by reference. The
+    // batched engine wraps in its parallel phase and hands the refs in.
+    MessageRef ref;
+    if (wrapped != nullptr) {
+      ref = (*wrapped)[j];
+    } else {
+      Message msg = o.msg;
+      msg.sender = from;
+      ref = MessageRef::wrap(std::move(msg));
+    }
     fanout_.unique_payloads += 1;
     if (recorder_) recorder_->record_send(from, /*round=*/0, o.to);
     auto deliver_to = [&](NodeId to) {
@@ -103,12 +111,14 @@ void AsyncSimulator::run_sequential(Time horizon) {
 }
 
 void AsyncSimulator::run_batched(Time horizon) {
-  // Parallel-phase / sequential-merge, mirroring SyncSimulator::step(): all
-  // events sharing one timestamp form a batch (the ready set); callbacks run
-  // concurrently, grouped per target node so each process is driven by one
-  // thread in event-sequence order; every order-sensitive effect — latency
-  // draws, send sequence stamps, timer pushes, trace records — is applied
-  // afterwards, sequentially, in the exact order the sequential engine used.
+  // Parallel-phase / sequential-merge: all events sharing one timestamp form
+  // a batch (the ready set); callbacks run concurrently, grouped per target
+  // node so each process is driven by one thread in event-sequence order,
+  // and each group stamps + hashes its sends on its own thread. The
+  // order-sensitive effects — latency draws (the DelayModel may be
+  // stateful), event-queue pushes, timer re-arms, trace records — are
+  // applied afterwards, sequentially, in the exact order the sequential
+  // engine used.
   // Events a callback emits at the SAME timestamp carry fresher sequence
   // numbers, so both engines process them after the whole current batch.
   struct Group {
@@ -118,6 +128,7 @@ void AsyncSimulator::run_batched(Time horizon) {
   std::vector<Event> batch;
   std::vector<Group> groups;
   std::vector<std::vector<AsyncOutgoing>> outs;
+  std::vector<std::vector<MessageRef>> staged;      // outs stamped + wrapped in parallel
   std::vector<std::optional<Time>> deadline_after;  // post-callback timer ask
   std::vector<char> ran;                            // 0 → skipped (stale timer)
   while (!queue_.empty()) {
@@ -130,6 +141,7 @@ void AsyncSimulator::run_batched(Time horizon) {
       queue_.pop();
     }
     outs.assign(batch.size(), {});
+    staged.assign(batch.size(), {});
     deadline_after.assign(batch.size(), std::nullopt);
     ran.assign(batch.size(), 0);
     groups.clear();
@@ -163,6 +175,15 @@ void AsyncSimulator::run_batched(Time horizon) {
         ran[i] = 1;
         deadline_after[i] = p.timer_deadline();
         armed = deadline_after[i];
+        // Stamp and hash this event's sends here, on the group's thread —
+        // the wrap is pure per message, so hoisting it out of the merge
+        // changes nothing observable, only who pays the hashing.
+        staged[i].reserve(outs[i].size());
+        for (AsyncOutgoing& o : outs[i]) {
+          Message msg = std::move(o.msg);
+          msg.sender = ev.to;
+          staged[i].push_back(MessageRef::wrap(std::move(msg)));
+        }
       }
     };
     if (groups.size() > 1) {
@@ -182,7 +203,7 @@ void AsyncSimulator::run_batched(Time horizon) {
         fanout_.bytes_delivered += ev.msg.wire_bytes();
         if (recorder_) recorder_->record_deliver(ev.to, /*round=*/0, ev.msg.get().sender);
       }
-      dispatch_out(ev.to, outs[i]);
+      dispatch_out(ev.to, outs[i], &staged[i]);
       if (deadline_after[i].has_value()) {
         const Time deadline = *deadline_after[i];
         auto it = armed_timer_.find(ev.to);

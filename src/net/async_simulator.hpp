@@ -78,10 +78,13 @@ class AsyncSimulator {
 
   /// Shard callback execution across `threads` threads (1 = sequential, the
   /// default). Events sharing one timestamp form a batch; per-node event
-  /// groups run concurrently while sends, timer re-arms, and trace records
-  /// are applied sequentially in event-sequence order — the observable
-  /// execution (delivery order, latency draws, traces) is identical for
-  /// every thread count (DESIGN.md §8).
+  /// groups run concurrently — including sender-stamping and content-hashing
+  /// of every emitted message (the wrap cost) — while latency draws, queue
+  /// pushes, timer re-arms, and trace records are applied sequentially in
+  /// event-sequence order. The DelayModel therefore may be stateful (the
+  /// chaos delay model is — it counts per-link sequence numbers) and the
+  /// observable execution (delivery order, latency draws, traces) is still
+  /// identical for every thread count (DESIGN.md §8).
   void set_threads(unsigned threads);
   [[nodiscard]] unsigned threads() const noexcept { return threads_; }
 
@@ -112,7 +115,11 @@ class AsyncSimulator {
     }
   };
 
-  void dispatch_out(NodeId from, const std::vector<AsyncOutgoing>& out);
+  /// Draw latencies and enqueue delivery events for `out`. `wrapped` (when
+  /// non-null) carries refs pre-stamped and pre-hashed by the parallel
+  /// phase, one per outgoing, so the sequential merge skips the wrap cost.
+  void dispatch_out(NodeId from, const std::vector<AsyncOutgoing>& out,
+                    const std::vector<MessageRef>* wrapped = nullptr);
   void rearm_timer(AsyncProcess& p);
   void run_sequential(Time horizon);
   void run_batched(Time horizon);

@@ -35,6 +35,45 @@ void BroadcastLane::clear() {
   view_.clear();
 }
 
+void BroadcastLane::drain_into(std::vector<MessageRef>& refs, std::vector<std::uint64_t>& seqs) {
+  refs.insert(refs.end(), std::make_move_iterator(entries_.begin()),
+              std::make_move_iterator(entries_.end()));
+  seqs.insert(seqs.end(), seqs_.begin(), seqs_.end());
+  entries_.clear();
+  seqs_.clear();
+  view_.clear();
+}
+
+void ShardedLane::reset(std::size_t segments) {
+  if (segments_.size() < segments) segments_.resize(segments);
+  active_segments_ = segments;
+  for (std::size_t k = 0; k < active_segments_; ++k) segments_[k].clear();
+  entries_.clear();
+  seqs_.clear();
+  kind_counts_.fill(0);
+  wire_bytes_ = 0;
+  view_.clear();
+}
+
+void ShardedLane::seal() {
+  for (std::size_t k = 0; k < active_segments_; ++k) {
+    BroadcastLane& segment = segments_[k];
+    const auto& kinds = segment.kind_counts();
+    for (std::size_t i = 0; i < kinds.size(); ++i) kind_counts_[i] += kinds[i];
+    wire_bytes_ += segment.wire_bytes();
+    segment.drain_into(entries_, seqs_);
+  }
+  view_.reserve(entries_.size());
+  for (const MessageRef& ref : entries_) view_.push_back(ref.get());
+}
+
+bool ShardedLane::contains(const MessageRef& ref) const {
+  for (std::size_t k = 0; k < active_segments_; ++k) {
+    if (segments_[k].contains(ref)) return true;
+  }
+  return false;
+}
+
 bool Mailbox::deposit(MessageRef ref, std::uint64_t seq) {
   if (!seen_.insert(ref).second) return false;
   entries_.push_back(std::move(ref));
@@ -42,11 +81,18 @@ bool Mailbox::deposit(MessageRef ref, std::uint64_t seq) {
   return true;
 }
 
-std::span<const Message> Mailbox::collect(const BroadcastLane* lane,
-                                          std::vector<Message>& scratch, FanoutCounters* fanout,
-                                          MessageCounters* counters) {
+namespace {
+
+/// The merge shared by both lane flavours: Lane needs the BroadcastLane read
+/// interface (empty/view/refs/seqs/contains/kind_counts/wire_bytes).
+template <typename Lane>
+std::span<const Message> collect_impl(std::vector<MessageRef>& entries,
+                                      std::vector<std::uint64_t>& seqs,
+                                      std::unordered_set<MessageRef, MessageRefHash>& seen,
+                                      const Lane* lane, std::vector<Message>& scratch,
+                                      FanoutCounters* fanout, MessageCounters* counters) {
   // Fast path: nothing receiver-specific — share the lane's view outright.
-  if (entries_.empty()) {
+  if (entries.empty()) {
     if (lane == nullptr || lane->empty()) return {};
     const auto view = lane->view();
     if (fanout != nullptr) {
@@ -64,10 +110,12 @@ std::span<const Message> Mailbox::collect(const BroadcastLane* lane,
   // entry whose content already sits in the lane is the "broadcast + unicast
   // of the same message" duplicate — suppressed, like the per-receiver dedup
   // of old, but against the cached hash.
-  const std::span<const MessageRef> lane_refs = lane != nullptr ? lane->refs() : std::span<const MessageRef>{};
-  const std::span<const std::uint64_t> lane_seqs = lane != nullptr ? lane->seqs() : std::span<const std::uint64_t>{};
+  const std::span<const MessageRef> lane_refs =
+      lane != nullptr ? lane->refs() : std::span<const MessageRef>{};
+  const std::span<const std::uint64_t> lane_seqs =
+      lane != nullptr ? lane->seqs() : std::span<const std::uint64_t>{};
   scratch.clear();
-  scratch.reserve(lane_refs.size() + entries_.size());
+  scratch.reserve(lane_refs.size() + entries.size());
   const auto push = [&](const MessageRef& ref) {
     scratch.push_back(ref.get());
     if (fanout != nullptr) {
@@ -78,25 +126,38 @@ std::span<const Message> Mailbox::collect(const BroadcastLane* lane,
   };
   std::size_t i = 0;
   std::size_t j = 0;
-  while (i < lane_refs.size() || j < entries_.size()) {
-    const bool take_lane =
-        j >= entries_.size() || (i < lane_refs.size() && lane_seqs[i] < seqs_[j]);
+  while (i < lane_refs.size() || j < entries.size()) {
+    const bool take_lane = j >= entries.size() || (i < lane_refs.size() && lane_seqs[i] < seqs[j]);
     if (take_lane) {
       push(lane_refs[i]);
       i += 1;
     } else {
-      if (lane != nullptr && lane->contains(entries_[j])) {
+      if (lane != nullptr && lane->contains(entries[j])) {
         if (fanout != nullptr) fanout->dedup_hits += 1;
       } else {
-        push(entries_[j]);
+        push(entries[j]);
       }
       j += 1;
     }
   }
-  entries_.clear();
-  seqs_.clear();
-  seen_.clear();
+  entries.clear();
+  seqs.clear();
+  seen.clear();
   return scratch;
+}
+
+}  // namespace
+
+std::span<const Message> Mailbox::collect(const BroadcastLane* lane,
+                                          std::vector<Message>& scratch, FanoutCounters* fanout,
+                                          MessageCounters* counters) {
+  return collect_impl(entries_, seqs_, seen_, lane, scratch, fanout, counters);
+}
+
+std::span<const Message> Mailbox::collect(const ShardedLane* lane,
+                                          std::vector<Message>& scratch, FanoutCounters* fanout,
+                                          MessageCounters* counters) {
+  return collect_impl(entries_, seqs_, seen_, lane, scratch, fanout, counters);
 }
 
 FrameRef make_frame_ref(std::span<const std::byte> bytes) {

@@ -16,6 +16,14 @@
 //     happens once per message, not once per receiver) and every member of
 //     the round reads the same contiguous materialised view, so the common
 //     all-broadcast round does zero per-receiver work.
+//   * `ShardedLane` — the parallel engine's view of the same idea: one
+//     `BroadcastLane` segment per merge lane, each filled lock-free by its
+//     owning worker (senders are partitioned across lanes, so per-segment
+//     dedup sees exactly the deposits the global set would), then `seal()`ed
+//     once per round into a single contiguous send-ordered view shared by
+//     every receiver. Segments cover ascending sender ranges and sequence
+//     keys are globally ordered, so concatenation in segment order IS send
+//     order — no sort, no merge.
 //   * `Mailbox` — the per-receiver buffer for traffic that is genuinely
 //     receiver-specific (unicasts, delayed redeliveries). `collect()` merges
 //     it with the shared lane in send order; when a receiver has no private
@@ -125,6 +133,12 @@ class BroadcastLane {
   /// Start a new round. Keeps capacity (steady-state rounds allocate nothing).
   void clear();
 
+  /// Move this segment's entries/seqs into `refs`/`seqs` (appending) and
+  /// reset them, KEEPING the dedup set — `contains()` keeps answering for
+  /// everything deposited this round. Used by ShardedLane::seal(); after
+  /// draining, `view()`/`refs()` on the segment are empty.
+  void drain_into(std::vector<MessageRef>& refs, std::vector<std::uint64_t>& seqs);
+
  private:
   std::vector<MessageRef> entries_;
   std::vector<std::uint64_t> seqs_;
@@ -132,6 +146,53 @@ class BroadcastLane {
   std::array<std::uint64_t, MessageCounters::kKinds> kind_counts_{};
   std::uint64_t wire_bytes_ = 0;
   mutable std::vector<Message> view_;  // materialised prefix of entries_
+};
+
+/// The parallel round engine's broadcast buffer: one BroadcastLane segment
+/// per merge lane. During the lane-merge phase each worker deposits its own
+/// senders' broadcasts into its own segment — no locks, and per-segment
+/// dedup is exact because duplicate suppression is per (sender, content) and
+/// a sender belongs to exactly one lane. `seal()` (sequential, once per
+/// round) concatenates the segments into one contiguous send-ordered view:
+/// segments cover ascending sender ranges and deposit keys are globally
+/// ordered, so segment order IS send order. After seal the read side is
+/// BroadcastLane-compatible and shared by every receiver's collect().
+class ShardedLane {
+ public:
+  /// Start a new round with `segments` lane segments (capacity reused).
+  void reset(std::size_t segments);
+
+  [[nodiscard]] BroadcastLane& segment(std::size_t k) { return segments_[k]; }
+  [[nodiscard]] std::size_t segment_count() const noexcept { return active_segments_; }
+
+  /// Concatenate segments (in segment order) into the sealed view and
+  /// materialise the shared Message span eagerly — receivers collect from
+  /// concurrent lanes next round, so no lazy mutation is allowed after this.
+  void seal();
+
+  // Sealed read interface (mirrors BroadcastLane).
+  [[nodiscard]] bool contains(const MessageRef& ref) const;
+  [[nodiscard]] std::span<const MessageRef> refs() const noexcept { return entries_; }
+  [[nodiscard]] std::span<const std::uint64_t> seqs() const noexcept { return seqs_; }
+  [[nodiscard]] std::span<const Message> view() const noexcept { return view_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] const std::array<std::uint64_t, MessageCounters::kKinds>& kind_counts()
+      const noexcept {
+    return kind_counts_;
+  }
+  [[nodiscard]] std::uint64_t wire_bytes() const noexcept { return wire_bytes_; }
+
+ private:
+  std::vector<BroadcastLane> segments_;
+  std::size_t active_segments_ = 0;
+  // Sealed concatenation (entries moved out of the segments; the segments
+  // keep their dedup sets so contains() still probes them).
+  std::vector<MessageRef> entries_;
+  std::vector<std::uint64_t> seqs_;
+  std::array<std::uint64_t, MessageCounters::kKinds> kind_counts_{};
+  std::uint64_t wire_bytes_ = 0;
+  std::vector<Message> view_;
 };
 
 /// Per-receiver buffer for receiver-specific traffic: unicasts, delayed
@@ -152,6 +213,12 @@ class Mailbox {
   /// Updates `fanout` / `counters` with per-recipient delivery stats when
   /// non-null. Resets the private buffer.
   std::span<const Message> collect(const BroadcastLane* lane, std::vector<Message>& scratch,
+                                   FanoutCounters* fanout = nullptr,
+                                   MessageCounters* counters = nullptr);
+  /// Same merge against a sealed ShardedLane (the parallel engine's round
+  /// buffer). Safe to run concurrently for DIFFERENT receivers: the sealed
+  /// lane is read-only and each Mailbox is owned by one merge lane.
+  std::span<const Message> collect(const ShardedLane* lane, std::vector<Message>& scratch,
                                    FanoutCounters* fanout = nullptr,
                                    MessageCounters* counters = nullptr);
 

@@ -1,5 +1,7 @@
 #include "net/parallel_exec.hpp"
 
+#include <algorithm>
+
 namespace idonly {
 
 ParallelExecutor::ParallelExecutor(unsigned threads) : threads_(threads < 1 ? 1 : threads) {
@@ -37,18 +39,20 @@ void ParallelExecutor::worker_loop() {
 }
 
 void ParallelExecutor::work() {
+  // Claim contiguous chunks with one atomic bump each: n can be tens of
+  // thousands of slots per round, and a mutex (or per-index fetch_add) on
+  // that path costs more than the work it hands out.
   while (true) {
-    std::size_t index;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (cursor_ >= batch_size_) return;
-      index = cursor_++;
-    }
-    try {
-      (*fn_)(index);
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (first_error_ == nullptr) first_error_ = std::current_exception();
+    const std::size_t begin = cursor_.fetch_add(chunk_, std::memory_order_relaxed);
+    if (begin >= batch_size_) return;
+    const std::size_t end = std::min(begin + chunk_, batch_size_);
+    for (std::size_t index = begin; index < end; ++index) {
+      try {
+        (*fn_)(index);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (first_error_ == nullptr) first_error_ = std::current_exception();
+      }
     }
   }
 }
@@ -63,7 +67,10 @@ void ParallelExecutor::run(std::size_t n, const std::function<void(std::size_t)>
     std::lock_guard<std::mutex> lock(mutex_);
     fn_ = &fn;
     batch_size_ = n;
-    cursor_ = 0;
+    // ~4 chunks per thread balances straggler re-claiming against cursor
+    // contention; tiny batches fall back to index-at-a-time.
+    chunk_ = std::max<std::size_t>(1, n / (static_cast<std::size_t>(threads_) * 4));
+    cursor_.store(0, std::memory_order_relaxed);
     first_error_ = nullptr;
     busy_workers_ = static_cast<unsigned>(pool_.size());
     generation_ += 1;

@@ -9,18 +9,21 @@
 // Determinism contract: the executor parallelises only *which thread* runs
 // each index; it makes no ordering promises between indices and must never
 // be used for work whose side effects depend on cross-index order. The
-// engines therefore split a round into
-//   1. a parallel phase — each process steps into a PRIVATE outbox slab
-//      (per-index, no shared mutation), and
-//   2. a sequential merge — slabs are routed in ascending-id order, exactly
-//      the order the sequential engine used.
-// Every order-sensitive effect (send sequence stamps, chaos verdicts, trace
-// records, RNG draws inside route) happens in the merge, so the observable
-// execution is bit-identical for any thread count. DESIGN.md §8 spells out
-// the argument; tests/test_parallel_exec.cpp enforces it via canonical
-// trace comparison across --threads 1/2/8.
+// engines therefore split a round into two PARALLEL phases:
+//   1. fill — each process steps into a PRIVATE outbox slab (per-index, no
+//      shared mutation), and
+//   2. lane merge — destination slots are partitioned into contiguous
+//      per-worker lanes; each lane routes every slab's messages for ITS
+//      receivers using precomputed deterministic ordering keys (per-slab
+//      prefix sums over the send sequence, per-link chaos counters).
+// Every order-sensitive effect is either a pure function of those keys or
+// staged per lane and committed in lane order, so the observable execution
+// is bit-identical for any thread count — with no sequential replay pass.
+// DESIGN.md §8 spells out the argument; tests/test_parallel_exec.cpp
+// enforces it via full + canonical trace comparison across --threads 1/2/8.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
@@ -44,10 +47,12 @@ class ParallelExecutor {
   [[nodiscard]] unsigned thread_count() const noexcept { return threads_; }
 
   /// Invoke `fn(i)` for every i in [0, n) across the pool and block until
-  /// all invocations returned. Indices are claimed dynamically (an atomic
-  /// cursor), so stragglers don't serialise the round. If any invocation
-  /// throws, one of the exceptions is rethrown on the calling thread after
-  /// the batch drains. Not reentrant: one run() at a time per executor.
+  /// all invocations returned. Indices are claimed dynamically in small
+  /// contiguous chunks off a lock-free atomic cursor, so stragglers don't
+  /// serialise the round and short batches don't thrash the cursor line. If
+  /// any invocation throws, one of the exceptions is rethrown on the calling
+  /// thread after the batch drains. Not reentrant: one run() at a time per
+  /// executor.
   void run(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
@@ -66,7 +71,8 @@ class ParallelExecutor {
   // Current batch (valid while busy_workers_ > 0 or the caller is in work()).
   const std::function<void(std::size_t)>* fn_ = nullptr;
   std::size_t batch_size_ = 0;
-  std::size_t cursor_ = 0;        // next unclaimed index (guarded by mutex_)
+  std::size_t chunk_ = 1;         // indices claimed per cursor bump
+  std::atomic<std::size_t> cursor_{0};  // next unclaimed index (lock-free)
   unsigned busy_workers_ = 0;     // pool threads still inside work()
   std::exception_ptr first_error_;
 };

@@ -44,58 +44,101 @@ void SyncSimulator::set_threads(unsigned threads) {
   executor_ = threads_ > 1 ? std::make_unique<ParallelExecutor>(threads_) : nullptr;
 }
 
-void SyncSimulator::route(NodeId from, const std::vector<Outgoing>& outbox) {
-  // Each outgoing message is stamped (unforgeable identity), wrapped into a
-  // MessageRef exactly once — content hash and wire size cached there — and
-  // fanned out by reference. Duplicate suppression ("duplicate messages from
-  // the same node in a round are simply discarded") runs once per message at
-  // lane deposit for broadcasts, per receiver only for private traffic.
-  for (const Outgoing& out : outbox) {
-    Message msg = out.msg;
-    msg.sender = from;  // unforgeable identity
-    const auto kind_idx = static_cast<std::size_t>(msg.kind);
-    metrics_.messages.sent[kind_idx] += 1;  // one send per message, broadcast or not
-    metrics_.fanout.unique_payloads += 1;
-    const MessageRef ref = MessageRef::wrap(std::move(msg));
-    if (tracing_) {
-      if (trace_.size() >= trace_capacity_) trace_.pop_front();
-      trace_.push_back(TraceEntry{round_, from, out.to, ref.get()});
+void SyncSimulator::run_tasks(std::size_t count, const std::function<void(std::size_t)>& fn) {
+  if (executor_ != nullptr && count > 1) {
+    executor_->run(count, fn);
+  } else {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+  }
+}
+
+std::size_t SyncSimulator::slot_of(NodeId id) const noexcept {
+  // dispatches_ is built from the ordered member map, so it is ascending by
+  // id — a unicast target resolves with one binary search.
+  const auto it = std::lower_bound(dispatches_.begin(), dispatches_.end(), id,
+                                   [](const Dispatch& d, NodeId v) { return d.id < v; });
+  if (it == dispatches_.end() || it->id != id) return dispatches_.size();
+  return static_cast<std::size_t>(it - dispatches_.begin());
+}
+
+void SyncSimulator::merge_lane(std::size_t lane_index) {
+  // One lane of the parallel merge. The lane owns a contiguous range of
+  // destination slots: their mailboxes, their per-(from,to) chaos sequence
+  // counters, and their trace rings are touched by THIS lane only. It walks
+  // every message of the round in global send order (ascending sender slot,
+  // then outbox position) and applies exactly the effects it owns, so each
+  // receiver observes the same deposit order as the sequential engine —
+  // regardless of how the other lanes interleave in real time.
+  LaneArena& arena = arenas_[lane_index];
+  const std::size_t begin = lane_starts_[lane_index];
+  const std::size_t end = lane_starts_[lane_index + 1];
+  BroadcastLane& segment = lanes_[fill_lane_].segment(lane_index);
+  // A chaos schedule or delay hook may fault per (from, to) pair, so a
+  // broadcast is no longer uniform across receivers — route it per receiver
+  // (both are fault-injection probes; perf is irrelevant there).
+  const bool per_receiver = chaos_ != nullptr || delay_hook_ != nullptr;
+  const std::size_t n = dispatches_.size();
+
+  const auto deposit_private = [&](NodeId from, NodeId to, Member& member,
+                                   const MessageRef& ref, std::uint64_t key) {
+    Round extra = 0;
+    if (chaos_) {
+      const std::uint64_t link_seq = arena.link_seq[{from, to}]++;
+      const LinkEvent event{round_, from, to, link_seq};
+      const FaultDecision verdict = chaos_->peek(event);
+      if (verdict.faulted()) arena.chaos_stage.emplace_back(event, verdict);
+      if (recorder_) arena.trace_stage.push_back(make_link_verdict_record(event, verdict));
+      if (verdict.drop) return;
+      if (verdict.duplicate) {
+        // Second copy: the model discards duplicate identical messages from
+        // one sender within a round, so it dies in mailbox dedup — the
+        // decision is what must reproduce, and it is in the trace.
+        if (!member.mailbox.deposit(ref, key)) arena.fanout.dedup_hits += 1;
+      }
+      extra = verdict.delay_rounds;
     }
-    if (recorder_) recorder_->record_send(from, round_, out.to);
-    auto deposit_private = [&](NodeId to, Member& member) {
-      Round extra = 0;
-      if (chaos_) {
-        const std::uint64_t link_seq = chaos_seq_[{from, to}]++;
-        const LinkEvent event{round_, from, to, link_seq};
-        const FaultDecision verdict = chaos_->decide(event);
-        if (recorder_) recorder_->record_link_verdict(event, verdict);
-        if (verdict.drop) return;
-        if (verdict.duplicate) {
-          // Second copy: the model discards duplicate identical messages
-          // from one sender within a round, so it dies in mailbox dedup —
-          // the decision is what must reproduce, and it is in the trace.
-          if (!member.mailbox.deposit(ref, seq_++)) metrics_.fanout.dedup_hits += 1;
+    if (extra == 0 && delay_hook_) extra = delay_hook_(from, to, ref.get(), round_);
+    if (extra > 0) {
+      arena.delayed_stage.push_back({round_ + 1 + extra, to, ref});
+      return;
+    }
+    if (!member.mailbox.deposit(ref, key + 1)) arena.fanout.dedup_hits += 1;
+  };
+
+  for (std::size_t s = 0; s < n; ++s) {
+    Dispatch& sender = dispatches_[s];
+    const bool own_sender = s >= begin && s < end;
+    if (!own_sender && sender.outbox.empty()) continue;
+    for (std::size_t m = 0; m < sender.outbox.size(); ++m) {
+      const Outgoing& out = sender.outbox[m];
+      const MessageRef& ref = sender.refs[m];
+      // Two deposit keys per global message ordinal: a chaos duplicate copy
+      // takes `key`, the primary copy `key + 1` — duplicate-before-primary,
+      // exactly the sequential engine's deposit order. Only relative order
+      // is observable, so the gaps left by unfaulted messages are free.
+      const std::uint64_t key = seq_ + 2 * (sender.msg_base + m);
+      if (own_sender) {
+        arena.messages.sent[static_cast<std::size_t>(ref->kind)] += 1;
+        arena.fanout.unique_payloads += 1;
+        if (tracing_) arena.debug_stage.push_back(TraceEntry{round_, sender.id, out.to, ref.get()});
+        if (recorder_) arena.trace_stage.push_back(make_send_record(sender.id, round_, out.to));
+        if (!out.to.has_value() && !per_receiver) {
+          // Clean broadcast: one deposit into this lane's segment. Segments
+          // cover ascending sender ranges, so seal()'s concatenation is
+          // globally key-ordered.
+          if (!segment.deposit(ref, key)) arena.fanout.dedup_hits += 1;
         }
-        extra = verdict.delay_rounds;
       }
-      if (extra == 0 && delay_hook_) extra = delay_hook_(from, to, ref.get(), round_);
-      if (extra > 0) {
-        delayed_[round_ + 1 + extra].emplace_back(to, ref);
-        return;
+      if (out.to.has_value()) {
+        const std::size_t t = slot_of(*out.to);
+        if (t >= begin && t < end) {  // recipient gone → no lane owns it; message lost
+          deposit_private(sender.id, *out.to, *dispatches_[t].member, ref, key);
+        }
+      } else if (per_receiver) {
+        for (std::size_t t = begin; t < end; ++t) {
+          deposit_private(sender.id, dispatches_[t].id, *dispatches_[t].member, ref, key);
+        }
       }
-      if (!member.mailbox.deposit(ref, seq_++)) metrics_.fanout.dedup_hits += 1;
-    };
-    if (out.to.has_value()) {
-      auto it = members_.find(*out.to);
-      if (it == members_.end()) continue;  // recipient gone — message lost
-      deposit_private(*out.to, it->second);
-    } else if (delay_hook_ || chaos_) {
-      // A delay hook or chaos schedule may fault per (from, to) pair, so the
-      // broadcast is no longer uniform across receivers — route it per
-      // receiver (both are fault-injection probes; perf is irrelevant).
-      for (auto& [id, member] : members_) deposit_private(id, member);
-    } else {
-      if (!lanes_[fill_lane_].deposit(ref, seq_++)) metrics_.fanout.dedup_hits += 1;
     }
   }
 }
@@ -133,7 +176,6 @@ void SyncSimulator::step() {
 
   round_ += 1;
   metrics_.rounds_executed = round_;
-  chaos_seq_.clear();  // link-event sequence numbers are per sent-round
 
   // Deliver synchrony-fault-delayed messages that are due this round. They
   // land in the receiver's private mailbox AFTER last round's routed
@@ -148,14 +190,10 @@ void SyncSimulator::step() {
     it = delayed_.erase(it);
   }
 
-  // Flip lanes: the lane filled last step is consumed by every member this
-  // step; this step's sends fill the other. Then assemble every member's
-  // inbox BEFORE stepping anyone — lock-step semantics (no same-round
-  // delivery), and the spans stay valid because routing only touches the
-  // fill lane and already-collected mailboxes.
-  BroadcastLane& deliver_lane = lanes_[fill_lane_];
+  // Flip lanes: the lane sealed last step is consumed by every member this
+  // step; this step's merge lanes fill the other.
+  ShardedLane& deliver_lane = lanes_[fill_lane_];
   fill_lane_ ^= 1;
-  lanes_[fill_lane_].clear();
 
   // The dispatch arena persists across rounds: slab/scratch capacity from
   // the previous round is reused, so steady-state rounds allocate nothing.
@@ -168,43 +206,130 @@ void SyncSimulator::step() {
     dispatch.id = id;
     dispatch.member = &member;
     dispatch.outbox.clear();
+    dispatch.refs.clear();
+    dispatch.msg_base = 0;
     dispatch.became_done = false;
-    // A member admitted at the start of THIS step was not a receiver of last
-    // round's broadcasts — it gets no lane, and its mailbox is empty.
-    const BroadcastLane* lane = member.joined_round == round_ ? nullptr : &deliver_lane;
-    dispatch.inbox =
-        member.mailbox.collect(lane, member.scratch, &metrics_.fanout, &metrics_.messages);
-    if (recorder_) {
-      for (const Message& msg : dispatch.inbox) {
-        recorder_->record_deliver(id, round_, msg.sender);
+  }
+  const std::size_t n = dispatches_.size();
+
+  // Lane plan: contiguous destination-slot ranges, one per worker. A user
+  // delay hook is an arbitrary (possibly stateful) std::function, so it must
+  // see deposits in the sequential order — collapse the merge to one lane
+  // (the fill phase still parallelises; the hook only runs in the merge).
+  std::size_t lane_count =
+      (executor_ != nullptr && delay_hook_ == nullptr) ? std::min<std::size_t>(threads_, n) : 1;
+  if (lane_count == 0) lane_count = 1;
+  lane_starts_.assign(lane_count + 1, 0);
+  for (std::size_t l = 0; l <= lane_count; ++l) lane_starts_[l] = n * l / lane_count;
+  if (arenas_.size() < lane_count) arenas_.resize(lane_count);
+  for (std::size_t l = 0; l < lane_count; ++l) {
+    LaneArena& arena = arenas_[l];
+    arena.messages = MessageCounters{};
+    arena.fanout.reset();
+    arena.link_seq.clear();  // link-event sequence numbers are per sent-round
+    arena.trace_stage.clear();
+    arena.chaos_stage.clear();
+    arena.delayed_stage.clear();
+    arena.debug_stage.clear();
+  }
+  lanes_[fill_lane_].reset(lane_count);
+
+  // Phase 1 — parallel inbox assembly, one task per lane: every member's
+  // inbox is built BEFORE anyone steps (lock-step semantics, no same-round
+  // delivery). Each lane collects only its own slots' mailboxes against the
+  // sealed (read-only) deliver lane, staging delivery records and counters
+  // in its arena.
+  run_tasks(lane_count, [&](std::size_t l) {
+    LaneArena& arena = arenas_[l];
+    for (std::size_t s = lane_starts_[l]; s < lane_starts_[l + 1]; ++s) {
+      Dispatch& dispatch = dispatches_[s];
+      Member& member = *dispatch.member;
+      // A member admitted at the start of THIS step was not a receiver of
+      // last round's broadcasts — it gets no lane, and its mailbox is empty.
+      const ShardedLane* lane = member.joined_round == round_ ? nullptr : &deliver_lane;
+      dispatch.inbox =
+          member.mailbox.collect(lane, member.scratch, &arena.fanout, &arena.messages);
+      if (recorder_) {
+        for (const Message& msg : dispatch.inbox) {
+          arena.trace_stage.push_back(make_deliver_record(dispatch.id, round_, msg.sender));
+        }
       }
+    }
+  });
+  if (recorder_) {
+    // Flush delivery records before the merge stages send/verdict records
+    // into the same buffers. A node's records are staged by exactly one lane,
+    // so per-ring order (what every export is built from) is lane-local and
+    // thread-count-independent; flushing in lane order keeps it fully
+    // deterministic.
+    for (std::size_t l = 0; l < lane_count; ++l) {
+      recorder_->record_batch(arenas_[l].trace_stage);
+      arenas_[l].trace_stage.clear();
     }
   }
 
-  // Parallel phase: each process steps into its private outbox slab. No
-  // shared engine state is touched — inbox spans stay valid because routing
-  // hasn't started, and each process owns its own slab and RNG.
-  const auto step_one = [this](std::size_t index) {
+  // Phase 2 — parallel stepping, one task per process: each steps into its
+  // private outbox slab, then stamps and wraps its messages (the content
+  // hashing is the round's other big CPU sink). No shared engine state is
+  // touched; inbox spans stay valid because routing hasn't started.
+  run_tasks(n, [this](std::size_t index) {
     Dispatch& dispatch = dispatches_[index];
     Member& member = *dispatch.member;
     const bool was_done = member.process->done();
     RoundInfo info{round_, round_ - member.joined_round + 1};
     member.process->on_round(info, dispatch.inbox, dispatch.outbox);
     dispatch.became_done = !was_done && member.process->done();
-  };
-  if (executor_ != nullptr && dispatches_.size() > 1) {
-    executor_->run(dispatches_.size(), step_one);
-  } else {
-    for (std::size_t i = 0; i < dispatches_.size(); ++i) step_one(i);
+    dispatch.refs.reserve(dispatch.outbox.size());
+    for (Outgoing& out : dispatch.outbox) {
+      Message msg = std::move(out.msg);
+      msg.sender = dispatch.id;  // unforgeable identity
+      dispatch.refs.push_back(MessageRef::wrap(std::move(msg)));
+    }
+  });
+
+  // Sequential prefix pass: assign every message its global send ordinal.
+  // All deposit keys derive from these, so they are thread-count-invariant.
+  std::uint64_t total_msgs = 0;
+  for (Dispatch& dispatch : dispatches_) {
+    dispatch.msg_base = total_msgs;
+    total_msgs += dispatch.outbox.size();
   }
 
-  // Sequential merge in ascending-id order: every order-sensitive effect —
-  // send sequence stamps, chaos verdicts, trace records, metrics — happens
-  // here, in exactly the order the sequential engine used.
+  // Phase 3 — parallel lane merge: no sequential replay pass. Each lane
+  // routes the whole round's traffic for its own destination slots.
+  run_tasks(lane_count, [this](std::size_t l) { merge_lane(l); });
+
+  // Sequential epilogue: fold the lane arenas into the shared engine state
+  // in lane order (deterministic), advance the global send stamp past every
+  // key handed out this round, and seal the fill lane so next round's
+  // concurrent collectors see one flat immutable view.
+  for (std::size_t l = 0; l < lane_count; ++l) {
+    LaneArena& arena = arenas_[l];
+    for (std::size_t k = 0; k < MessageCounters::kKinds; ++k) {
+      metrics_.messages.sent[k] += arena.messages.sent[k];
+      metrics_.messages.delivered[k] += arena.messages.delivered[k];
+    }
+    metrics_.fanout.deliveries += arena.fanout.deliveries;
+    metrics_.fanout.unique_payloads += arena.fanout.unique_payloads;
+    metrics_.fanout.dedup_hits += arena.fanout.dedup_hits;
+    metrics_.fanout.bytes_delivered += arena.fanout.bytes_delivered;
+    if (chaos_) chaos_->commit_batch(arena.chaos_stage);
+    if (recorder_) recorder_->record_batch(arena.trace_stage);
+    for (LaneArena::Delayed& delayed : arena.delayed_stage) {
+      delayed_[delayed.due].emplace_back(delayed.to, std::move(delayed.ref));
+    }
+    if (tracing_) {
+      for (TraceEntry& entry : arena.debug_stage) {
+        if (trace_.size() >= trace_capacity_) trace_.pop_front();
+        trace_.push_back(std::move(entry));
+      }
+    }
+  }
   for (Dispatch& dispatch : dispatches_) {
-    route(dispatch.id, dispatch.outbox);
     if (dispatch.became_done) metrics_.done_round[dispatch.id] = round_;
   }
+  seq_ += 2 * total_msgs;
+  lanes_[fill_lane_].seal();
 }
 
 bool SyncSimulator::run_until(const std::function<bool()>& pred, Round max_rounds) {

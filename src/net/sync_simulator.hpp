@@ -14,21 +14,29 @@
 //
 // Determinism: processes are stepped in ascending id order and all protocol
 // randomness flows from explicit seeds, so a (scenario, seed) pair replays
-// bit-identically. With set_threads(k > 1) the per-round stepping is sharded
-// across a persistent worker pool (net/parallel_exec.hpp): each process
-// fills a private outbox slab in the parallel phase, and the slabs are
-// merged and routed sequentially in ascending-id order — so send sequence
-// stamps, chaos verdicts, trace records, and RNG draws are bit-identical to
-// the sequential engine for every thread count (DESIGN.md §8).
+// bit-identically. With set_threads(k > 1) BOTH halves of a round run on a
+// persistent worker pool (net/parallel_exec.hpp): processes fill private
+// outbox slabs in parallel, then the destination slots are partitioned into
+// contiguous per-worker merge LANES and every lane routes its receivers'
+// traffic concurrently. There is no sequential replay pass — order-sensitive
+// effects are reconstructed from precomputed deterministic keys (per-slab
+// prefix sums over the global send order, per-link chaos sequence counters)
+// or staged per lane and committed in lane order, so sequence stamps, chaos
+// verdicts, and trace records are bit-identical to the sequential engine for
+// every thread count (DESIGN.md §8 gives the argument).
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "common/flat_set.hpp"
 
 #include "common/chaos.hpp"
 #include "common/metrics.hpp"
@@ -151,27 +159,57 @@ class SyncSimulator {
   };
 
   /// One member's slice of a round, assembled before anyone steps. The
-  /// outbox slab and done flags live here so the parallel phase touches only
-  /// private state; dispatches_ persists across rounds (the round arena —
-  /// slab/scratch capacity is reused, steady-state rounds allocate nothing).
+  /// outbox slab, wrapped refs, and done flags live here so the parallel
+  /// phases touch only private state; dispatches_ persists across rounds
+  /// (the round arena — slab/scratch capacity is reused, steady-state rounds
+  /// allocate nothing).
   struct Dispatch {
     NodeId id = 0;
     Member* member = nullptr;
     std::span<const Message> inbox;
-    std::vector<Outgoing> outbox;  // private slab, merged in ascending-id order
+    std::vector<Outgoing> outbox;     // private slab filled by on_round
+    std::vector<MessageRef> refs;     // outbox wrapped (stamped + hashed), same order
+    std::uint64_t msg_base = 0;       // global send ordinal of outbox[0] this round
     bool became_done = false;
   };
 
-  // Broadcast fan-out goes through the shared mailbox layer: one deposit
-  // into the round's BroadcastLane instead of a copy per receiver. Two lanes
-  // alternate: the one filled last step is consumed (all members read its
-  // shared view) while this step's sends fill the other.
-  void route(NodeId from, const std::vector<Outgoing>& outbox);
+  /// Per-lane scratch state for the parallel merge: every order-sensitive
+  /// side effect a lane produces is either keyed deterministically (mailbox
+  /// deposits) or staged here lock-free and folded into the shared engine
+  /// state in lane order by the sequential epilogue. Cache-line aligned so
+  /// concurrent lanes never false-share counters.
+  struct alignas(64) LaneArena {
+    MessageCounters messages;  // delivered (inbox phase) + sent (merge phase)
+    FanoutCounters fanout;
+    FlatMap<std::pair<NodeId, NodeId>, std::uint64_t> link_seq;  // per round, lane-owned links
+    std::vector<TraceRecord> trace_stage;       // recorder records, per-ring order
+    std::vector<std::pair<LinkEvent, FaultDecision>> chaos_stage;  // faulted verdicts only
+    struct Delayed {
+      Round due = 0;
+      NodeId to = 0;
+      MessageRef ref;
+    };
+    std::vector<Delayed> delayed_stage;
+    std::vector<TraceEntry> debug_stage;        // enable_trace() ring entries
+  };
+
+  /// Run `fn(0..count)` on the pool when it exists (and count warrants it),
+  /// inline otherwise.
+  void run_tasks(std::size_t count, const std::function<void(std::size_t)>& fn);
+  /// Dispatch slot of a live member (dispatches_ is ascending by id), or
+  /// dispatches_.size() when the id is not a member this round.
+  [[nodiscard]] std::size_t slot_of(NodeId id) const noexcept;
+  /// Phase 3 for one lane: walk every message in global send order and apply
+  /// the effects this lane owns (sender-side bookkeeping for its senders,
+  /// deposits/chaos/trace for its receivers). See DESIGN.md §8.
+  void merge_lane(std::size_t lane_index);
 
   std::map<NodeId, Member> members_;                 // ordered → deterministic stepping
   std::vector<std::unique_ptr<Process>> pending_joins_;
   std::vector<NodeId> pending_removals_;
   std::vector<Dispatch> dispatches_;                 // round arena, reused across rounds
+  std::vector<LaneArena> arenas_;                    // lane arenas, reused across rounds
+  std::vector<std::size_t> lane_starts_;  // lane l owns slots [starts[l], starts[l+1])
   unsigned threads_ = 1;
   std::unique_ptr<ParallelExecutor> executor_;       // live iff threads_ > 1
   mutable std::vector<NodeId> member_ids_cache_;
@@ -184,8 +222,11 @@ class SyncSimulator {
   DelayHook delay_hook_;
   std::shared_ptr<ChaosSchedule> chaos_;
   std::shared_ptr<TraceRecorder> recorder_;
-  std::map<std::pair<NodeId, NodeId>, std::uint64_t> chaos_seq_;  // per-link, reset each round
-  BroadcastLane lanes_[2];
+  // Broadcast fan-out goes through the shared mailbox layer: one deposit per
+  // broadcast instead of a copy per receiver. Two sharded lanes alternate:
+  // the one sealed last step is consumed (all members read its flat view)
+  // while this step's merge lanes fill the other, one segment per lane.
+  ShardedLane lanes_[2];
   int fill_lane_ = 0;    // index of the lane collecting this step's sends
   std::uint64_t seq_ = 0;  // global send-order stamp for lane/mailbox merging
   std::map<Round, std::vector<std::pair<NodeId, MessageRef>>> delayed_;  // due round → deliveries

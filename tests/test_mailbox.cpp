@@ -3,6 +3,7 @@
 // the byte-frame half used by the runtime transports.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "common/metrics.hpp"
@@ -160,7 +161,92 @@ TEST(Mailbox, PrivateDepositDedups) {
   EXPECT_TRUE(box.deposit(MessageRef::wrap(make_msg(1, MsgKind::kAck, 1)), 0));
   EXPECT_FALSE(box.deposit(MessageRef::wrap(make_msg(1, MsgKind::kAck, 1)), 1));
   std::vector<Message> scratch;
-  EXPECT_EQ(box.collect(nullptr, scratch).size(), 1u);
+  EXPECT_EQ(box.collect(static_cast<const BroadcastLane*>(nullptr), scratch).size(), 1u);
+}
+
+TEST(ShardedLane, SealConcatenatesSegmentsInKeyOrder) {
+  // Two merge lanes deposit their own senders' broadcasts with globally
+  // ordered keys; seal() must produce one flat view whose seqs ascend —
+  // segment order IS send order when senders are partitioned by ascending
+  // ranges.
+  ShardedLane lane;
+  lane.reset(2);
+  EXPECT_TRUE(lane.segment(0).deposit(MessageRef::wrap(make_msg(1, MsgKind::kPresent, 1)), 0));
+  EXPECT_TRUE(lane.segment(0).deposit(MessageRef::wrap(make_msg(2, MsgKind::kAck, 2)), 2));
+  EXPECT_TRUE(lane.segment(1).deposit(MessageRef::wrap(make_msg(3, MsgKind::kPresent, 3)), 4));
+  lane.seal();
+
+  ASSERT_EQ(lane.size(), 3u);
+  const auto seqs = lane.seqs();
+  EXPECT_TRUE(std::is_sorted(seqs.begin(), seqs.end()));
+  const auto view = lane.view();
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view[0].sender, 1u);
+  EXPECT_EQ(view[1].sender, 2u);
+  EXPECT_EQ(view[2].sender, 3u);
+  EXPECT_EQ(lane.kind_counts()[static_cast<std::size_t>(MsgKind::kPresent)], 2u);
+  EXPECT_EQ(lane.kind_counts()[static_cast<std::size_t>(MsgKind::kAck)], 1u);
+  EXPECT_GT(lane.wire_bytes(), 0u);
+}
+
+TEST(ShardedLane, ContainsProbesEverySegmentAfterSeal) {
+  ShardedLane lane;
+  lane.reset(2);
+  const MessageRef a = MessageRef::wrap(make_msg(1, MsgKind::kPresent, 1));
+  const MessageRef b = MessageRef::wrap(make_msg(5, MsgKind::kPresent, 5));
+  lane.segment(0).deposit(a, 0);
+  lane.segment(1).deposit(b, 2);
+  lane.seal();
+  EXPECT_TRUE(lane.contains(a));
+  EXPECT_TRUE(lane.contains(b));
+  EXPECT_FALSE(lane.contains(MessageRef::wrap(make_msg(9, MsgKind::kAck, 9))));
+}
+
+TEST(ShardedLane, CollectMergesAndDedupsLikeBroadcastLane) {
+  // The receiver-side contract must be identical to the single-lane engine:
+  // send-order merge with private traffic, cross-buffer duplicate
+  // suppression, fast-path aliasing of the sealed view.
+  ShardedLane lane;
+  lane.reset(2);
+  lane.segment(0).deposit(MessageRef::wrap(make_msg(1, MsgKind::kPresent, 1)), 0);
+  lane.segment(1).deposit(MessageRef::wrap(make_msg(3, MsgKind::kPresent, 3)), 4);
+  lane.seal();
+
+  Mailbox fast;
+  std::vector<Message> scratch;
+  FanoutCounters fanout;
+  const auto aliased = fast.collect(&lane, scratch, &fanout);
+  ASSERT_EQ(aliased.size(), 2u);
+  EXPECT_EQ(aliased.data(), lane.view().data()) << "fast path must alias the sealed view";
+  EXPECT_EQ(fanout.deliveries, 2u);
+
+  Mailbox slow;
+  slow.deposit(MessageRef::wrap(make_msg(2, MsgKind::kAck, 2)), 1);
+  slow.deposit(MessageRef::wrap(make_msg(3, MsgKind::kPresent, 3)), 5);  // dup of lane entry
+  FanoutCounters merged;
+  const auto inbox = slow.collect(&lane, scratch, &merged);
+  ASSERT_EQ(inbox.size(), 3u);
+  EXPECT_EQ(inbox[0].sender, 1u);
+  EXPECT_EQ(inbox[1].sender, 2u);
+  EXPECT_EQ(inbox[2].sender, 3u);
+  EXPECT_EQ(merged.dedup_hits, 1u);
+}
+
+TEST(ShardedLane, ResetReclaimsSegmentsAcrossRounds) {
+  ShardedLane lane;
+  lane.reset(3);
+  lane.segment(2).deposit(MessageRef::wrap(make_msg(1, MsgKind::kPresent, 1)), 0);
+  lane.seal();
+  ASSERT_EQ(lane.size(), 1u);
+
+  lane.reset(1);  // fewer lanes next round (set_threads between rounds)
+  EXPECT_TRUE(lane.empty());
+  EXPECT_EQ(lane.segment_count(), 1u);
+  EXPECT_TRUE(lane.segment(0).deposit(MessageRef::wrap(make_msg(1, MsgKind::kPresent, 1)), 0))
+      << "dedup scope is one round — reset must clear segment seen-sets";
+  lane.seal();
+  EXPECT_EQ(lane.size(), 1u);
+  EXPECT_EQ(lane.view()[0].sender, 1u);
 }
 
 TEST(FrameLayer, ViewSharesOwnershipOfOneBuffer) {

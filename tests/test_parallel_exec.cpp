@@ -1,17 +1,23 @@
 // Deterministic parallel round engine tests: for every thread count, the
 // observable execution — delivery order, duplicate suppression, chaos
 // verdicts, metrics, flight-recorder traces — must be bit-identical to the
-// sequential engine. The parallel phase only fills private outbox slabs; all
-// order-sensitive effects happen in the sequential ascending-id merge, so
-// these tests compare full (not just canonical) trace exports byte-for-byte.
+// sequential engine. The two-phase pipeline fills private outbox slabs in
+// parallel and then merges per-worker destination lanes concurrently, with
+// order reconstructed from precomputed deterministic keys — so these tests
+// compare full (not just canonical) trace exports byte-for-byte, and probe
+// the lane partitioner's edges: fewer members than threads, all traffic
+// hot-spotting one destination slot, and churn while lanes are live.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/chaos.hpp"
@@ -99,6 +105,76 @@ class ChatterProcess final : public Process {
   std::vector<std::string> log;
 };
 
+/// Digest variant of ChatterProcess for big-n sweeps: same traffic shape
+/// (double broadcast + unicast cross-traffic) but the inbox is folded into
+/// one order-sensitive FNV line per round, so an 800-node run stays cheap to
+/// hold and compare.
+class DigestChatterProcess final : public Process {
+ public:
+  using Process::Process;
+
+  void on_round(RoundInfo round, std::span<const Message> inbox,
+                std::vector<Outgoing>& out) override {
+    std::uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    for (const Message& m : inbox) {
+      mix(m.sender);
+      mix(std::hash<std::string>{}(m.value.to_string()));
+    }
+    std::ostringstream line;
+    line << "r" << round.global << ":" << inbox.size() << ":" << h;
+    log.push_back(line.str());
+    Message m;
+    m.kind = MsgKind::kEcho;
+    m.value = Value::real(static_cast<double>(id()) * 1000 + static_cast<double>(round.global));
+    broadcast(out, m);
+    broadcast(out, m);  // exact duplicate — must be suppressed at every receiver
+    Message ping;
+    ping.kind = MsgKind::kAck;
+    ping.value = Value::real(static_cast<double>(round.global));
+    unicast(out, (id() % 5) + 1, ping);
+  }
+  [[nodiscard]] bool done() const override { return false; }
+
+  std::vector<std::string> log;
+};
+
+/// All cross-traffic aimed at one receiver: every node fires three unicasts
+/// (one an exact duplicate) at node 1 each round, and node 1 broadcasts an
+/// ack so everyone still has an inbox. The lane owning node 1's slot absorbs
+/// nearly every deposit — the worst-case partition skew.
+class HotspotProcess final : public Process {
+ public:
+  using Process::Process;
+
+  void on_round(RoundInfo round, std::span<const Message> inbox,
+                std::vector<Outgoing>& out) override {
+    std::ostringstream line;
+    line << "r" << round.global << ":";
+    for (const Message& m : inbox) line << " " << m.sender << "/" << m.value.to_string();
+    log.push_back(line.str());
+    Message m;
+    m.kind = MsgKind::kEcho;
+    m.value = Value::real(static_cast<double>(id()) * 1000 + static_cast<double>(round.global));
+    unicast(out, 1, m);
+    unicast(out, 1, m);  // exact duplicate into the hot mailbox
+    m.value = Value::real(static_cast<double>(id()) * 1000 + static_cast<double>(round.global) + 0.5);
+    unicast(out, 1, m);
+    if (id() == 1) {
+      Message ack;
+      ack.kind = MsgKind::kAck;
+      ack.value = Value::real(static_cast<double>(round.global));
+      broadcast(out, ack);
+    }
+  }
+  [[nodiscard]] bool done() const override { return false; }
+
+  std::vector<std::string> log;
+};
+
 struct SyncRunResult {
   std::map<NodeId, std::vector<std::string>> logs;
   std::vector<NodeId> member_ids;
@@ -106,17 +182,33 @@ struct SyncRunResult {
   std::uint64_t deliveries = 0;
   std::string full_trace;
   std::string canonical_trace;
+  std::string chaos_trace;
 
   friend bool operator==(const SyncRunResult&, const SyncRunResult&) = default;
 };
 
-/// Chatter nodes 1..n with chaos faults and mid-run churn: node n+1 joins at
-/// round 4, node 2 leaves at round 6, node 2's id is re-used at round 9.
-SyncRunResult run_churn_scenario(unsigned threads, std::size_t n) {
+/// Scenario knobs: n starting nodes, churn at the given rounds (node n+1
+/// joins, node 2 leaves, node 2's id is re-used), chaos burst from round 2.
+/// `with_recorder=false` skips the flight recorder for big-n runs (the chaos
+/// canonical trace still cross-checks every verdict).
+struct ChurnSpec {
+  std::size_t n = 12;
+  Round rounds = 12;
+  Round join_round = 4;
+  Round leave_round = 6;
+  Round reuse_round = 9;
+  bool with_recorder = true;
+};
+
+template <class P = ChatterProcess>
+SyncRunResult run_churn_scenario(unsigned threads, const ChurnSpec& spec) {
   SyncSimulator sim;
   sim.set_threads(threads);
-  auto recorder = std::make_shared<TraceRecorder>(TraceEngine::kSync);
-  sim.set_trace_recorder(recorder);
+  std::shared_ptr<TraceRecorder> recorder;
+  if (spec.with_recorder) {
+    recorder = std::make_shared<TraceRecorder>(TraceEngine::kSync);
+    sim.set_trace_recorder(recorder);
+  }
   ChaosPhase burst;
   burst.first_round = 2;
   burst.last_round = 10;
@@ -124,62 +216,113 @@ SyncRunResult run_churn_scenario(unsigned threads, std::size_t n) {
   burst.duplicate = 0.05;
   burst.delay.probability = 0.05;
   burst.delay.max_extra_rounds = 2;
-  sim.set_chaos(std::make_shared<ChaosSchedule>(ChaosPlan{{burst}}, /*seed=*/0xC0FFEE));
+  auto chaos = std::make_shared<ChaosSchedule>(ChaosPlan{{burst}}, /*seed=*/0xC0FFEE);
+  sim.set_chaos(chaos);
 
   SyncRunResult result;
-  const auto harvest = [&](const ChatterProcess* p) {
+  const auto harvest = [&](const P* p) {
     auto& slot = result.logs[p->id()];
     slot.insert(slot.end(), p->log.begin(), p->log.end());
   };
 
-  std::vector<ChatterProcess*> procs;
-  for (std::size_t i = 1; i <= n; ++i) {
-    auto p = std::make_unique<ChatterProcess>(static_cast<NodeId>(i));
+  std::vector<P*> procs;
+  for (std::size_t i = 1; i <= spec.n; ++i) {
+    auto p = std::make_unique<P>(static_cast<NodeId>(i));
     procs.push_back(p.get());
     sim.add_process(std::move(p));
   }
-  for (Round r = 1; r <= 12; ++r) {
-    if (r == 4) {
-      auto p = std::make_unique<ChatterProcess>(static_cast<NodeId>(n + 1));
+  for (Round r = 1; r <= spec.rounds; ++r) {
+    if (r == spec.join_round) {
+      auto p = std::make_unique<P>(static_cast<NodeId>(spec.n + 1));
       procs.push_back(p.get());
       sim.add_process(std::move(p));
     }
-    if (r == 6) {
+    if (r == spec.leave_round) {
       // The simulator destroys the leaver at the start of this step —
       // harvest its log and drop the pointer before it dangles.
-      ChatterProcess* leaver = sim.get<ChatterProcess>(2);
+      P* leaver = sim.get<P>(2);
       harvest(leaver);
       std::erase(procs, leaver);
       sim.remove_process(2);
     }
-    if (r == 9) {
-      auto p = std::make_unique<ChatterProcess>(2);
+    if (r == spec.reuse_round) {
+      auto p = std::make_unique<P>(2);
       procs.push_back(p.get());
       sim.add_process(std::move(p));
     }
     sim.step();
   }
 
-  for (const ChatterProcess* p : procs) harvest(p);
+  for (const P* p : procs) harvest(p);
   result.member_ids = sim.member_ids();
   result.dedup_hits = sim.metrics().fanout.dedup_hits;
   result.deliveries = sim.metrics().fanout.deliveries;
-  result.full_trace = recorder->jsonl();
-  result.canonical_trace = recorder->canonical_jsonl();
+  if (recorder) {
+    result.full_trace = recorder->jsonl();
+    result.canonical_trace = recorder->canonical_jsonl();
+  }
+  result.chaos_trace = chaos->canonical_trace_string();
   return result;
 }
 
+void expect_identical_sweep(const SyncRunResult& reference, const SyncRunResult& sweep,
+                            unsigned threads) {
+  EXPECT_EQ(sweep.logs, reference.logs) << "threads=" << threads;
+  EXPECT_EQ(sweep.member_ids, reference.member_ids) << "threads=" << threads;
+  EXPECT_EQ(sweep.dedup_hits, reference.dedup_hits) << "threads=" << threads;
+  EXPECT_EQ(sweep.deliveries, reference.deliveries) << "threads=" << threads;
+  EXPECT_EQ(sweep.canonical_trace, reference.canonical_trace) << "threads=" << threads;
+  EXPECT_EQ(sweep.full_trace, reference.full_trace) << "threads=" << threads;
+  EXPECT_EQ(sweep.chaos_trace, reference.chaos_trace) << "threads=" << threads;
+}
+
 TEST(ParallelSyncEngine, ChurnChaosRunIdenticalAcrossThreadCounts) {
-  const SyncRunResult reference = run_churn_scenario(/*threads=*/1, /*n=*/12);
+  const SyncRunResult reference = run_churn_scenario(/*threads=*/1, ChurnSpec{.n = 12});
   EXPECT_GT(reference.dedup_hits, 0u) << "scenario must exercise duplicate suppression";
   for (const unsigned threads : {2U, 8U}) {
-    const SyncRunResult sweep = run_churn_scenario(threads, 12);
-    EXPECT_EQ(sweep.logs, reference.logs) << "threads=" << threads;
-    EXPECT_EQ(sweep.member_ids, reference.member_ids) << "threads=" << threads;
-    EXPECT_EQ(sweep.dedup_hits, reference.dedup_hits) << "threads=" << threads;
-    EXPECT_EQ(sweep.deliveries, reference.deliveries) << "threads=" << threads;
-    EXPECT_EQ(sweep.canonical_trace, reference.canonical_trace) << "threads=" << threads;
-    EXPECT_EQ(sweep.full_trace, reference.full_trace) << "threads=" << threads;
+    expect_identical_sweep(reference, run_churn_scenario(threads, ChurnSpec{.n = 12}), threads);
+  }
+}
+
+TEST(ParallelSyncEngine, LargeChurnChaosSweepIdenticalAcrossThreadCounts) {
+  // n=800 with churn mid-sweep: hundreds of thousands of chaos-coined
+  // deposits per round, so every lane boundary and per-lane counter is
+  // exercised at scale. Digest processes + no flight recorder keep the
+  // comparison cheap; the chaos canonical trace still pins every verdict.
+  const ChurnSpec spec{.n = 800,
+                       .rounds = 4,
+                       .join_round = 2,
+                       .leave_round = 3,
+                       .reuse_round = 4,
+                       .with_recorder = false};
+  const SyncRunResult reference = run_churn_scenario<DigestChatterProcess>(/*threads=*/1, spec);
+  EXPECT_GT(reference.dedup_hits, 0u);
+  EXPECT_FALSE(reference.chaos_trace.empty());
+  for (const unsigned threads : {2U, 8U}) {
+    expect_identical_sweep(reference, run_churn_scenario<DigestChatterProcess>(threads, spec),
+                           threads);
+  }
+}
+
+TEST(ParallelSyncEngine, FewerMembersThanThreadsIdenticalAcrossThreadCounts) {
+  // n=2 under threads=8: the lane count must clamp to the member count and
+  // still reproduce the sequential run, including through churn down to a
+  // single survivor mid-run.
+  const ChurnSpec spec{.n = 2};
+  const SyncRunResult reference = run_churn_scenario(/*threads=*/1, spec);
+  for (const unsigned threads : {2U, 8U}) {
+    expect_identical_sweep(reference, run_churn_scenario(threads, spec), threads);
+  }
+}
+
+TEST(ParallelSyncEngine, SingleDestinationHotspotIdenticalAcrossThreadCounts) {
+  // Every message aimed at node 1: one lane owns essentially all deposits
+  // while the others idle, with churn rebalancing the partition mid-sweep.
+  const ChurnSpec spec{.n = 64, .rounds = 8, .join_round = 3, .leave_round = 5, .reuse_round = 7};
+  const SyncRunResult reference = run_churn_scenario<HotspotProcess>(/*threads=*/1, spec);
+  EXPECT_GT(reference.dedup_hits, 0u) << "duplicate unicasts must collapse in the hot mailbox";
+  for (const unsigned threads : {2U, 8U}) {
+    expect_identical_sweep(reference, run_churn_scenario<HotspotProcess>(threads, spec), threads);
   }
 }
 
