@@ -1,0 +1,116 @@
+// scenario_fuzz — adversarial scenario fuzzing campaigns (src/fuzz/).
+//
+// Expands a contiguous seed range into generated scenarios (sizes at and
+// inside the n > 3f resilience boundary, mixed adversaries, chaos phases,
+// churn), runs each under the invariant monitor, and triages the outcomes.
+// Failing scenarios are delta-debugged down to minimal repros and written
+// as bundles CI can upload (see src/fuzz/campaign.hpp for the layout).
+//
+//   $ ./scenario_fuzz --campaign 500 --seed 1 --jobs 8
+//   $ ./scenario_fuzz --campaign 200 --seed 9000 --minimize --out repro/
+//   $ ./scenario_fuzz --emit 42                  # print seed 42's .scn
+//
+// Flags:
+//   --campaign N        scenarios to run (default 100)
+//   --seed S            base seed; scenario i uses seed S + i (default 1)
+//   --jobs J            worker threads (default 1; results identical for any J)
+//   --minimize          shrink every failure to a minimal repro
+//   --out DIR           write repro bundles for failures under DIR
+//   --boundary-probe P  probability of a deliberate n = 3f probe (default 0;
+//                       such violations are counted, never fatal)
+//   --max-nodes N       upper bound on scenario size (default 20)
+//   --metrics           print the campaign's Prometheus text exposition
+//   --emit SEED         print the generated scenario for SEED and exit
+//
+// Exit codes: 0 = campaign green (boundary-probe violations are expected and
+// stay green), 1 = a resilient scenario failed or generation errored,
+// 2 = usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "fuzz/campaign.hpp"
+
+int main(int argc, char** argv) {
+  using namespace idonly;
+  CampaignOptions options;
+  options.scenarios = 100;
+  // The library default is minimize-on (programmatic callers want shrunk
+  // repros); the CLI makes it opt-in so quick sweeps stay quick.
+  options.minimize = false;
+  bool print_metrics = false;
+  std::optional<std::uint64_t> emit_seed;
+  auto number = [&](int& i) -> std::uint64_t {
+    return std::strtoull(argv[++i], nullptr, 10);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const bool has_value = i + 1 < argc;
+    if (std::strcmp(argv[i], "--campaign") == 0 && has_value) {
+      options.scenarios = static_cast<std::size_t>(number(i));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && has_value) {
+      options.base_seed = number(i);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && has_value) {
+      options.jobs = static_cast<unsigned>(number(i));
+    } else if (std::strcmp(argv[i], "--minimize") == 0) {
+      options.minimize = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && has_value) {
+      options.bundle_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--boundary-probe") == 0 && has_value) {
+      options.generator.past_boundary_probability = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--max-nodes") == 0 && has_value) {
+      options.generator.max_nodes = static_cast<std::size_t>(number(i));
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      print_metrics = true;
+    } else if (std::strcmp(argv[i], "--emit") == 0 && has_value) {
+      emit_seed = number(i);
+    } else {
+      std::fprintf(stderr,
+                   "usage: scenario_fuzz [--campaign N] [--seed S] [--jobs J] [--minimize] "
+                   "[--out DIR] [--boundary-probe P] [--max-nodes N] [--metrics] "
+                   "[--emit SEED]\n");
+      return 2;
+    }
+  }
+
+  if (emit_seed.has_value()) {
+    try {
+      const ScenarioGenerator generator(options.generator);
+      const GeneratedScenario scenario = generator.generate(*emit_seed);
+      std::printf("%s", scenario.text.c_str());
+      return 0;
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "emit failed: %s\n", error.what());
+      return 1;
+    }
+  }
+
+  try {
+    const CampaignRunner runner(options);
+    const CampaignReport report = runner.run();
+    std::printf("%s\n", report.summary().c_str());
+    for (const CampaignFailure& failure : report.failures) {
+      std::printf("  %s seed=%llu: %s\n",
+                  failure.generator_error ? "ERROR"
+                  : failure.past_boundary ? "boundary"
+                                          : "FAIL",
+                  static_cast<unsigned long long>(failure.seed), failure.summary.c_str());
+      if (!failure.first_violation.empty()) {
+        std::printf("    violation: %s\n", failure.first_violation.c_str());
+      }
+      if (!failure.minimized_text.empty()) {
+        std::printf("    minimized (%zu attempts):\n", failure.minimize_attempts);
+        std::printf("%s", failure.minimized_text.c_str());
+      }
+      if (!failure.bundle_path.empty()) {
+        std::printf("    bundle: %s\n", failure.bundle_path.c_str());
+      }
+    }
+    if (print_metrics) std::printf("%s", prometheus_exposition(report.counters).c_str());
+    return report.ok ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "campaign failed: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,6 +1,14 @@
 // scenario_sim — run a scenario-script file (see src/harness/script.hpp for
-// the DSL) and report each expectation. Exit code 0 iff all expectations
-// hold. Sample scripts live in scenarios/.
+// the DSL) and report each expectation. Sample scripts live in scenarios/.
+//
+// Exit codes are distinct per failure class so scripts and CI can triage
+// without parsing output (documented in docs/testing.md):
+//   0  every expectation held, no invariant violations
+//   1  an expectation failed (but no invariant violation was observed)
+//   2  usage error, or a file could not be read/written
+//   3  the script failed to parse
+//   4  an invariant violation (agreement/validity/liveness/chain) was
+//      observed — takes precedence over 1
 //
 //   $ ./scenario_sim ../scenarios/consensus_twofaced.scn
 //   $ ./scenario_sim ../scenarios/chaos_jitter_storm.scn --seed 17
@@ -78,7 +86,7 @@ int main(int argc, char** argv) {
   auto parsed = parse_script(buffer.str());
   if (const auto* error = std::get_if<ParseError>(&parsed)) {
     std::fprintf(stderr, "%s:%d: %s\n", path, error->line, error->message.c_str());
-    return 2;
+    return 3;
   }
   auto& script = std::get<ScenarioScript>(parsed);
   if (seed_override.has_value()) script.config.seed = *seed_override;
@@ -110,5 +118,6 @@ int main(int argc, char** argv) {
     std::printf("  expect %-12s : %s (%s)\n", to_string(outcome.expectation).c_str(),
                 outcome.satisfied ? "ok" : "FAILED", outcome.detail.c_str());
   }
+  if (!run.violations.empty()) return 4;
   return run.all_satisfied ? 0 : 1;
 }

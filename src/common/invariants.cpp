@@ -40,6 +40,28 @@ void InvariantMonitor::on_event(const ProtocolEvent& event) {
   }
 }
 
+void InvariantMonitor::set_termination_probe(Round budget, std::size_t min_deciders) {
+  std::scoped_lock lock(mutex_);
+  termination_budget_ = budget;
+  min_deciders_ = min_deciders;
+  liveness_violation_.clear();
+}
+
+void InvariantMonitor::finish(Round rounds_executed) {
+  std::scoped_lock lock(mutex_);
+  liveness_violation_.clear();
+  if (termination_budget_ <= 0) return;
+  if (rounds_executed < termination_budget_ || decisions_.size() >= min_deciders_) return;
+  liveness_violation_ = "liveness: only " + std::to_string(decisions_.size()) + " of " +
+                        std::to_string(min_deciders_) + " required node(s) decided within " +
+                        std::to_string(termination_budget_) + " rounds";
+}
+
+bool InvariantMonitor::termination_ok() const {
+  std::scoped_lock lock(mutex_);
+  return liveness_violation_.empty();
+}
+
 bool InvariantMonitor::agreement_ok() const {
   std::scoped_lock lock(mutex_);
   return agreement_violations_.empty();
@@ -59,6 +81,7 @@ std::vector<std::string> InvariantMonitor::violations() const {
   std::scoped_lock lock(mutex_);
   std::vector<std::string> out = agreement_violations_;
   out.insert(out.end(), validity_violations_.begin(), validity_violations_.end());
+  if (!liveness_violation_.empty()) out.push_back(liveness_violation_);
   return out;
 }
 

@@ -10,6 +10,13 @@
 //   * VALIDITY — every decision equals some correct node's input (the
 //     paper's strong validity; skipped when the input set is not supplied).
 //
+// An optional BOUNDED-TERMINATION probe turns the monitor into a liveness
+// check as well: arm it with a round budget (and a minimum decider count,
+// default 1) and call finish() with the rounds the run actually consumed —
+// a run that burned through the budget without enough deciders records a
+// liveness violation. Fuzz campaigns use this to catch wedges (protocol
+// stalls under churn/chaos) that no safety probe can see.
+//
 // Unlike EventLog this monitor is thread-safe: runtime chaos runs have one
 // RoundDriver thread per node all reporting into one monitor. Attach only
 // correct nodes' processes — Byzantine decisions are unconstrained.
@@ -32,9 +39,21 @@ class InvariantMonitor final : public ProtocolObserver {
 
   void on_event(const ProtocolEvent& event) override;
 
+  /// Arm the bounded-termination probe: a finish() reporting that at least
+  /// `budget` rounds elapsed while fewer than `min_deciders` nodes decided
+  /// records a liveness violation. budget == 0 disarms the probe.
+  void set_termination_probe(Round budget, std::size_t min_deciders = 1);
+
+  /// Close the run: `rounds_executed` is how many rounds the engine ran.
+  /// Evaluates the termination probe (idempotent — re-finishing replaces
+  /// the previous liveness verdict rather than stacking violations).
+  void finish(Round rounds_executed);
+
   [[nodiscard]] bool agreement_ok() const;
   [[nodiscard]] bool validity_ok() const;
-  [[nodiscard]] bool ok() const { return agreement_ok() && validity_ok(); }
+  /// False only after a finish() that exhausted the armed budget.
+  [[nodiscard]] bool termination_ok() const;
+  [[nodiscard]] bool ok() const { return agreement_ok() && validity_ok() && termination_ok(); }
 
   [[nodiscard]] std::size_t decided_count() const;
   /// Human-readable description of every violation observed, in order.
@@ -46,6 +65,9 @@ class InvariantMonitor final : public ProtocolObserver {
   std::map<NodeId, Value> decisions_;
   std::vector<std::string> agreement_violations_;
   std::vector<std::string> validity_violations_;
+  Round termination_budget_ = 0;        ///< 0 = probe disarmed
+  std::size_t min_deciders_ = 1;
+  std::string liveness_violation_;      ///< empty = probe clean (or disarmed)
 };
 
 }  // namespace idonly

@@ -70,6 +70,29 @@ void expose(std::ostringstream& os, const char* name, const char* type, std::uin
 
 }  // namespace
 
+std::string CampaignCounters::summary() const {
+  std::ostringstream os;
+  os << "scenarios=" << scenarios << " passed=" << passed << " violations=" << violations
+     << " expectation_failures=" << expectation_failures << " timeouts=" << timeouts
+     << " boundary_probes=" << boundary_probes << " boundary_violations=" << boundary_violations
+     << " minimized=" << minimized << " generator_errors=" << generator_errors;
+  return os.str();
+}
+
+std::string prometheus_exposition(const CampaignCounters& campaign) {
+  std::ostringstream os;
+  expose(os, "idonly_fuzz_scenarios_total", "counter", campaign.scenarios);
+  expose(os, "idonly_fuzz_passed_total", "counter", campaign.passed);
+  expose(os, "idonly_fuzz_violations_total", "counter", campaign.violations);
+  expose(os, "idonly_fuzz_expectation_failures_total", "counter", campaign.expectation_failures);
+  expose(os, "idonly_fuzz_timeouts_total", "counter", campaign.timeouts);
+  expose(os, "idonly_fuzz_boundary_probes_total", "counter", campaign.boundary_probes);
+  expose(os, "idonly_fuzz_boundary_violations_total", "counter", campaign.boundary_violations);
+  expose(os, "idonly_fuzz_minimized_total", "counter", campaign.minimized);
+  expose(os, "idonly_fuzz_generator_errors_total", "counter", campaign.generator_errors);
+  return os.str();
+}
+
 std::string prometheus_exposition(const Metrics& metrics, const ChaosCounters* chaos) {
   std::ostringstream os;
   expose(os, "idonly_rounds_executed", "counter",

@@ -73,6 +73,29 @@ struct ChaosCounters {
   [[nodiscard]] std::string summary() const;
 };
 
+/// One fuzz campaign's outcome accounting (src/fuzz/campaign.hpp). A
+/// "boundary probe" is a deliberately non-resilient scenario (n <= 3f) whose
+/// violations are expected and tracked separately — only resilient-scenario
+/// failures make a campaign red.
+struct CampaignCounters {
+  std::uint64_t scenarios = 0;             ///< generated and executed
+  std::uint64_t passed = 0;                ///< all expectations held, no violations
+  std::uint64_t violations = 0;            ///< resilient runs with invariant violations
+  std::uint64_t expectation_failures = 0;  ///< resilient runs with a failed expectation only
+  std::uint64_t timeouts = 0;              ///< resilient runs that hit the round budget undecided
+  std::uint64_t boundary_probes = 0;       ///< non-resilient (n <= 3f) scenarios executed
+  std::uint64_t boundary_violations = 0;   ///< ... of which violated an invariant (expected)
+  std::uint64_t minimized = 0;             ///< failures shrunk by the delta-debugging minimizer
+  std::uint64_t generator_errors = 0;      ///< generated text failed to parse/round-trip (a bug)
+
+  /// Human-readable one-liner for CLIs and logs.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Prometheus-style text exposition of a campaign's counters, matching the
+/// engine exposition's format.
+[[nodiscard]] std::string prometheus_exposition(const CampaignCounters& campaign);
+
 struct Metrics {
   MessageCounters messages;
   FanoutCounters fanout;

@@ -1,0 +1,196 @@
+#include "fuzz/campaign.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <variant>
+
+#include "check/trace_diff.hpp"
+#include "common/trace.hpp"
+#include "fuzz/scn_writer.hpp"
+#include "net/parallel_exec.hpp"
+
+namespace idonly {
+
+namespace {
+
+void write_file(const std::filesystem::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path.string() + " for writing");
+  out << content;
+  if (!out) throw std::runtime_error("failed writing " + path.string());
+}
+
+/// Replay `text` with the flight recorder on. Returns the canonical trace
+/// ("" when the script cannot be parsed — a bundle for a generator error).
+std::string replay_canonical_trace(const std::string& text, unsigned threads) {
+  const auto parsed = parse_script(text);
+  const auto* script = std::get_if<ScenarioScript>(&parsed);
+  if (script == nullptr) return "";
+  ScriptOptions options;
+  options.recorder = std::make_shared<TraceRecorder>(TraceEngine::kSync);
+  options.threads = threads;
+  (void)run_script(*script, options);
+  return options.recorder->canonical_jsonl();
+}
+
+}  // namespace
+
+std::string write_repro_bundle(const CampaignFailure& failure, const std::string& dir) {
+  namespace fs = std::filesystem;
+  const fs::path bundle = fs::path(dir) / ("seed-" + std::to_string(failure.seed));
+  std::error_code ec;
+  fs::create_directories(bundle, ec);
+  if (ec) throw std::runtime_error("cannot create " + bundle.string() + ": " + ec.message());
+
+  write_file(bundle / "original.scn", failure.scenario_text);
+  const std::string& repro =
+      failure.minimized_text.empty() ? failure.scenario_text : failure.minimized_text;
+  write_file(bundle / "minimized.scn", repro);
+
+  // Replay the repro twice at different thread counts: the trace is both
+  // the debugging artifact and a determinism check — a divergence here names
+  // the first (node, round, seq) where the engine contract broke.
+  const std::string trace_1 = replay_canonical_trace(repro, 1);
+  const std::string trace_2 = replay_canonical_trace(repro, 2);
+  write_file(bundle / "trace.jsonl", trace_1);
+
+  std::ostringstream report;
+  report << "seed: " << failure.seed << "\n";
+  report << "class: "
+         << (failure.generator_error ? "generator-error"
+             : failure.signature.cls == FailureClass::kViolation
+                 ? "invariant-violation"
+                 : "expectation-failure")
+         << "\n";
+  if (!failure.signature.invariant.empty()) {
+    report << "invariant: " << failure.signature.invariant << "\n";
+  }
+  report << "boundary-probe: " << (failure.past_boundary ? "yes (n = 3f, expected)" : "no")
+         << "\n";
+  report << "summary: " << failure.summary << "\n";
+  if (!failure.first_violation.empty()) {
+    report << "violation: " << failure.first_violation << "\n";
+  }
+  if (failure.minimize_attempts > 0) {
+    report << "minimize-attempts: " << failure.minimize_attempts << "\n";
+  }
+  report << "replay: scenario_sim minimized.scn\n";
+  report << "trace-diff (threads 1 vs 2): "
+         << diff_canonical_traces(trace_1, trace_2).to_string() << "\n";
+  write_file(bundle / "report.txt", report.str());
+  return bundle.string();
+}
+
+CampaignRunner::CampaignRunner(CampaignOptions options) : options_(std::move(options)) {
+  if (options_.scenarios == 0) {
+    throw std::invalid_argument("CampaignRunner: need at least one scenario");
+  }
+}
+
+CampaignReport CampaignRunner::run() const {
+  // Phase 1 — fan out: generate + execute + classify, one slot per seed.
+  // Slots are preallocated and touched only by their own index, so the pool
+  // needs no locking and the result is independent of scheduling.
+  struct Slot {
+    std::uint64_t seed = 0;
+    bool past_boundary = false;
+    bool generator_error = false;
+    bool timed_out = false;
+    FailureSignature signature;
+    ScenarioScript script;
+    std::string text;
+    std::string summary;
+    std::string first_violation;
+  };
+  std::vector<Slot> slots(options_.scenarios);
+  const ScenarioGenerator generator(options_.generator);
+  ParallelExecutor pool(options_.jobs);
+  pool.run(options_.scenarios, [&](std::size_t i) {
+    Slot& slot = slots[i];
+    slot.seed = options_.base_seed + i;
+    try {
+      GeneratedScenario scenario = generator.generate(slot.seed);
+      slot.past_boundary = scenario.past_boundary;
+      slot.script = std::move(scenario.script);
+      slot.text = std::move(scenario.text);
+      const ScriptRun run = run_script(slot.script);
+      slot.signature = classify_failure(run);
+      slot.summary = run.summary;
+      if (!run.violations.empty()) slot.first_violation = run.violations.front();
+      for (const ExpectationOutcome& outcome : run.outcomes) {
+        if (outcome.expectation == Expectation::kTermination && !outcome.satisfied) {
+          slot.timed_out = true;
+        }
+      }
+    } catch (const std::exception& error) {
+      slot.generator_error = true;
+      slot.summary = error.what();
+    }
+  });
+
+  // Phase 2 — serial triage in seed order: counters, minimization, bundles.
+  // Minimization re-runs scripts many times, so it stays out of the pool;
+  // failures are rare by construction, so the serial tail is short.
+  CampaignReport report;
+  const ScenarioMinimizer minimizer(options_.minimizer);
+  for (Slot& slot : slots) {
+    CampaignCounters& counters = report.counters;
+    counters.scenarios += 1;
+    if (slot.generator_error) {
+      counters.generator_errors += 1;
+      report.ok = false;
+      CampaignFailure failure;
+      failure.seed = slot.seed;
+      failure.generator_error = true;
+      failure.summary = slot.summary;
+      failure.scenario_text = slot.text;
+      report.failures.push_back(std::move(failure));
+      continue;
+    }
+    if (slot.past_boundary) counters.boundary_probes += 1;
+    if (slot.signature.cls == FailureClass::kNone) {
+      counters.passed += 1;
+      continue;
+    }
+    if (slot.signature.cls == FailureClass::kViolation) {
+      counters.violations += 1;
+    } else {
+      counters.expectation_failures += 1;
+    }
+    if (slot.timed_out) counters.timeouts += 1;
+    if (slot.past_boundary) {
+      counters.boundary_violations += 1;
+    } else {
+      report.ok = false;
+    }
+
+    CampaignFailure failure;
+    failure.seed = slot.seed;
+    failure.past_boundary = slot.past_boundary;
+    failure.signature = slot.signature;
+    failure.summary = slot.summary;
+    failure.first_violation = slot.first_violation;
+    failure.scenario_text = slot.text;
+    if (options_.minimize) {
+      try {
+        MinimizeResult minimized = minimizer.minimize(slot.script);
+        failure.minimized_text = std::move(minimized.text);
+        failure.minimize_attempts = minimized.attempts;
+        counters.minimized += 1;
+      } catch (const std::exception&) {
+        // A flaky failure (passed on re-run) keeps its original text; the
+        // bundle is still a repro of the campaign's observation.
+      }
+    }
+    if (!options_.bundle_dir.empty()) {
+      failure.bundle_path = write_repro_bundle(failure, options_.bundle_dir);
+    }
+    report.failures.push_back(std::move(failure));
+  }
+  return report;
+}
+
+}  // namespace idonly

@@ -1,0 +1,97 @@
+// Fuzz campaigns: thousands of generated scenarios under the invariant
+// monitor, with deterministic accounting and repro bundles.
+//
+// A campaign is a contiguous seed range [base_seed, base_seed + scenarios):
+// each seed is expanded by the ScenarioGenerator, executed via run_script
+// (which wires the InvariantMonitor and the bounded-termination probe), and
+// classified. Execution fans out over a ParallelExecutor worker pool, but
+// results are committed in seed order and every run is single-threaded and
+// seed-deterministic, so the report — counters, failure list, minimized
+// scripts — is byte-identical for any --jobs value.
+//
+// Verdict policy: a failure in a RESILIENT scenario (n > 3f) makes the
+// campaign red. Past-boundary probes (n = 3f) are the control group — their
+// violations are counted (boundary_violations) and still minimized/bundled,
+// because a minimized boundary repro is the paper's impossibility argument
+// made executable, but they never fail the campaign.
+//
+// On failure, when minimization is enabled, the failing script is shrunk by
+// the delta-debugging minimizer, and when an output directory is set a repro
+// bundle is written for CI to upload:
+//   <out>/seed-<seed>/original.scn   the generated scenario as fuzzed
+//   <out>/seed-<seed>/minimized.scn  the shrunk still-failing scenario
+//   <out>/seed-<seed>/trace.jsonl    canonical flight recording of the repro
+//   <out>/seed-<seed>/report.txt     seed, signature, violations, and the
+//                                    threads-1-vs-2 trace diff (first
+//                                    divergent (node, round, seq) if the
+//                                    determinism contract ever breaks)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "fuzz/generator.hpp"
+#include "fuzz/minimizer.hpp"
+
+namespace idonly {
+
+struct CampaignOptions {
+  std::size_t scenarios = 500;
+  std::uint64_t base_seed = 1;
+  /// Worker pool size (total, including the caller). Purely a speed knob.
+  unsigned jobs = 1;
+  bool minimize = true;
+  /// Repro-bundle directory; empty disables bundle writing.
+  std::string bundle_dir;
+  GeneratorOptions generator;
+  MinimizerOptions minimizer;
+};
+
+/// One failing scenario, fully reproducible from `seed` alone.
+struct CampaignFailure {
+  std::uint64_t seed = 0;
+  bool past_boundary = false;
+  bool generator_error = false;  ///< generate/run threw instead of failing
+  FailureSignature signature;
+  std::string summary;          ///< the run's one-line summary (or the error)
+  std::string first_violation;  ///< first invariant violation, "" if none
+  std::string scenario_text;    ///< the generated .scn
+  std::string minimized_text;   ///< shrunk .scn ("" when minimization is off)
+  std::size_t minimize_attempts = 0;
+  std::string bundle_path;      ///< where the repro bundle went ("" if none)
+};
+
+struct CampaignReport {
+  CampaignCounters counters;
+  /// Seed-ordered; includes past-boundary probes (flagged, non-fatal).
+  std::vector<CampaignFailure> failures;
+  /// False iff a resilient scenario failed or a generator error occurred.
+  bool ok = true;
+
+  [[nodiscard]] std::string summary() const { return counters.summary(); }
+};
+
+/// Write `failure`'s repro bundle under `dir` (created if missing); returns
+/// the bundle directory. Replays the minimized (else original) script twice
+/// — threads 1 and 2 — records the canonical trace, and embeds the
+/// check/trace_diff verdict in report.txt. Throws std::runtime_error on I/O
+/// failure.
+[[nodiscard]] std::string write_repro_bundle(const CampaignFailure& failure,
+                                             const std::string& dir);
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignOptions options);
+
+  /// Execute the campaign. Deterministic for fixed (options, seed range).
+  [[nodiscard]] CampaignReport run() const;
+
+  [[nodiscard]] const CampaignOptions& options() const noexcept { return options_; }
+
+ private:
+  CampaignOptions options_;
+};
+
+}  // namespace idonly

@@ -1,0 +1,80 @@
+// Seed-driven adversarial scenario generation.
+//
+// ROADMAP item 4: the eight hand-written `.scn` files exercise eight points
+// in an enormous space — sizes × fault ratios × adversary mixes × churn
+// patterns × chaos plans. The ScenarioGenerator composes, from a single
+// 64-bit seed, a full adversarial scenario in that space and renders it as
+// DSL text (fuzz/scn_writer.hpp) that round-trips through the parser, so
+// every generated case is simultaneously a runnable experiment and a
+// standalone repro file.
+//
+// Sampling policy (all draws flow from the seed via common/rng.hpp):
+//   * n and f are drawn across the resilient region AND deliberately at its
+//     edge: with `boundary_probability`, f is the maximum the paper
+//     tolerates (n = 3f + 1); with `past_boundary_probability`, the config
+//     is pushed to n = 3f — beyond the bound, where the guarantees are
+//     EXPECTED to break ("Beyond One Third Byzantine Failures" motivates
+//     probing the wall, not just the safe side).
+//   * the adversary mix round-robins 1-3 kinds over the Byzantine nodes,
+//     drawn from every AdversaryKind in the library.
+//   * churn: leave events for consensus, join + leave for total order
+//     ("Dynamic Byzantine Reliable Broadcast" motivates randomized
+//     join/leave streams as the breaking workload). Correct leaves consume
+//     fault budget — a departed correct node is a crash — so resilient
+//     scenarios keep n > 3 * (f + leaves).
+//   * chaos: up to `max_chaos_phases` phases of burst loss, duplication,
+//     jitter, short partitions (strictly shorter than one 5-round consensus
+//     phase, the recoverable regime established by E10), and crash-rejoin
+//     windows; crash windows also consume fault budget.
+//
+// Resilient scenarios carry the full expectation set plus the bounded-
+// termination probe; past-boundary probes carry the same expectations — the
+// point is to OBSERVE the violation — but are flagged so campaigns can
+// count them separately instead of going red.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "harness/script.hpp"
+
+namespace idonly {
+
+struct GeneratorOptions {
+  std::size_t min_nodes = 4;   ///< total nodes (correct + Byzantine), lower bound
+  std::size_t max_nodes = 20;  ///< ... upper bound (inclusive)
+  /// Probability that f is pushed to the resilience boundary (n = 3f + 1).
+  double boundary_probability = 0.35;
+  /// Probability of a deliberately non-resilient probe (n = 3f). 0 keeps
+  /// every scenario inside the paper's assumption (the CI campaign mode).
+  double past_boundary_probability = 0.0;
+  /// Probability of generating a totalorder scenario instead of consensus.
+  double totalorder_probability = 0.25;
+  std::size_t max_chaos_phases = 3;
+  std::size_t max_churn_events = 3;
+};
+
+struct GeneratedScenario {
+  std::uint64_t seed = 0;      ///< the one number that reproduces everything
+  ScenarioScript script;
+  std::string text;            ///< write_script(script); parses back to `script`
+  bool past_boundary = false;  ///< n <= 3f: violations are expected, not bugs
+};
+
+class ScenarioGenerator {
+ public:
+  explicit ScenarioGenerator(GeneratorOptions options = {});
+
+  /// Compose the scenario `seed` denotes. Pure: the same seed always yields
+  /// a byte-identical GeneratedScenario. Throws std::logic_error if the
+  /// generated script fails to round-trip through the parser (a writer or
+  /// generator bug, never a function of the seed).
+  [[nodiscard]] GeneratedScenario generate(std::uint64_t seed) const;
+
+  [[nodiscard]] const GeneratorOptions& options() const noexcept { return options_; }
+
+ private:
+  GeneratorOptions options_;
+};
+
+}  // namespace idonly

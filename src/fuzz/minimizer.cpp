@@ -1,0 +1,221 @@
+#include "fuzz/minimizer.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/thresholds.hpp"
+#include "fuzz/scn_writer.hpp"
+
+namespace idonly {
+
+FailureSignature classify_failure(const ScriptRun& run) {
+  FailureSignature signature;
+  if (!run.violations.empty()) {
+    signature.cls = FailureClass::kViolation;
+    // The monitor's strings carry no uniform family prefix, so classify by
+    // their fixed phrasing (common/invariants.cpp, harness/script.cpp).
+    const std::string& first = run.violations.front();
+    if (first.rfind("liveness:", 0) == 0) {
+      signature.invariant = "liveness";
+    } else if (first.find("chain") != std::string::npos) {
+      signature.invariant = "chain";
+    } else if (first.find("no correct node's input") != std::string::npos) {
+      signature.invariant = "validity";
+    } else {
+      signature.invariant = "agreement";
+    }
+    return signature;
+  }
+  if (!run.all_satisfied) signature.cls = FailureClass::kExpectationFailure;
+  return signature;
+}
+
+MinimizeResult ScenarioMinimizer::minimize(const ScenarioScript& failing) const {
+  MinimizeResult result;
+  result.script = failing;
+  result.final_run = run_script(failing);
+  result.signature = classify_failure(result.final_run);
+  if (result.signature.cls == FailureClass::kNone) {
+    throw std::invalid_argument("ScenarioMinimizer: the input script does not fail");
+  }
+
+  // A shrink that crosses the n > 3f wall trades the original bug for the
+  // paper's impossibility result — same symptom, different cause. Freeze the
+  // resilience class: candidates must stay on the input's side of the bound
+  // (correct leaves count as crash faults, like the generator budgets them).
+  auto is_resilient = [](const ScenarioScript& script) {
+    std::size_t faults = script.config.n_byzantine;
+    for (const ChurnEventSpec& event : script.churn_events) {
+      if (!event.is_join) faults += 1;
+    }
+    return resilient(script.config.n_correct + script.config.n_byzantine, faults);
+  };
+  const bool keep_resilient = is_resilient(failing);
+
+  auto budget_left = [&] { return result.attempts < options_.max_attempts; };
+
+  // Run one candidate; accept it as the new best iff it still fails with the
+  // baseline signature. Candidates that cannot even run (out-of-range
+  // partition / crash / leave indices after a node reduction) are rejected
+  // the same way as candidates that pass.
+  auto attempt = [&](ScenarioScript candidate) -> bool {
+    if (!budget_left()) return false;
+    if (keep_resilient && !is_resilient(candidate)) return false;
+    result.attempts += 1;
+    try {
+      ScriptRun run = run_script(candidate);
+      if (!(classify_failure(run) == result.signature)) return false;
+      result.script = std::move(candidate);
+      result.final_run = std::move(run);
+      result.improvements += 1;
+      return true;
+    } catch (const std::exception&) {
+      return false;
+    }
+  };
+
+  // Pass 1: drop whole chaos phases. On acceptance the same index now names
+  // the next phase, so only advance on rejection.
+  auto drop_chaos_phases = [&] {
+    bool improved = false;
+    for (std::size_t i = 0; i < result.script.chaos_phases.size() && budget_left();) {
+      ScenarioScript candidate = result.script;
+      candidate.chaos_phases.erase(candidate.chaos_phases.begin() + static_cast<long>(i));
+      if (attempt(std::move(candidate))) {
+        improved = true;
+      } else {
+        i += 1;
+      }
+    }
+    return improved;
+  };
+
+  // Pass 2: drop churn events.
+  auto drop_churn_events = [&] {
+    bool improved = false;
+    for (std::size_t i = 0; i < result.script.churn_events.size() && budget_left();) {
+      ScenarioScript candidate = result.script;
+      candidate.churn_events.erase(candidate.churn_events.begin() + static_cast<long>(i));
+      if (attempt(std::move(candidate))) {
+        improved = true;
+      } else {
+        i += 1;
+      }
+    }
+    return improved;
+  };
+
+  // Pass 3: reduce the population. Halve the correct side first (log-many
+  // steps across most of the range), then creep by one; then shed Byzantine
+  // nodes and shrink the adversary mix from the back (the parser keeps
+  // `adversary` = mix.front(), so popping the back preserves round-trip).
+  auto reduce_population = [&] {
+    bool improved = false;
+    while (budget_left() && result.script.config.n_correct > 1) {
+      ScenarioScript candidate = result.script;
+      candidate.config.n_correct /= 2;
+      if (candidate.config.n_correct == 0 || !attempt(std::move(candidate))) break;
+      improved = true;
+    }
+    while (budget_left() && result.script.config.n_correct > 1) {
+      ScenarioScript candidate = result.script;
+      candidate.config.n_correct -= 1;
+      if (!attempt(std::move(candidate))) break;
+      improved = true;
+    }
+    while (budget_left() && result.script.config.n_byzantine > 0) {
+      ScenarioScript candidate = result.script;
+      candidate.config.n_byzantine -= 1;
+      if (candidate.config.n_byzantine == 0) {
+        candidate.config.adversary_mix.clear();
+        candidate.config.adversary = AdversaryKind::kNone;
+      }
+      if (!attempt(std::move(candidate))) break;
+      improved = true;
+    }
+    while (budget_left() && result.script.config.adversary_mix.size() > 1) {
+      ScenarioScript candidate = result.script;
+      candidate.config.adversary_mix.pop_back();
+      if (!attempt(std::move(candidate))) break;
+      improved = true;
+    }
+    return improved;
+  };
+
+  // Pass 4: simplify the surviving phases — drop individual faults and
+  // shrink round windows. A phase whose every fault gets zeroed is inert
+  // DSL-wise (`drop=0`); the next schedule iteration's pass 1 removes it.
+  auto simplify_phases = [&] {
+    bool improved = false;
+    for (std::size_t i = 0; i < result.script.chaos_phases.size() && budget_left(); ++i) {
+      auto mutate = [&](auto&& edit) {
+        ScenarioScript candidate = result.script;
+        edit(candidate.chaos_phases[i]);
+        if (candidate == result.script) return;
+        if (attempt(std::move(candidate))) improved = true;
+      };
+      mutate([](ChaosPhaseSpec& p) { p.crashes.clear(); });
+      mutate([](ChaosPhaseSpec& p) { p.partition.reset(); });
+      mutate([](ChaosPhaseSpec& p) { p.corrupt = 0.0; });
+      mutate([](ChaosPhaseSpec& p) { p.duplicate = 0.0; });
+      mutate([](ChaosPhaseSpec& p) {
+        p.delay_probability = 0.0;
+        p.delay_max_extra = 1;
+      });
+      mutate([](ChaosPhaseSpec& p) { p.drop = 0.0; });
+      mutate([](ChaosPhaseSpec& p) {
+        // Halve the window length, keeping the phase anchored at its start.
+        const Round length = p.last_round - p.first_round + 1;
+        if (length > 1) p.last_round = p.first_round + (length / 2) - 1;
+      });
+    }
+    return improved;
+  };
+
+  // Pass 5: shorten the round budget (and the liveness budget with it — the
+  // probe only fires when the run actually reaches it).
+  auto shorten_rounds = [&] {
+    bool improved = false;
+    while (budget_left() && result.script.max_rounds > 1) {
+      ScenarioScript candidate = result.script;
+      candidate.max_rounds /= 2;
+      if (candidate.liveness_budget > candidate.max_rounds) {
+        candidate.liveness_budget = candidate.max_rounds;
+      }
+      if (!attempt(std::move(candidate))) break;
+      improved = true;
+    }
+    return improved;
+  };
+
+  // Pass 6: shrink the input list from the back.
+  auto shrink_inputs = [&] {
+    bool improved = false;
+    while (budget_left() && result.script.inputs.size() > 1) {
+      ScenarioScript candidate = result.script;
+      candidate.inputs.pop_back();
+      if (!attempt(std::move(candidate))) break;
+      improved = true;
+    }
+    return improved;
+  };
+
+  bool improved = true;
+  while (improved && budget_left()) {
+    improved = false;
+    improved = drop_chaos_phases() || improved;
+    improved = drop_churn_events() || improved;
+    improved = reduce_population() || improved;
+    improved = simplify_phases() || improved;
+    improved = shorten_rounds() || improved;
+    improved = shrink_inputs() || improved;
+  }
+
+  result.text = write_script(result.script);
+  if (!round_trips(result.script)) {
+    throw std::logic_error("minimized scenario does not round-trip through the parser");
+  }
+  return result;
+}
+
+}  // namespace idonly

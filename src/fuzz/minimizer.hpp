@@ -1,0 +1,85 @@
+// Automatic failure minimization for scenario scripts.
+//
+// A fuzz campaign that finds a violation in a 20-node, 3-phase, 4-churn
+// scenario has found a needle wrapped in hay. The minimizer runs greedy
+// delta debugging over the SCRIPT, not the trace: each pass proposes a
+// structurally smaller candidate, re-runs it, and keeps the reduction only
+// when the candidate still fails the same way (same failure class —
+// invariant violation, expectation failure — and, for violations, the same
+// violated invariant: agreement, validity, or liveness).
+//
+// Pass order (documented in DESIGN.md §9; each pass loops to fixpoint
+// before the next, and the whole schedule repeats until no pass improves):
+//   1. drop whole chaos phases
+//   2. drop churn events
+//   3. reduce n and f (halve correct nodes, then decrement; decrement
+//      Byzantine count; shrink the adversary mix)
+//   4. simplify surviving chaos phases (drop individual faults, shrink
+//      round windows, drop crash windows)
+//   5. shorten the round budget (halve max-rounds toward the failure)
+//   6. shrink the input list
+//
+// Candidates that fail to build (e.g. a partition index no longer in
+// range) or fail differently are rejected, and so are candidates that
+// change the RESILIENCE CLASS: a resilient (n > 3f) failure must not shrink
+// across the wall into a past-boundary config — same symptom, different
+// cause (the impossibility result, not the bug being chased). Every
+// accepted candidate is checked to round-trip through the DSL writer so the
+// final artifact is guaranteed replayable via `scenario_sim <minimized.scn>`.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "harness/script.hpp"
+
+namespace idonly {
+
+/// How a script run failed. Ordered by triage severity.
+enum class FailureClass {
+  kNone,                ///< all expectations held, no violations
+  kExpectationFailure,  ///< an expectation failed but no invariant tripped
+  kViolation,           ///< the invariant monitor (or chain check) tripped
+};
+
+/// Failure fingerprint used to decide "still fails the same way".
+struct FailureSignature {
+  FailureClass cls = FailureClass::kNone;
+  /// For kViolation: which invariant family tripped first — "agreement",
+  /// "validity", "liveness", or "chain" (totalorder prefix).
+  std::string invariant;
+
+  friend bool operator==(const FailureSignature&, const FailureSignature&) = default;
+};
+
+/// Classify a finished run. Exposed for the campaign runner's triage.
+[[nodiscard]] FailureSignature classify_failure(const ScriptRun& run);
+
+struct MinimizeResult {
+  ScenarioScript script;            ///< the smallest still-failing script
+  std::string text;                 ///< write_script(script)
+  FailureSignature signature;       ///< failure class preserved throughout
+  ScriptRun final_run;              ///< the minimized script's run
+  std::size_t attempts = 0;         ///< candidate runs executed
+  std::size_t improvements = 0;     ///< candidates accepted
+};
+
+struct MinimizerOptions {
+  /// Hard cap on candidate executions (each is a full protocol run).
+  std::size_t max_attempts = 600;
+};
+
+class ScenarioMinimizer {
+ public:
+  explicit ScenarioMinimizer(MinimizerOptions options = {}) : options_(options) {}
+
+  /// Shrink `failing`, which must actually fail when run (throws
+  /// std::invalid_argument otherwise).
+  [[nodiscard]] MinimizeResult minimize(const ScenarioScript& failing) const;
+
+ private:
+  MinimizerOptions options_;
+};
+
+}  // namespace idonly

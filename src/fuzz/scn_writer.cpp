@@ -1,0 +1,108 @@
+#include "fuzz/scn_writer.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <variant>
+
+namespace idonly {
+
+std::string format_double(double value) {
+  char buffer[64];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    try {
+      if (std::stod(buffer) == value) return buffer;
+    } catch (...) {
+      break;  // inf/nan cannot round-trip through the parser anyway
+    }
+  }
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string write_script(const ScenarioScript& script) {
+  std::ostringstream os;
+  os << "protocol " << to_string(script.protocol) << "\n";
+  os << "nodes " << script.config.n_correct << "\n";
+  os << "inputs ";
+  for (std::size_t i = 0; i < script.inputs.size(); ++i) {
+    if (i > 0) os << ",";
+    os << format_double(script.inputs[i]);
+  }
+  os << "\n";
+  // The byzantine line carries both the count and the mix; parsing it sets
+  // `adversary` to the mix's front, so a script with a count or mix needs
+  // the line even when the count is zero.
+  if (script.config.n_byzantine > 0 || !script.config.adversary_mix.empty()) {
+    os << "byzantine " << script.config.n_byzantine << " ";
+    if (script.config.adversary_mix.empty()) {
+      os << to_string(script.config.adversary);
+    } else {
+      for (std::size_t i = 0; i < script.config.adversary_mix.size(); ++i) {
+        if (i > 0) os << ",";
+        os << to_string(script.config.adversary_mix[i]);
+      }
+    }
+    os << "\n";
+  }
+  os << "seed " << script.config.seed << "\n";
+  os << "max-rounds " << script.max_rounds << "\n";
+  os << "iterations " << script.iterations << "\n";
+  os << "crash-round " << script.config.crash_round << "\n";
+  if (script.liveness_budget > 0) os << "liveness " << script.liveness_budget << "\n";
+  if (script.byz_source) os << "byz-source\n";
+  for (const ChaosPhaseSpec& phase : script.chaos_phases) {
+    os << "chaos " << phase.first_round << "-" << phase.last_round;
+    bool any_fault = false;
+    if (phase.drop != 0.0) {
+      os << " drop=" << format_double(phase.drop);
+      any_fault = true;
+    }
+    if (phase.duplicate != 0.0) {
+      os << " dup=" << format_double(phase.duplicate);
+      any_fault = true;
+    }
+    if (phase.corrupt != 0.0) {
+      os << " corrupt=" << format_double(phase.corrupt);
+      any_fault = true;
+    }
+    if (phase.delay_probability != 0.0 || phase.delay_max_extra != 1) {
+      os << " delay=" << format_double(phase.delay_probability) << ":" << phase.delay_max_extra;
+      any_fault = true;
+    }
+    if (phase.partition.has_value()) {
+      os << " partition=" << phase.partition->first << "-" << phase.partition->second;
+      any_fault = true;
+    }
+    for (const ChaosPhaseSpec::CrashSpec& crash : phase.crashes) {
+      os << " crash=" << crash.index << ":" << crash.first << "-" << crash.last;
+      any_fault = true;
+    }
+    // The parser rejects a fault-free phase; an all-defaults spec is
+    // expressible as an explicit zero-probability drop.
+    if (!any_fault) os << " drop=0";
+    os << "\n";
+  }
+  for (const ChurnEventSpec& event : script.churn_events) {
+    os << "churn " << event.round << " ";
+    if (event.is_join) {
+      os << "join=" << event.join_count;
+    } else {
+      os << "leave=" << event.leave_index;
+    }
+    os << "\n";
+  }
+  for (Expectation expectation : script.expectations) {
+    os << "expect " << to_string(expectation) << "\n";
+  }
+  return os.str();
+}
+
+bool round_trips(const ScenarioScript& script) {
+  const auto reparsed = parse_script(write_script(script));
+  const auto* parsed = std::get_if<ScenarioScript>(&reparsed);
+  return parsed != nullptr && *parsed == script;
+}
+
+}  // namespace idonly

@@ -1,0 +1,35 @@
+// Scenario-script DSL writer: the inverse of harness/script.cpp's parser.
+//
+// The fuzz generator composes scenarios as ScenarioScript values, but the
+// repro artifact users care about is a `.scn` FILE — something scenario_sim
+// can replay standalone and a bug report can quote. write_script() renders a
+// script as DSL text with the round-trip contract
+//
+//     parse_script(write_script(s)) == s
+//
+// for every script the parser itself can produce (checked for all shipped
+// scenarios by the golden test, and for every generated scenario at
+// generation time). Doubles are printed with the shortest representation
+// that parses back to the identical bit pattern, so probabilities and
+// inputs survive arbitrarily many parse/write cycles byte-for-byte.
+#pragma once
+
+#include <string>
+
+#include "harness/script.hpp"
+
+namespace idonly {
+
+/// Render `script` as scenario-DSL text (trailing newline included).
+[[nodiscard]] std::string write_script(const ScenarioScript& script);
+
+/// Shortest decimal rendering of `value` that std::stod parses back to the
+/// identical double. Exposed for tests.
+[[nodiscard]] std::string format_double(double value);
+
+/// parse(write(script)) == script. Returns false when the writer cannot
+/// round-trip `script` (a writer/parser drift bug — the golden test and the
+/// generator both assert on it).
+[[nodiscard]] bool round_trips(const ScenarioScript& script);
+
+}  // namespace idonly

@@ -48,6 +48,8 @@ struct ScenarioConfig {
   std::uint64_t seed = 1;
   /// Crash round for kCrash adversaries (local round at which they go mute).
   Round crash_round = 5;
+
+  friend bool operator==(const ScenarioConfig&, const ScenarioConfig&) = default;
 };
 
 struct Scenario {

@@ -7,6 +7,7 @@
 #include <variant>
 
 #include "common/invariants.hpp"
+#include "common/rng.hpp"
 #include "core/consensus.hpp"
 #include "core/king_consensus.hpp"
 #include "core/renaming.hpp"
@@ -249,6 +250,40 @@ std::variant<ScenarioScript, ParseError> parse_script(const std::string& text) {
       }
       if (!any_fault) return fail("chaos: phase declares no faults");
       script.chaos_phases.push_back(std::move(phase));
+    } else if (keyword == "churn") {
+      ChurnEventSpec event;
+      long long round = 0;
+      if (!(words >> round) || round < 1) return fail("churn: expected a round >= 1");
+      event.round = round;
+      std::string token;
+      if (!(words >> token)) return fail("churn: expected join=<count> or leave=<index>");
+      const auto eq = token.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size()) {
+        return fail("churn: expected join=<count> or leave=<index>, got '" + token + "'");
+      }
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      try {
+        if (key == "join") {
+          event.is_join = true;
+          event.join_count = static_cast<std::size_t>(std::stoull(value));
+          if (event.join_count == 0 || event.join_count > 100) {
+            return fail("churn: join count must be in [1, 100]");
+          }
+        } else if (key == "leave") {
+          event.is_join = false;
+          event.leave_index = static_cast<std::size_t>(std::stoull(value));
+        } else {
+          return fail("churn: unknown event '" + key + "'");
+        }
+      } catch (...) {
+        return fail("churn: bad number '" + value + "'");
+      }
+      script.churn_events.push_back(event);
+    } else if (keyword == "liveness") {
+      if (!(words >> script.liveness_budget) || script.liveness_budget <= 0) {
+        return fail("liveness: expected a positive round budget");
+      }
     } else if (keyword == "expect") {
       std::string name;
       if (!(words >> name)) return fail("expect: missing expectation");
@@ -264,6 +299,10 @@ std::variant<ScenarioScript, ParseError> parse_script(const std::string& text) {
   if (!script.chaos_phases.empty() && script.protocol != ScriptProtocol::kConsensus &&
       script.protocol != ScriptProtocol::kTotalOrder) {
     return ParseError{0, "chaos phases are supported for the consensus and totalorder protocols"};
+  }
+  if (!script.churn_events.empty() && script.protocol != ScriptProtocol::kConsensus &&
+      script.protocol != ScriptProtocol::kTotalOrder) {
+    return ParseError{0, "churn events are supported for the consensus and totalorder protocols"};
   }
   return script;
 }
@@ -377,25 +416,94 @@ ScriptRun run_consensus_like(const ScenarioScript& script, const ScriptOptions& 
   return result;
 }
 
-/// Consensus (A3) under a chaos schedule, with the invariant monitor wired
-/// through: every correct process reports its decisions into one
-/// InvariantMonitor, and the run's verdicts come from BOTH the output
-/// inspection (as in the clean path) and the monitor's online probes.
+/// Membership churn during a manual round loop. Joins draw fresh sparse ids
+/// from a seed-derived stream; leaves resolve indices against the INITIAL
+/// sorted correct id list. tracked() is the set expectations quantify over:
+/// the initial correct ids minus departures. Late joiners run the protocol
+/// but carry no obligations (the paper's guarantees quantify over initial
+/// participants; a joiner is load and membership pressure).
+class ChurnDriver {
+ public:
+  using JoinerFactory = std::function<std::unique_ptr<Process>(NodeId, std::size_t)>;
+
+  ChurnDriver(const ScenarioScript& script, const Scenario& scenario)
+      : events_(script.churn_events),
+        initial_correct_(scenario.correct_ids),
+        tracked_(scenario.correct_ids),
+        rng_(derive_seed(script.config.seed, 0xC1124)) {
+    for (NodeId id : scenario.correct_ids) next_id_ = std::max(next_id_, id + 1);
+    for (NodeId id : scenario.byzantine_ids) next_id_ = std::max(next_id_, id + 1);
+  }
+
+  /// Apply every event scheduled for `round` (the round about to execute).
+  void apply(SyncSimulator& sim, Round round, const JoinerFactory& make_joiner) {
+    for (const ChurnEventSpec& event : events_) {
+      if (event.round != round) continue;
+      if (event.is_join) {
+        for (std::size_t k = 0; k < event.join_count; ++k) {
+          next_id_ += rng_.below(7);  // sparse ids, like make_scenario's draw
+          sim.add_process(make_joiner(next_id_, joiners_));
+          next_id_ += 1;
+          joiners_ += 1;
+        }
+      } else {
+        if (event.leave_index >= initial_correct_.size()) {
+          throw std::invalid_argument("churn leave references correct-node index " +
+                                      std::to_string(event.leave_index) +
+                                      " but the scenario has only " +
+                                      std::to_string(initial_correct_.size()) +
+                                      " correct nodes");
+        }
+        const NodeId id = initial_correct_[event.leave_index];
+        sim.remove_process(id);
+        std::erase(tracked_, id);
+      }
+    }
+  }
+
+  [[nodiscard]] const std::vector<NodeId>& tracked() const { return tracked_; }
+
+ private:
+  std::vector<ChurnEventSpec> events_;
+  std::vector<NodeId> initial_correct_;
+  std::vector<NodeId> tracked_;
+  Rng rng_;
+  NodeId next_id_ = 0;
+  std::size_t joiners_ = 0;
+};
+
+/// Consensus (A3) under a chaos schedule and/or churn stream, with the
+/// invariant monitor wired through: every initial correct process reports
+/// its decisions into one InvariantMonitor, and the run's verdicts come
+/// from BOTH the output inspection (as in the clean path) and the monitor's
+/// online probes — including the bounded-termination probe when the script
+/// arms it with `liveness`.
 ScriptRun run_chaos_consensus(const ScenarioScript& script, const ScriptOptions& options) {
   ScriptRun result;
   const Scenario scenario = make_scenario(script.config);
   SyncSimulator sim;
   sim.set_trace_recorder(options.recorder);
   sim.set_threads(options.threads);
-  auto chaos = std::make_shared<ChaosSchedule>(
-      materialize_chaos_plan(script.chaos_phases, scenario.all_ids()), script.config.seed);
-  sim.set_chaos(chaos);
+  std::shared_ptr<ChaosSchedule> chaos;
+  if (!script.chaos_phases.empty()) {
+    chaos = std::make_shared<ChaosSchedule>(
+        materialize_chaos_plan(script.chaos_phases, scenario.all_ids()), script.config.seed);
+    sim.set_chaos(chaos);
+  }
 
   std::vector<Value> correct_inputs;
   for (std::size_t i = 0; i < scenario.correct_ids.size(); ++i) {
     correct_inputs.push_back(Value::real(script.inputs[i % script.inputs.size()]));
   }
-  InvariantMonitor monitor(correct_inputs);
+  // The validity probe (decided value ∈ correct inputs — STRONG validity)
+  // arms only when the script expects validity: with split real-valued
+  // inputs and f at the tolerance ceiling, A3's coordinator-adoption step
+  // can legitimately land on an adversary value (EXPERIMENTS.md E11), so
+  // scripts probing that regime must be able to watch agreement/liveness
+  // without the strong-validity probe tripping no-violations.
+  InvariantMonitor monitor(wants(script, Expectation::kValidity) ? correct_inputs
+                                                                 : std::vector<Value>{});
+  if (script.liveness_budget > 0) monitor.set_termination_probe(script.liveness_budget);
   // With a recorder, protocol events flow into the flight recording AND on
   // to the invariant monitor (TraceObserver chains).
   TraceObserver trace_observer(options.recorder, &monitor);
@@ -412,18 +520,47 @@ ScriptRun run_chaos_consensus(const ScenarioScript& script, const ScriptOptions&
     if (auto* p = sim.get<ConsensusProcess>(id)) p->set_observer(observer);
   }
 
-  const bool all_decided = sim.run_until_all_correct_done(script.max_rounds);
+  ChurnDriver churn(script, scenario);
+  auto make_joiner = [&](NodeId id, std::size_t joiner_index) -> std::unique_ptr<Process> {
+    const double input =
+        script.inputs[(scenario.correct_ids.size() + joiner_index) % script.inputs.size()];
+    return std::make_unique<ConsensusProcess>(id, Value::real(input));
+  };
+  auto tracked_done = [&] {
+    bool any = false;
+    for (NodeId id : churn.tracked()) {
+      const Process* p = sim.find(id);
+      if (p == nullptr || !p->done()) return false;
+      any = true;
+    }
+    return any;
+  };
+  bool all_decided = false;
+  for (Round i = 0; i < script.max_rounds; ++i) {
+    if (tracked_done()) {
+      all_decided = true;
+      break;
+    }
+    churn.apply(sim, sim.round() + 1, make_joiner);
+    sim.step();
+  }
+  if (!all_decided) all_decided = tracked_done();
+  monitor.finish(sim.round());
   result.rounds = sim.round();
   result.messages = sim.metrics().messages.total_delivered();
-  const ChaosCounters chaos_counters = chaos->counters();
-  result.chaos_summary = chaos_counters.summary();
-  result.metrics_exposition = prometheus_exposition(sim.metrics(), &chaos_counters);
+  if (chaos != nullptr) {
+    const ChaosCounters chaos_counters = chaos->counters();
+    result.chaos_summary = chaos_counters.summary();
+    result.metrics_exposition = prometheus_exposition(sim.metrics(), &chaos_counters);
+  } else {
+    result.metrics_exposition = prometheus_exposition(sim.metrics());
+  }
   result.violations = monitor.violations();
 
   std::optional<Value> first;
   bool agreement = true;
   bool validity = false;
-  for (NodeId id : scenario.correct_ids) {
+  for (NodeId id : churn.tracked()) {
     auto* p = sim.get<ConsensusProcess>(id);
     if (p == nullptr || !p->output().has_value()) continue;
     if (!first.has_value()) first = *p->output();
@@ -476,7 +613,14 @@ ScriptRun run_chaos_totalorder(const ScenarioScript& script, const ScriptOptions
     for (int k = 0; k < 4; ++k) p->submit_event(static_cast<double>(i * 10 + k));
   }
 
-  sim.run_rounds(script.max_rounds);
+  ChurnDriver churn(script, scenario);
+  auto make_joiner = [](NodeId id, std::size_t) -> std::unique_ptr<Process> {
+    return std::make_unique<TotalOrderProcess>(id, /*founder=*/false);
+  };
+  for (Round i = 0; i < script.max_rounds; ++i) {
+    churn.apply(sim, sim.round() + 1, make_joiner);
+    sim.step();
+  }
   result.rounds = sim.round();
   result.messages = sim.metrics().messages.total_delivered();
   if (chaos != nullptr) {
@@ -487,20 +631,22 @@ ScriptRun run_chaos_totalorder(const ScenarioScript& script, const ScriptOptions
     result.metrics_exposition = prometheus_exposition(sim.metrics());
   }
 
-  // Chain-prefix: any two correct chains must be prefix-comparable (the
-  // shorter one is a literal prefix of the longer). Chain-growth: every
-  // correct node finalized something by the end of the run.
-  bool growth = !scenario.correct_ids.empty();
+  // Chain-prefix: any two tracked correct chains must be prefix-comparable
+  // (the shorter one is a literal prefix of the longer). Chain-growth: every
+  // tracked correct node finalized something by the end of the run. Late
+  // joiners' chains start at their join round, so they are exempt (the
+  // dynamic_ledger example shows how to align them by instance number).
+  bool growth = !churn.tracked().empty();
   bool prefix_ok = true;
   const std::vector<ChainEntry>* longest = nullptr;
-  for (NodeId id : scenario.correct_ids) {
+  for (NodeId id : churn.tracked()) {
     auto* p = sim.get<TotalOrderProcess>(id);
     if (p == nullptr) continue;
     const auto& chain = p->chain();
     growth = growth && !chain.empty();
     if (longest == nullptr || chain.size() > longest->size()) longest = &chain;
   }
-  for (NodeId id : scenario.correct_ids) {
+  for (NodeId id : churn.tracked()) {
     auto* p = sim.get<TotalOrderProcess>(id);
     if (p == nullptr || longest == nullptr) continue;
     const auto& chain = p->chain();
@@ -534,8 +680,12 @@ ScriptRun run_script(const ScenarioScript& script, const ScriptOptions& options)
   ScriptRun result;
   switch (script.protocol) {
     case ScriptProtocol::kConsensus:
-      result = script.chaos_phases.empty() ? run_consensus_like(script, options)
-                                           : run_chaos_consensus(script, options);
+      // Chaos, churn, and the liveness probe all need the instrumented
+      // simulator loop; plain scripts keep the one-call harness path.
+      result = script.chaos_phases.empty() && script.churn_events.empty() &&
+                       script.liveness_budget <= 0
+                   ? run_consensus_like(script, options)
+                   : run_chaos_consensus(script, options);
       break;
     case ScriptProtocol::kKing:
       result = run_consensus_like(script, options);

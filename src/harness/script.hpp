@@ -21,6 +21,8 @@
 //   seed, max-rounds, iterations, crash-round              (numbers)
 //   byz-source                                             (rb: Byzantine sender)
 //   chaos     <first>-<last> <fault>=<spec> ...            (one phase per line)
+//   churn     <round> join=<count> | leave=<index>         (one event per line)
+//   liveness  <round budget>  (bounded-termination probe, chaos consensus)
 //   expect    termination | agreement | validity | acceptance | good-round |
 //             within-range | contraction | no-violations
 //
@@ -36,6 +38,22 @@
 // seed-derived, so scripts cannot name them directly); the runner
 // materialises the plan once the scenario ids exist. Chaos lines are
 // accepted for the consensus and totalorder protocols.
+//
+// A `churn` line declares one membership event. `join=<count>` adds count
+// fresh correct processes before the given round executes (seed-derived
+// sparse ids, inputs cycled off the script's input list); `leave=<index>`
+// removes the index-th node of the sorted CORRECT id list before that round.
+// Late joiners run the protocol but are excluded from expectations (the
+// paper's guarantees quantify over initial participants; a joiner is load
+// and membership pressure). A departed node is likewise dropped from the
+// termination/agreement checks from its leave round on — a correct leave is
+// a crash, so the generator budgets leaves against the n > 3f bound. Churn
+// lines are accepted for the consensus and totalorder protocols.
+//
+// `liveness <budget>` arms the InvariantMonitor's bounded-termination probe
+// (chaos/churn consensus runs): if no tracked correct node decides within
+// `budget` rounds the run records a liveness violation — fuzz campaigns
+// catch wedges, not just safety breaks.
 //
 // parse() reports errors with line numbers; run() executes and evaluates
 // every expectation.
@@ -86,8 +104,23 @@ struct ChaosPhaseSpec {
     std::size_t index = 0;
     Round first = 1;
     Round last = 1;
+
+    friend bool operator==(const CrashSpec&, const CrashSpec&) = default;
   };
   std::vector<CrashSpec> crashes;
+
+  friend bool operator==(const ChaosPhaseSpec&, const ChaosPhaseSpec&) = default;
+};
+
+/// One parsed `churn` line: a membership event applied before `round`
+/// executes. Exactly one of join_count / leave_index is meaningful.
+struct ChurnEventSpec {
+  Round round = 1;
+  bool is_join = false;
+  std::size_t join_count = 0;   ///< joins: number of fresh correct processes
+  std::size_t leave_index = 0;  ///< leaves: index into the sorted correct ids
+
+  friend bool operator==(const ChurnEventSpec&, const ChurnEventSpec&) = default;
 };
 
 struct ScenarioScript {
@@ -97,8 +130,13 @@ struct ScenarioScript {
   int iterations = 1;
   bool byz_source = false;
   Round max_rounds = 500;
+  /// Bounded-termination probe budget; 0 = probe off.
+  Round liveness_budget = 0;
   std::vector<ChaosPhaseSpec> chaos_phases;
+  std::vector<ChurnEventSpec> churn_events;
   std::vector<Expectation> expectations;
+
+  friend bool operator==(const ScenarioScript&, const ScenarioScript&) = default;
 };
 
 /// Resolve index-based phase specs against the scenario's sorted id list.

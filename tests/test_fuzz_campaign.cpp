@@ -1,0 +1,288 @@
+// Fuzz subsystem: generator determinism (one seed ⇒ one byte-identical
+// scenario AND one canonical trace, for every thread count), campaign
+// determinism across worker-pool sizes, delta-debugging minimization of a
+// deliberately injected boundary violation, and the bounded-termination
+// (liveness) probe — including the E10 n = 3f repro the probe exists for.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/invariants.hpp"
+#include "common/trace.hpp"
+#include "common/value.hpp"
+#include "fuzz/campaign.hpp"
+#include "fuzz/generator.hpp"
+#include "fuzz/minimizer.hpp"
+#include "fuzz/scn_writer.hpp"
+#include "harness/script.hpp"
+
+namespace idonly {
+namespace {
+
+// ------------------------------------------------- generator determinism --
+
+TEST(GeneratorDeterminism, SameSeedYieldsByteIdenticalScenarios) {
+  const ScenarioGenerator generator;
+  for (std::uint64_t seed : {1ull, 7ull, 1854ull}) {
+    const GeneratedScenario a = generator.generate(seed);
+    const GeneratedScenario b = ScenarioGenerator().generate(seed);
+    EXPECT_EQ(a.text, b.text) << "seed " << seed;
+    EXPECT_EQ(a.script, b.script);
+    EXPECT_EQ(a.past_boundary, b.past_boundary);
+  }
+  EXPECT_NE(generator.generate(1).text, generator.generate(2).text);
+}
+
+TEST(GeneratorDeterminism, EveryGeneratedScenarioRoundTripsAndStaysResilient) {
+  const ScenarioGenerator generator;
+  bool saw_totalorder = false;
+  bool saw_chaos = false;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const GeneratedScenario scenario = generator.generate(seed);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    EXPECT_TRUE(round_trips(scenario.script));
+    EXPECT_FALSE(scenario.past_boundary)
+        << "past_boundary_probability defaults to 0";
+    const std::size_t n =
+        scenario.script.config.n_correct + scenario.script.config.n_byzantine;
+    EXPECT_GT(n, 3 * scenario.script.config.n_byzantine);
+    saw_totalorder = saw_totalorder || scenario.script.protocol == ScriptProtocol::kTotalOrder;
+    saw_chaos = saw_chaos || !scenario.script.chaos_phases.empty();
+  }
+  EXPECT_TRUE(saw_totalorder) << "50 seeds should cover both protocols";
+  EXPECT_TRUE(saw_chaos);
+}
+
+TEST(GeneratorDeterminism, PastBoundaryModePinsNAtExactlyThreeF) {
+  GeneratorOptions options;
+  options.past_boundary_probability = 1.0;
+  const ScenarioGenerator generator(options);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const GeneratedScenario scenario = generator.generate(seed);
+    ASSERT_TRUE(scenario.past_boundary);
+    const std::size_t f = scenario.script.config.n_byzantine;
+    ASSERT_GT(f, 0u);
+    EXPECT_EQ(scenario.script.config.n_correct + f, 3 * f) << "seed " << seed;
+  }
+}
+
+// One generated scenario, one canonical trace: the trace must be
+// byte-identical across engine worker counts — the property the repro
+// bundles' threads-1-vs-2 diff guards in production.
+TEST(GeneratorDeterminism, CanonicalTraceIsByteIdenticalAcrossThreadCounts) {
+  const ScenarioGenerator generator;
+  // Deterministically pick the first seed whose scenario has chaos (so the
+  // canonical trace — link verdicts — is non-empty).
+  ScenarioScript script;
+  for (std::uint64_t seed = 1;; ++seed) {
+    ASSERT_LE(seed, 50u) << "no chaos scenario in the first 50 seeds?";
+    const GeneratedScenario scenario = generator.generate(seed);
+    if (!scenario.script.chaos_phases.empty()) {
+      script = scenario.script;
+      break;
+    }
+  }
+
+  auto traced_run = [&script](unsigned threads) {
+    ScriptOptions options;
+    options.recorder = std::make_shared<TraceRecorder>(TraceEngine::kSync);
+    options.threads = threads;
+    (void)run_script(script, options);
+    return options.recorder->canonical_jsonl();
+  };
+  const std::string trace1 = traced_run(1);
+  EXPECT_FALSE(trace1.empty());
+  EXPECT_EQ(trace1, traced_run(2));
+  EXPECT_EQ(trace1, traced_run(8));
+}
+
+// -------------------------------------------------- campaign determinism --
+
+TEST(CampaignDeterminism, ReportIsIdenticalForEveryJobsValue) {
+  CampaignOptions options;
+  options.scenarios = 30;
+  options.base_seed = 7;
+  options.minimize = false;
+  // Past-boundary probes exercise the failure path without going red.
+  options.generator.past_boundary_probability = 0.3;
+
+  options.jobs = 1;
+  const CampaignReport serial = CampaignRunner(options).run();
+  options.jobs = 4;
+  const CampaignReport parallel = CampaignRunner(options).run();
+
+  EXPECT_EQ(serial.ok, parallel.ok);
+  EXPECT_EQ(serial.summary(), parallel.summary());
+  ASSERT_EQ(serial.failures.size(), parallel.failures.size());
+  for (std::size_t i = 0; i < serial.failures.size(); ++i) {
+    EXPECT_EQ(serial.failures[i].seed, parallel.failures[i].seed);
+    EXPECT_EQ(serial.failures[i].scenario_text, parallel.failures[i].scenario_text);
+    EXPECT_EQ(serial.failures[i].first_violation, parallel.failures[i].first_violation);
+  }
+  EXPECT_EQ(serial.counters.scenarios, 30u);
+  EXPECT_GT(serial.counters.boundary_probes, 0u)
+      << "30 draws at p=0.3 must include boundary probes";
+  EXPECT_EQ(serial.counters.boundary_probes, parallel.counters.boundary_probes);
+  EXPECT_EQ(serial.counters.boundary_violations, parallel.counters.boundary_violations);
+}
+
+TEST(CampaignDeterminism, ResilientCampaignSliceStaysGreen) {
+  // A slice of the CI campaign: all-resilient scenarios must produce zero
+  // failures (the 2000-seed sweep runs in the CI fuzz job; this is tier-1's
+  // canary against generator-envelope regressions).
+  CampaignOptions options;
+  options.scenarios = 25;
+  options.base_seed = 1;
+  options.minimize = false;
+  const CampaignReport report = CampaignRunner(options).run();
+  EXPECT_TRUE(report.ok) << report.summary();
+  EXPECT_EQ(report.counters.violations, 0u);
+  EXPECT_EQ(report.counters.passed, 25u);
+}
+
+// ------------------------------------------------------------ minimizer --
+
+// Deliberate bug injection at the resilience wall: n = 3f (4 correct + 2
+// echochamber) with an early partition — the id-only failure mode where the
+// cut side locks a smaller membership — padded with inert later chaos
+// phases. The minimizer must strip the padding while preserving the
+// agreement-violation signature.
+const char* kInjectedBoundaryViolation =
+    "protocol consensus\n"
+    "nodes 4\n"
+    "byzantine 2 echochamber\n"
+    "inputs 0,1\n"
+    "seed 7\n"
+    "max-rounds 400\n"
+    "liveness 400\n"
+    "chaos 4-6 partition=0-1\n"
+    "chaos 7-9 drop=0.10\n"
+    "chaos 12-14 corrupt=0.1 dup=0.2\n"
+    "chaos 18-20 dup=0.15\n"
+    "expect termination\n"
+    "expect agreement\n"
+    "expect no-violations\n";
+
+TEST(Minimizer, ShrinksInjectedBoundaryViolationToTinyRepro) {
+  const auto parsed = parse_script(kInjectedBoundaryViolation);
+  ASSERT_TRUE(std::holds_alternative<ScenarioScript>(parsed));
+  const ScenarioScript& script = std::get<ScenarioScript>(parsed);
+
+  const ScriptRun baseline = run_script(script);
+  ASSERT_FALSE(baseline.violations.empty()) << "fixture must actually violate";
+  ASSERT_EQ(classify_failure(baseline).invariant, "agreement");
+
+  const MinimizeResult result = ScenarioMinimizer().minimize(script);
+  EXPECT_EQ(result.signature.cls, FailureClass::kViolation);
+  EXPECT_EQ(result.signature.invariant, "agreement");
+  EXPECT_GT(result.improvements, 0u);
+
+  // The acceptance bar: a minimized boundary repro fits in one glance.
+  EXPECT_LE(result.script.config.n_correct + result.script.config.n_byzantine, 8u);
+  EXPECT_LE(result.script.chaos_phases.size(), 2u);
+
+  // The artifact is a standalone repro: its text reparses to the minimized
+  // script and re-running it reproduces the same failure.
+  const auto reparsed = parse_script(result.text);
+  ASSERT_TRUE(std::holds_alternative<ScenarioScript>(reparsed));
+  EXPECT_EQ(std::get<ScenarioScript>(reparsed), result.script);
+  const ScriptRun rerun = run_script(result.script);
+  EXPECT_EQ(classify_failure(rerun), result.signature);
+}
+
+TEST(Minimizer, RejectsAPassingScript) {
+  ScenarioScript script;
+  script.config.n_correct = 4;
+  script.config.seed = 3;
+  script.max_rounds = 50;
+  script.expectations = {Expectation::kTermination, Expectation::kAgreement};
+  EXPECT_THROW((void)ScenarioMinimizer().minimize(script), std::invalid_argument);
+}
+
+TEST(Minimizer, ClassifiesViolationFamiliesByPhrasing) {
+  ScriptRun run;
+  run.violations = {"liveness: only 0 of 1 required node(s) decided within 40 rounds"};
+  EXPECT_EQ(classify_failure(run).invariant, "liveness");
+  run.violations = {"node 9's chain is not a prefix of the longest chain"};
+  EXPECT_EQ(classify_failure(run).invariant, "chain");
+  run.violations = {"node 9 decided 7 which is no correct node's input"};
+  EXPECT_EQ(classify_failure(run).invariant, "validity");
+  run.violations = {"node 9 decided 1 but node 3 decided 0"};
+  EXPECT_EQ(classify_failure(run).invariant, "agreement");
+  run.violations.clear();
+  run.all_satisfied = false;
+  EXPECT_EQ(classify_failure(run).cls, FailureClass::kExpectationFailure);
+  run.all_satisfied = true;
+  EXPECT_EQ(classify_failure(run).cls, FailureClass::kNone);
+}
+
+// ------------------------------------------------------- liveness probe --
+
+ProtocolEvent decided(NodeId node, double value) {
+  ProtocolEvent event;
+  event.type = ProtocolEvent::Type::kDecided;
+  event.node = node;
+  event.round = 5;
+  event.value = Value::real(value);
+  return event;
+}
+
+TEST(LivenessProbe, FiresOnlyWhenTheBudgetElapsesWithTooFewDeciders) {
+  InvariantMonitor monitor;
+  monitor.set_termination_probe(/*budget=*/40, /*min_deciders=*/2);
+  monitor.on_event(decided(1, 0.0));
+
+  monitor.finish(/*rounds_executed=*/39);
+  EXPECT_TRUE(monitor.termination_ok()) << "budget not yet exhausted";
+
+  monitor.finish(/*rounds_executed=*/40);
+  EXPECT_FALSE(monitor.termination_ok());
+  ASSERT_EQ(monitor.violations().size(), 1u);
+  EXPECT_EQ(monitor.violations().front(),
+            "liveness: only 1 of 2 required node(s) decided within 40 rounds");
+
+  // finish() is idempotent: the second decider clears the verdict.
+  monitor.on_event(decided(2, 0.0));
+  monitor.finish(40);
+  EXPECT_TRUE(monitor.termination_ok());
+  EXPECT_TRUE(monitor.violations().empty());
+}
+
+TEST(LivenessProbe, DisarmedProbeNeverFires) {
+  InvariantMonitor monitor;
+  monitor.finish(10'000);
+  EXPECT_TRUE(monitor.termination_ok());
+  monitor.set_termination_probe(50);
+  monitor.set_termination_probe(0);  // disarm again
+  monitor.finish(10'000);
+  EXPECT_TRUE(monitor.ok());
+}
+
+// The E10 repro: at n = 3f the early partition lets the cut side decide
+// alone — safety, not liveness, is what breaks first, and the probe's job is
+// to make sure a script at the wall cannot silently neither-decide-nor-fail.
+TEST(LivenessProbe, BoundaryReproFailsLoudlyNotSilently) {
+  const char* text =
+      "protocol consensus\n"
+      "nodes 4\n"
+      "byzantine 2 echochamber\n"
+      "inputs 0,1\n"
+      "seed 7\n"
+      "max-rounds 400\n"
+      "liveness 400\n"
+      "chaos 4-6 partition=0-1\n"
+      "chaos 7-9 drop=0.10\n"
+      "expect termination\n";
+  const auto parsed = parse_script(text);
+  ASSERT_TRUE(std::holds_alternative<ScenarioScript>(parsed));
+  const ScriptRun run = run_script(std::get<ScenarioScript>(parsed));
+  ASSERT_FALSE(run.violations.empty())
+      << "the n = 3f partition repro must surface a violation";
+  EXPECT_EQ(classify_failure(run).invariant, "agreement");
+}
+
+}  // namespace
+}  // namespace idonly

@@ -1,0 +1,196 @@
+// Scenario-DSL writer: shortest-round-trip double rendering, full-feature
+// script rendering, and the golden contract that every shipped `.scn` file
+// survives parse → write → parse with byte-identical semantics.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "fuzz/scn_writer.hpp"
+#include "harness/script.hpp"
+
+namespace idonly {
+namespace {
+
+// ---------------------------------------------------------- format_double --
+
+TEST(FormatDouble, IntegersRenderWithoutFractionOrExponentNoise) {
+  EXPECT_EQ(format_double(0.0), "0");
+  EXPECT_EQ(format_double(1.0), "1");
+  EXPECT_EQ(format_double(-3.0), "-3");
+  EXPECT_EQ(format_double(0.5), "0.5");
+  EXPECT_EQ(format_double(0.25), "0.25");
+}
+
+TEST(FormatDouble, EveryRenderingParsesBackToTheIdenticalBitPattern) {
+  // A mix of exactly-representable values and values needing all 17 digits
+  // (these two are real generator outputs that once appeared in repros).
+  const std::vector<double> values{0.1,
+                                   1.0 / 3.0,
+                                   0.804967267949797,
+                                   -9.635201535885894,
+                                   0.061488893773005135,
+                                   1e-9,
+                                   12345.6789,
+                                   -0.0};
+  for (double value : values) {
+    const std::string text = format_double(value);
+    EXPECT_EQ(std::stod(text), value) << "rendering \"" << text << "\" drifted";
+  }
+}
+
+TEST(FormatDouble, PrefersTheShortestFaithfulRendering) {
+  // 0.1 needs exactly "0.1", not the 17-digit expansion.
+  EXPECT_EQ(format_double(0.1), "0.1");
+  EXPECT_LE(format_double(1.0 / 3.0).size(), 19u);
+}
+
+// ----------------------------------------------------------- write_script --
+
+ScenarioScript full_feature_script() {
+  ScenarioScript script;
+  script.protocol = ScriptProtocol::kConsensus;
+  script.config.n_correct = 7;
+  script.config.n_byzantine = 2;
+  script.config.adversary_mix = {AdversaryKind::kEchoChamber, AdversaryKind::kTwoFaced};
+  script.config.adversary = script.config.adversary_mix.front();
+  script.config.seed = 42;
+  script.config.crash_round = 5;
+  script.inputs = {0.0, 1.0, -2.5};
+  script.iterations = 2;
+  script.max_rounds = 120;
+  script.liveness_budget = 120;
+
+  ChaosPhaseSpec phase;
+  phase.first_round = 6;
+  phase.last_round = 9;
+  phase.drop = 0.1;
+  phase.duplicate = 0.2;
+  phase.corrupt = 0.05;
+  phase.delay_probability = 0.03;
+  phase.delay_max_extra = 2;
+  phase.partition = std::make_pair(std::size_t{0}, std::size_t{1});
+  ChaosPhaseSpec::CrashSpec crash;
+  crash.index = 3;
+  crash.first = 6;
+  crash.last = 7;
+  phase.crashes.push_back(crash);
+  script.chaos_phases.push_back(phase);
+
+  ChurnEventSpec leave;
+  leave.round = 8;
+  leave.is_join = false;
+  leave.leave_index = 2;
+  script.churn_events.push_back(leave);
+
+  script.expectations = {Expectation::kTermination, Expectation::kAgreement,
+                         Expectation::kValidity, Expectation::kNoViolations};
+  return script;
+}
+
+TEST(ScnWriter, RendersEveryDslFeatureAndRoundTrips) {
+  const ScenarioScript script = full_feature_script();
+  const std::string text = write_script(script);
+
+  EXPECT_NE(text.find("protocol consensus\n"), std::string::npos);
+  EXPECT_NE(text.find("nodes 7\n"), std::string::npos);
+  EXPECT_NE(text.find("byzantine 2 echochamber,twofaced\n"), std::string::npos);
+  EXPECT_NE(text.find("inputs 0,1,-2.5\n"), std::string::npos);
+  EXPECT_NE(text.find("liveness 120\n"), std::string::npos);
+  EXPECT_NE(text.find("chaos 6-9 "), std::string::npos);
+  EXPECT_NE(text.find("partition=0-1"), std::string::npos);
+  EXPECT_NE(text.find("crash=3:6-7"), std::string::npos);
+  EXPECT_NE(text.find("churn 8 leave=2\n"), std::string::npos);
+  EXPECT_NE(text.find("expect no-violations\n"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+
+  ASSERT_TRUE(round_trips(script));
+  const auto reparsed = parse_script(text);
+  ASSERT_TRUE(std::holds_alternative<ScenarioScript>(reparsed));
+  EXPECT_EQ(std::get<ScenarioScript>(reparsed), script);
+}
+
+TEST(ScnWriter, TotalOrderJoinStreamRoundTrips) {
+  ScenarioScript script;
+  script.protocol = ScriptProtocol::kTotalOrder;
+  script.config.n_correct = 5;
+  // Parser-canonical fault-free config (the struct defaults carry a
+  // Byzantine contingent; parse_script always overrides them).
+  script.config.n_byzantine = 0;
+  script.config.adversary = AdversaryKind::kNone;
+  script.config.seed = 9;
+  script.max_rounds = 60;
+  ChurnEventSpec join;
+  join.round = 7;
+  join.is_join = true;
+  join.join_count = 2;
+  script.churn_events.push_back(join);
+  script.expectations = {Expectation::kTermination, Expectation::kNoViolations};
+
+  const std::string text = write_script(script);
+  EXPECT_NE(text.find("protocol totalorder\n"), std::string::npos);
+  EXPECT_NE(text.find("churn 7 join=2\n"), std::string::npos);
+  EXPECT_TRUE(round_trips(script));
+}
+
+TEST(ScnWriter, FaultFreePhaseRendersAsExplicitZeroDrop) {
+  // The parser rejects a chaos line with no fault token, so an all-defaults
+  // phase must render as `drop=0` to stay parseable.
+  ScenarioScript script;
+  script.config.n_correct = 4;
+  script.config.n_byzantine = 0;
+  script.config.adversary = AdversaryKind::kNone;
+  ChaosPhaseSpec phase;
+  phase.first_round = 6;
+  phase.last_round = 7;
+  script.chaos_phases.push_back(phase);
+  script.expectations = {Expectation::kTermination};
+
+  EXPECT_NE(write_script(script).find("chaos 6-7 drop=0\n"), std::string::npos);
+  EXPECT_TRUE(round_trips(script));
+}
+
+// ------------------------------------------------- golden shipped corpus --
+
+std::vector<std::filesystem::path> shipped_scenarios() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(IDONLY_SCENARIO_DIR)) {
+    if (entry.path().extension() == ".scn") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(ScnWriterGolden, EveryShippedScenarioSurvivesParseWriteParse) {
+  const auto files = shipped_scenarios();
+  ASSERT_GE(files.size(), 8u) << "shipped corpus went missing from " << IDONLY_SCENARIO_DIR;
+  for (const auto& path : files) {
+    SCOPED_TRACE(path.filename().string());
+    const auto parsed = parse_script(slurp(path));
+    const auto* script = std::get_if<ScenarioScript>(&parsed);
+    ASSERT_NE(script, nullptr) << "shipped scenario no longer parses";
+    EXPECT_TRUE(round_trips(*script));
+
+    // Writer output is a fixpoint: write(parse(write(s))) == write(s).
+    const std::string text = write_script(*script);
+    const auto reparsed = parse_script(text);
+    const auto* again = std::get_if<ScenarioScript>(&reparsed);
+    ASSERT_NE(again, nullptr);
+    EXPECT_EQ(write_script(*again), text);
+  }
+}
+
+}  // namespace
+}  // namespace idonly
