@@ -1,6 +1,8 @@
 // Fan-out benchmark with a machine-readable artifact: runs broadcast-heavy
-// reliable-broadcast configs at large n plus the runtime hub fan-out, and
-// writes BENCH_fanout.json with per-config rounds/sec and deliveries/sec.
+// reliable-broadcast configs at large n (both RB backends) plus the runtime
+// hub fan-out, and writes BENCH_fanout.json with per-config rounds/sec,
+// deliveries/sec, and the wire-cost figures (bytes/round, syscalls/round,
+// and the slab-coalescing factor that CI holds to an absolute floor).
 // Each entry carries the seed-commit baseline (measured on the dev machine
 // before the mailbox layer existed) so the speedup is tracked in-tree.
 //
@@ -27,6 +29,8 @@ struct FanoutConfig {
   std::size_t n_byz = 0;
   /// rounds/sec at the pre-mailbox seed commit, same machine + build type.
   double seed_baseline_rounds_per_sec = 0;
+  /// RB state machine (backend ablation rows set kImbs).
+  RbBackendKind backend = RbBackendKind::kAlg1;
 };
 
 struct FanoutResult {
@@ -34,6 +38,14 @@ struct FanoutResult {
   double rounds_per_sec = 0;
   double deliveries_per_sec = 0;
   double speedup_vs_seed = 0;
+  /// Wire-cost figures, per protocol round (deterministic per config, so
+  /// they gate at tight tolerance — see scripts/bench_gate.py).
+  double bytes_per_round = 0;
+  double syscalls_per_round = 0;           ///< coalesced slab datagrams
+  double baseline_syscalls_per_round = 0;  ///< per-message sendto baseline
+  /// deliveries / slab_sends — the factor the wire-slab coalescing saves;
+  /// ~n for broadcast rounds. CI enforces an absolute floor on this.
+  double syscall_coalescing_factor = 0;
 };
 
 FanoutResult run_config(const FanoutConfig& config) {
@@ -46,14 +58,16 @@ FanoutResult run_config(const FanoutConfig& config) {
 
   std::uint64_t rounds = 0;
   std::uint64_t deliveries = 0;
+  FanoutCounters fanout;
   const auto start = Clock::now();
   double elapsed = 0;
   while (elapsed < kMinSeconds) {
     scenario.seed += 1;
     const ReliableBroadcastRun run =
-        run_reliable_broadcast(scenario, 42.0, false, kRoundsPerRun);
+        run_reliable_broadcast(scenario, 42.0, false, kRoundsPerRun, config.backend);
     rounds += kRoundsPerRun;
     deliveries += run.messages;  // per-recipient deliveries
+    fanout += run.fanout;
     elapsed = std::chrono::duration<double>(Clock::now() - start).count();
   }
 
@@ -64,6 +78,16 @@ FanoutResult run_config(const FanoutConfig& config) {
   result.speedup_vs_seed = config.seed_baseline_rounds_per_sec > 0
                                ? result.rounds_per_sec / config.seed_baseline_rounds_per_sec
                                : 0;
+  const auto per_round = [rounds](std::uint64_t total) {
+    return rounds > 0 ? static_cast<double>(total) / static_cast<double>(rounds) : 0.0;
+  };
+  result.bytes_per_round = per_round(fanout.bytes_delivered);
+  result.syscalls_per_round = per_round(fanout.slab_sends);
+  result.baseline_syscalls_per_round = per_round(fanout.deliveries);
+  result.syscall_coalescing_factor =
+      fanout.slab_sends > 0
+          ? static_cast<double>(fanout.deliveries) / static_cast<double>(fanout.slab_sends)
+          : 0;
   return result;
 }
 
@@ -122,8 +146,15 @@ bool write_json(const std::string& path, const std::vector<FanoutResult>& result
     out << "    {\n"
         << "      \"n_correct\": " << r.config.n_correct << ",\n"
         << "      \"n_byzantine\": " << r.config.n_byz << ",\n"
+        << "      \"rb_backend\": \"" << to_string(r.config.backend) << "\",\n"
         << "      \"rounds_per_sec\": " << bench::fixed3(r.rounds_per_sec) << ",\n"
         << "      \"deliveries_per_sec\": " << bench::fixed3(r.deliveries_per_sec) << ",\n"
+        << "      \"bytes_per_round\": " << bench::fixed3(r.bytes_per_round) << ",\n"
+        << "      \"syscalls_per_round\": " << bench::fixed3(r.syscalls_per_round) << ",\n"
+        << "      \"baseline_syscalls_per_round\": "
+        << bench::fixed3(r.baseline_syscalls_per_round) << ",\n"
+        << "      \"syscall_coalescing_factor\": "
+        << bench::fixed3(r.syscall_coalescing_factor) << ",\n"
         << "      \"seed_baseline_rounds_per_sec\": "
         << bench::fixed3(r.config.seed_baseline_rounds_per_sec) << ",\n"
         << "      \"speedup_vs_seed\": " << bench::fixed3(r.speedup_vs_seed) << "\n"
@@ -152,18 +183,24 @@ int main(int argc, char** argv) {
   const std::string path = argc > 1 ? argv[1] : "BENCH_fanout.json";
 
   // Seed baselines: pre-mailbox rounds/sec, RelWithDebInfo, same harness
-  // (run_reliable_broadcast, 8 rounds, kNone adversary), dev machine.
+  // (run_reliable_broadcast, 8 rounds, kNone adversary), dev machine. The
+  // Imbs row is the backend ablation (no pre-mailbox baseline exists for
+  // it): same n, two-phase witness machine instead of per-round re-echo.
   const std::vector<FanoutConfig> configs = {
-      {200, 0, 497.73},
-      {400, 0, 118.17},
+      {200, 0, 497.73, RbBackendKind::kAlg1},
+      {400, 0, 118.17, RbBackendKind::kAlg1},
+      {400, 0, 0, RbBackendKind::kImbs},
   };
 
   std::vector<FanoutResult> results;
   for (const FanoutConfig& config : configs) {
     const FanoutResult r = run_config(config);
-    std::printf("rb n=%zu+%zu: %.2f rounds/sec, %.3g deliveries/sec (%.2fx vs seed)\n",
-                r.config.n_correct, r.config.n_byz, r.rounds_per_sec, r.deliveries_per_sec,
-                r.speedup_vs_seed);
+    std::printf(
+        "rb n=%zu+%zu %s: %.2f rounds/sec, %.3g deliveries/sec (%.2fx vs seed), "
+        "%.1f syscalls/round vs %.1f per-message (%.1fx coalescing)\n",
+        r.config.n_correct, r.config.n_byz, to_string(r.config.backend), r.rounds_per_sec,
+        r.deliveries_per_sec, r.speedup_vs_seed, r.syscalls_per_round,
+        r.baseline_syscalls_per_round, r.syscall_coalescing_factor);
     results.push_back(r);
   }
 

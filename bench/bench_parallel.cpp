@@ -46,10 +46,16 @@ struct Cell {
   double speedup_vs_seed = 0;
   /// Scaling against the threads=1 cell at the same n (1.0 for that cell).
   double speedup_vs_1t = 0;
+  /// Wire cost per protocol round (deterministic per n; thread-count
+  /// invariant — the lane merge must not change what is delivered).
+  double bytes_per_round = 0;
+  double syscalls_per_round = 0;  ///< coalesced slab datagrams (mailbox model)
 };
 
 void run_cell(Cell& cell) {
   std::uint64_t rounds = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t slab_sends = 0;
   const auto start = Clock::now();
   double elapsed = 0;
   std::uint64_t seed = 0;
@@ -63,12 +69,16 @@ void run_cell(Cell& cell) {
     }
     sim.run_rounds(kRoundsPerRun);
     rounds += kRoundsPerRun;
+    bytes += sim.metrics().fanout.bytes_delivered;
+    slab_sends += sim.metrics().fanout.slab_sends;
     elapsed = std::chrono::duration<double>(Clock::now() - start).count();
   }
   cell.rounds_per_sec = static_cast<double>(rounds) / elapsed;
   cell.speedup_vs_seed = cell.seed_baseline_rounds_per_sec > 0
                              ? cell.rounds_per_sec / cell.seed_baseline_rounds_per_sec
                              : 0;
+  cell.bytes_per_round = static_cast<double>(bytes) / static_cast<double>(rounds);
+  cell.syscalls_per_round = static_cast<double>(slab_sends) / static_cast<double>(rounds);
 }
 
 bool write_json(const std::string& path, const std::vector<Cell>& cells) {
@@ -83,7 +93,9 @@ bool write_json(const std::string& path, const std::vector<Cell>& cells) {
         << "      \"seed_baseline_rounds_per_sec\": "
         << bench::fixed3(c.seed_baseline_rounds_per_sec) << ",\n"
         << "      \"speedup_vs_seed\": " << bench::fixed3(c.speedup_vs_seed) << ",\n"
-        << "      \"speedup_vs_1t\": " << bench::fixed3(c.speedup_vs_1t) << "\n"
+        << "      \"speedup_vs_1t\": " << bench::fixed3(c.speedup_vs_1t) << ",\n"
+        << "      \"bytes_per_round\": " << bench::fixed3(c.bytes_per_round) << ",\n"
+        << "      \"syscalls_per_round\": " << bench::fixed3(c.syscalls_per_round) << "\n"
         << "    }" << (i + 1 < cells.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";

@@ -12,6 +12,9 @@ Rules:
     should be a deliberate commit, not a silent pass.
   * Every numeric field whose key ends in `_per_sec` is a throughput
     figure: fresh >= baseline * (1 - tolerance) or the gate fails.
+  * Every numeric field whose key ends in `_per_round` is a wire-cost
+    figure (bytes, syscalls) where LOWER is better:
+    fresh <= baseline * (1 + tolerance) or the gate fails.
   * All other fields are informational (counts, means, configs) and are
     only checked for structural presence, because they legitimately vary
     with machine speed (e.g. seeds completed within a wall-clock budget).
@@ -22,6 +25,12 @@ Rules:
     throughput; this pins the parallel engine's shape) and is skipped — with
     a notice — on machines with fewer than --scaling-min-cores cores, where
     thread scaling is physically meaningless.
+  * Coalescing gate: every fresh entry carrying a `syscall_coalescing_factor`
+    (BENCH_fanout.json configs) must be at or above --coalescing-floor —
+    the wire-slab framing's one-datagram-per-peer-per-round guarantee,
+    measured as per-message deliveries / coalesced slab sends. Skipped with
+    a notice when the fresh artifact carries no such field (older bench
+    binaries).
 
 Exit 0 when every gate holds; exit 1 with a per-field report otherwise.
 """
@@ -31,6 +40,8 @@ import os
 import sys
 
 RATE_SUFFIX = "_per_sec"
+COST_SUFFIX = "_per_round"
+COALESCING_KEY = "syscall_coalescing_factor"
 
 
 def walk(fresh, baseline, path, failures, checked):
@@ -58,6 +69,16 @@ def walk(fresh, baseline, path, failures, checked):
             if fresh < floor:
                 failures.append(
                     f"{path}: {fresh:.3f} < {floor:.3f} "
+                    f"(baseline {baseline:.3f}, tolerance {ARGS.tolerance:.0%})")
+        elif key.endswith(COST_SUFFIX):
+            ceiling = baseline * (1.0 + ARGS.tolerance)
+            status = "ok" if fresh <= ceiling else "REGRESSION"
+            checked.append(
+                f"  {status:>10}  {path}: {fresh:.3f} vs baseline "
+                f"{baseline:.3f} (ceiling {ceiling:.3f})")
+            if fresh > ceiling:
+                failures.append(
+                    f"{path}: {fresh:.3f} > {ceiling:.3f} "
                     f"(baseline {baseline:.3f}, tolerance {ARGS.tolerance:.0%})")
 
 
@@ -95,6 +116,39 @@ def check_scaling(fresh, failures, checked):
                 f"(floor {ARGS.scaling_floor:.2f}x)")
 
 
+def collect_coalescing(node, path, entries):
+    """Find every fresh entry carrying a coalescing factor (any nesting)."""
+    if isinstance(node, dict):
+        if COALESCING_KEY in node and isinstance(
+                node[COALESCING_KEY], (int, float)):
+            entries.append((path or "$", node[COALESCING_KEY]))
+        for key, value in node.items():
+            collect_coalescing(value, f"{path}.{key}" if path else key,
+                               entries)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            collect_coalescing(value, f"{path}[{i}]", entries)
+
+
+def check_coalescing(fresh, failures, checked):
+    """Absolute floor on the fresh artifact's slab-coalescing factors."""
+    entries = []
+    collect_coalescing(fresh, "", entries)
+    if not entries:
+        print(f"coalescing gate: skipped (no {COALESCING_KEY} in fresh "
+              "artifact)")
+        return
+    for path, factor in entries:
+        status = "ok" if factor >= ARGS.coalescing_floor else "REGRESSION"
+        checked.append(
+            f"  {status:>10}  coalescing {path}: {factor:.2f}x "
+            f"(floor {ARGS.coalescing_floor:.2f}x)")
+        if factor < ARGS.coalescing_floor:
+            failures.append(
+                f"coalescing {path}: factor {factor:.2f} < floor "
+                f"{ARGS.coalescing_floor:.2f}")
+
+
 def main():
     global ARGS
     parser = argparse.ArgumentParser(description=__doc__)
@@ -106,6 +160,8 @@ def main():
     parser.add_argument("--scaling-threads", type=int, default=8)
     parser.add_argument("--scaling-min-cores", type=int, default=2,
                         help="skip the scaling gate below this core count")
+    parser.add_argument("--coalescing-floor", type=float, default=5.0,
+                        help="minimum deliveries/slab_sends per fresh entry")
     ARGS = parser.parse_args()
 
     with open(ARGS.fresh) as fh:
@@ -118,6 +174,7 @@ def main():
     failures, checked = [], []
     walk(fresh, baseline, "", failures, checked)
     check_scaling(fresh, failures, checked)
+    check_coalescing(fresh, failures, checked)
     for line in checked:
         print(line)
     if failures:

@@ -15,7 +15,7 @@ std::uint64_t MessageCounters::total_delivered() const noexcept {
 }
 
 std::uint64_t FaultCounters::total() const noexcept {
-  return drops + duplicates + delays + corrupts + partition_drops + crash_drops;
+  return drops + duplicates + delays + corrupts + partition_drops + crash_drops + truncations;
 }
 
 FaultCounters& FaultCounters::operator+=(const FaultCounters& other) noexcept {
@@ -25,6 +25,7 @@ FaultCounters& FaultCounters::operator+=(const FaultCounters& other) noexcept {
   corrupts += other.corrupts;
   partition_drops += other.partition_drops;
   crash_drops += other.crash_drops;
+  truncations += other.truncations;
   return *this;
 }
 
@@ -40,7 +41,8 @@ std::string ChaosCounters::summary() const {
     const FaultCounters& p = per_phase[i];
     os << "phase" << i << "[drop=" << p.drops << " dup=" << p.duplicates
        << " delay=" << p.delays << " corrupt=" << p.corrupts
-       << " partition=" << p.partition_drops << " crash=" << p.crash_drops << "] ";
+       << " partition=" << p.partition_drops << " crash=" << p.crash_drops
+       << " trunc=" << p.truncations << "] ";
   }
   os << "recovery[backoffs=" << backoffs << " shrinks=" << shrinks << " resyncs=" << resyncs
      << " restarts=" << restarts << "]";
@@ -114,6 +116,8 @@ std::string prometheus_exposition(const Metrics& metrics, const ChaosCounters* c
   expose(os, "idonly_fanout_unique_payloads_total", "counter", metrics.fanout.unique_payloads);
   expose(os, "idonly_fanout_dedup_hits_total", "counter", metrics.fanout.dedup_hits);
   expose(os, "idonly_fanout_bytes_delivered_total", "counter", metrics.fanout.bytes_delivered);
+  expose(os, "idonly_fanout_slab_sends_total", "counter", metrics.fanout.slab_sends);
+  expose(os, "idonly_fanout_send_failures_total", "counter", metrics.fanout.send_failures);
   expose(os, "idonly_done_nodes", "gauge", metrics.done_round.size());
 
   if (chaos != nullptr) {
@@ -123,7 +127,8 @@ std::string prometheus_exposition(const Metrics& metrics, const ChaosCounters* c
       const std::pair<const char*, std::uint64_t> faults[] = {
           {"drop", p.drops},           {"dup", p.duplicates},
           {"delay", p.delays},         {"corrupt", p.corrupts},
-          {"partition", p.partition_drops}, {"crash", p.crash_drops}};
+          {"partition", p.partition_drops}, {"crash", p.crash_drops},
+          {"trunc", p.truncations}};
       for (const auto& [fault, count] : faults) {
         if (count == 0) continue;
         os << "idonly_chaos_faults_total{phase=\"" << i << "\",fault=\"" << fault << "\"} "

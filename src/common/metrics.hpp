@@ -40,8 +40,26 @@ struct FanoutCounters {
   std::uint64_t unique_payloads = 0;  ///< messages wrapped (hashed) once at send time
   std::uint64_t dedup_hits = 0;       ///< duplicate deposits suppressed via the cached hash
   std::uint64_t bytes_delivered = 0;  ///< wire-encoded bytes summed over deliveries
+  /// Coalesced wire transfers: one per non-empty per-receiver round inbox
+  /// (the datagrams a slab-framing wire would carry — see net/codec.hpp).
+  /// `deliveries` is the per-message syscall baseline; deliveries/slab_sends
+  /// is the coalescing factor the benches gate.
+  std::uint64_t slab_sends = 0;
+  /// Real sends the kernel refused or shortened (ENOBUFS, short sendto) —
+  /// distinguishes kernel drops from injected chaos loss in soak runs.
+  std::uint64_t send_failures = 0;
 
   void reset() { *this = FanoutCounters{}; }
+
+  FanoutCounters& operator+=(const FanoutCounters& other) {
+    deliveries += other.deliveries;
+    unique_payloads += other.unique_payloads;
+    dedup_hits += other.dedup_hits;
+    bytes_delivered += other.bytes_delivered;
+    slab_sends += other.slab_sends;
+    send_failures += other.send_failures;
+    return *this;
+  }
 };
 
 /// Wire-fault counts injected by one chaos phase (common/chaos.hpp). One
@@ -53,6 +71,7 @@ struct FaultCounters {
   std::uint64_t corrupts = 0;         ///< one byte flipped (runtime engines)
   std::uint64_t partition_drops = 0;  ///< killed by a bidirectional partition
   std::uint64_t crash_drops = 0;      ///< killed by a crash window on an endpoint
+  std::uint64_t truncations = 0;      ///< datagrams larger than the receive buffer (MSG_TRUNC)
 
   [[nodiscard]] std::uint64_t total() const noexcept;
   FaultCounters& operator+=(const FaultCounters& other) noexcept;

@@ -40,4 +40,24 @@ namespace idonly {
 /// True iff the configuration satisfies the paper's resiliency assumption.
 [[nodiscard]] constexpr bool resilient(std::size_t n, std::size_t f) noexcept { return n > 3 * f; }
 
+// Imbs–Raynal two-phase reliable broadcast thresholds. The unknown-n
+// adaptation replaces its n-f / (n+f)/2 bounds with fractions of n_v that
+// are safe under the algorithm's stronger resiliency n > 5f:
+// n - 2f > 3n/5 (join/witness) and n - f > 4n/5 (accept).
+
+/// True iff count >= 3n/5 exactly (i.e. 5*count >= 3*n).
+[[nodiscard]] constexpr bool at_least_three_fifths(std::size_t count, std::size_t n) noexcept {
+  return 5 * static_cast<std::uint64_t>(count) >= 3 * static_cast<std::uint64_t>(n);
+}
+
+/// True iff count >= 4n/5 exactly (i.e. 5*count >= 4*n).
+[[nodiscard]] constexpr bool at_least_four_fifths(std::size_t count, std::size_t n) noexcept {
+  return 5 * static_cast<std::uint64_t>(count) >= 4 * static_cast<std::uint64_t>(n);
+}
+
+/// True iff the configuration satisfies the Imbs–Raynal resiliency n > 5f.
+[[nodiscard]] constexpr bool resilient_imbs(std::size_t n, std::size_t f) noexcept {
+  return n > 5 * f;
+}
+
 }  // namespace idonly

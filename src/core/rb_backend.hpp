@@ -1,0 +1,61 @@
+// Pluggable reliable-broadcast backends.
+//
+// The paper's Alg. 1 is one point in a design space: Imbs & Raynal's "Simple
+// and Efficient Reliable Broadcast" (see PAPERS.md) trades resiliency
+// (n > 5f instead of n > 3f) for a 2-phase message flow in which each node
+// sends its witness ONCE per payload instead of re-amplifying every round.
+// To ablate the two under identical harness/chaos/trace conditions, the
+// per-round protocol logic lives behind this interface and
+// ReliableBroadcastProcess owns only what is common to both: participant
+// tracking (n_v), acceptance bookkeeping, and observer events.
+//
+// Both backends speak the SAME message vocabulary — kPayload for the
+// source's initial broadcast, kEcho for echo/witness, kPresent for the
+// round-1 presence announcement — so every existing adversary strategy
+// (forged echoes, two-faced payloads, partial sends) applies to either
+// backend unchanged; only the thresholds and re-send policy differ.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "common/value.hpp"
+#include "net/message.hpp"
+#include "net/process.hpp"
+
+namespace idonly {
+
+enum class RbBackendKind {
+  kAlg1,  ///< paper Alg. 1: n > 3f, ≥n_v/3 re-echo every round, ≥2n_v/3 accept
+  kImbs,  ///< Imbs–Raynal 2-phase: n > 5f, witness once at ≥3n_v/5, ≥4n_v/5 accept
+};
+
+/// Lowercase stable name used by the scenario DSL and CLIs ("alg1"/"imbs").
+[[nodiscard]] const char* to_string(RbBackendKind kind) noexcept;
+/// Inverse of to_string(); nullopt on unknown names.
+[[nodiscard]] std::optional<RbBackendKind> parse_rb_backend(std::string_view name) noexcept;
+
+/// One reliable-broadcast state machine for a fixed (source, payload)
+/// instance at one node. Stepped once per round by ReliableBroadcastProcess,
+/// which supplies the current n_v (distinct nodes heard from).
+class RbBackend {
+ public:
+  virtual ~RbBackend() = default;
+
+  /// Executes one round: consumes the inbox, queues outgoing messages, and
+  /// returns the accepted payload on the round acceptance first fires
+  /// (nullopt before and after that round).
+  virtual std::optional<Value> on_round(RoundInfo round, std::span<const Message> inbox,
+                                        std::size_t n_v, std::vector<Outgoing>& out) = 0;
+};
+
+/// Factory. `self` is the running node, `source` the designated sender s,
+/// `payload` the broadcast value m (only read when self == source).
+[[nodiscard]] std::unique_ptr<RbBackend> make_rb_backend(RbBackendKind kind, NodeId self,
+                                                         NodeId source, Value payload);
+
+}  // namespace idonly

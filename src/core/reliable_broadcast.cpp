@@ -1,78 +1,26 @@
 #include "core/reliable_broadcast.hpp"
 
-#include "common/thresholds.hpp"
-
 namespace idonly {
 
-namespace {
-Message make_payload(NodeId source, const Value& payload) {
-  Message m;
-  m.kind = MsgKind::kPayload;
-  m.subject = source;
-  m.value = payload;
-  return m;
-}
-
-Message make_echo(NodeId source, const Value& payload) {
-  Message m;
-  m.kind = MsgKind::kEcho;
-  m.subject = source;
-  m.value = payload;
-  return m;
-}
-}  // namespace
-
 ReliableBroadcastProcess::ReliableBroadcastProcess(NodeId self, NodeId source, Value payload)
-    : Process(self), source_(source), payload_(payload) {}
+    : ReliableBroadcastProcess(self, source, payload, RbBackendKind::kAlg1) {}
+
+ReliableBroadcastProcess::ReliableBroadcastProcess(NodeId self, NodeId source, Value payload,
+                                                   RbBackendKind backend)
+    : Process(self),
+      source_(source),
+      backend_(make_rb_backend(backend, self, source, payload)) {}
 
 void ReliableBroadcastProcess::on_round(RoundInfo round, std::span<const Message> inbox,
                                         std::vector<Outgoing>& out) {
   tracker_.note(inbox);
-
-  // Accumulate echo(m, s) senders from every round (cumulative distinct
-  // counting — see header). A Byzantine source may put several payloads m in
-  // flight; each is tracked independently.
-  for (const Message& m : inbox) {
-    if (m.kind == MsgKind::kEcho && m.subject == source_) echoes_.add(m.value, m.sender);
-  }
-
-  if (round.local == 1) {
-    // Round 1: the source broadcasts (m, s); everyone else announces
-    // `present` so that n_v at every node includes all correct nodes.
-    if (id() == source_) {
-      broadcast(out, make_payload(source_, payload_));
-    } else {
-      broadcast(out, Message{.kind = MsgKind::kPresent});
-    }
-    return;
-  }
-
-  if (round.local == 2) {
-    // Round 2: echo the payload if it arrived directly from s.
-    for (const Message& m : inbox) {
-      if (m.kind == MsgKind::kPayload && m.sender == source_ && m.subject == source_) {
-        broadcast(out, make_echo(source_, m.value));
-        sent_initial_echo_ = true;
-        break;  // a correct source sends one payload; take the first
-      }
-    }
-    return;
-  }
-
-  // Rounds 3..∞: the amplification loop.
-  const std::size_t n_v = tracker_.n_v();
-  for (const auto& [payload, senders] : echoes_.all()) {
-    if (accepted_payload_.has_value()) break;
-    if (at_least_one_third(senders.size(), n_v)) {
-      broadcast(out, make_echo(source_, payload));
-    }
-    if (at_least_two_thirds(senders.size(), n_v)) {
-      accepted_payload_ = payload;
-      accept_round_ = round.local;
-      if (observer_ != nullptr) {
-        observer_->on_event(
-            {ProtocolEvent::Type::kAccepted, id(), round.local, payload, source_, 0});
-      }
+  const auto accepted = backend_->on_round(round, inbox, tracker_.n_v(), out);
+  if (accepted.has_value() && !accepted_payload_.has_value()) {
+    accepted_payload_ = *accepted;
+    accept_round_ = round.local;
+    if (observer_ != nullptr) {
+      observer_->on_event(
+          {ProtocolEvent::Type::kAccepted, id(), round.local, *accepted, source_, 0});
     }
   }
 }

@@ -17,14 +17,22 @@
 // The algorithm deliberately never terminates (it is a building block; the
 // callers — rotor, renaming — own termination), so the process just runs
 // until the simulator stops stepping it.
+//
+// The per-round protocol logic is pluggable (core/rb_backend.hpp): the
+// default backend is the paper's Alg. 1; RbBackendKind::kImbs selects the
+// Imbs–Raynal 2-phase variant (n > 5f, witness-once) for ablation. The
+// process owns what is common to both: n_v tracking, acceptance
+// bookkeeping, and observer events.
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "common/observer.hpp"
 #include "common/types.hpp"
 #include "common/value.hpp"
 #include "core/participant_tracker.hpp"
+#include "core/rb_backend.hpp"
 #include "net/process.hpp"
 
 namespace idonly {
@@ -32,8 +40,10 @@ namespace idonly {
 class ReliableBroadcastProcess final : public Process {
  public:
   /// `source` is the designated sender s; `payload` is m (only read when
-  /// self == source).
+  /// self == source). Runs the paper's Alg. 1.
   ReliableBroadcastProcess(NodeId self, NodeId source, Value payload);
+  /// Same, with an explicit backend selection.
+  ReliableBroadcastProcess(NodeId self, NodeId source, Value payload, RbBackendKind backend);
 
   void on_round(RoundInfo round, std::span<const Message> inbox,
                 std::vector<Outgoing>& out) override;
@@ -52,13 +62,10 @@ class ReliableBroadcastProcess final : public Process {
 
  private:
   NodeId source_;
-  Value payload_;
   ParticipantTracker tracker_;
-  /// Distinct senders of echo(m, s), keyed by the echoed payload m (the
-  /// source s is fixed per run; Byzantine sources may put several m in
-  /// flight, each counted independently).
-  QuorumCounter<Value> echoes_;
-  bool sent_initial_echo_ = false;
+  /// The per-round protocol state machine (echo/witness bookkeeping lives
+  /// inside — see core/rb_backend.hpp).
+  std::unique_ptr<RbBackend> backend_;
   std::optional<Value> accepted_payload_;
   std::optional<Round> accept_round_;
   ProtocolObserver* observer_ = nullptr;

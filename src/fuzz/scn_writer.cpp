@@ -52,6 +52,10 @@ std::string write_script(const ScenarioScript& script) {
   os << "crash-round " << script.config.crash_round << "\n";
   if (script.liveness_budget > 0) os << "liveness " << script.liveness_budget << "\n";
   if (script.byz_source) os << "byz-source\n";
+  // Default-backend scripts omit the line so the shipped corpus stays stable.
+  if (script.rb_backend != RbBackendKind::kAlg1) {
+    os << "rb " << to_string(script.rb_backend) << "\n";
+  }
   for (const ChaosPhaseSpec& phase : script.chaos_phases) {
     os << "chaos " << phase.first_round << "-" << phase.last_round;
     bool any_fault = false;

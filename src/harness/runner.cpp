@@ -57,7 +57,8 @@ ConsensusRun run_consensus(const ScenarioConfig& config, const std::vector<doubl
 }
 
 ReliableBroadcastRun run_reliable_broadcast(const ScenarioConfig& config, double payload,
-                                            bool byzantine_source, Round run_rounds) {
+                                            bool byzantine_source, Round run_rounds,
+                                            RbBackendKind backend) {
   const Scenario scenario = make_scenario(config);
   const NodeId source = byzantine_source && !scenario.byzantine_ids.empty()
                             ? scenario.byzantine_ids.front()
@@ -69,7 +70,7 @@ ReliableBroadcastRun run_reliable_broadcast(const ScenarioConfig& config, double
     const double p = index < config.n_correct
                          ? payload
                          : payload + 100.0 * static_cast<double>(index - config.n_correct + 1);
-    return std::make_unique<ReliableBroadcastProcess>(id, source, Value::real(p));
+    return std::make_unique<ReliableBroadcastProcess>(id, source, Value::real(p), backend);
   };
   populate(sim, scenario, factory);
   sim.run_rounds(run_rounds);
@@ -78,6 +79,7 @@ ReliableBroadcastRun run_reliable_broadcast(const ScenarioConfig& config, double
   run.source_correct = !byzantine_source;
   run.rounds = sim.round();
   run.messages = sim.metrics().messages.total_delivered();
+  run.fanout = sim.metrics().fanout;
   std::vector<Value> payloads;
   for (NodeId id : scenario.correct_ids) {
     auto* p = sim.get<ReliableBroadcastProcess>(id);

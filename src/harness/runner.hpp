@@ -6,8 +6,10 @@
 #include <optional>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/types.hpp"
 #include "common/value.hpp"
+#include "core/rb_backend.hpp"
 #include "core/rotor_coordinator.hpp"
 #include "core/parallel_consensus.hpp"
 #include "harness/scenario.hpp"
@@ -41,14 +43,16 @@ struct ReliableBroadcastRun {
   std::optional<Round> last_accept_round;
   Round rounds = 0;
   std::uint64_t messages = 0;
+  FanoutCounters fanout;                ///< engine fan-out/coalescing counters
 };
 
 /// When `byzantine_source` is true the designated source is the first
-/// Byzantine id (it behaves per the scenario's adversary kind).
-[[nodiscard]] ReliableBroadcastRun run_reliable_broadcast(const ScenarioConfig& config,
-                                                          double payload,
-                                                          bool byzantine_source = false,
-                                                          Round run_rounds = 30);
+/// Byzantine id (it behaves per the scenario's adversary kind). `backend`
+/// selects the RB state machine (core/rb_backend.hpp) — note kImbs needs
+/// n > 5f for its guarantees.
+[[nodiscard]] ReliableBroadcastRun run_reliable_broadcast(
+    const ScenarioConfig& config, double payload, bool byzantine_source = false,
+    Round run_rounds = 30, RbBackendKind backend = RbBackendKind::kAlg1);
 
 // ---------------------------------------------------- approximate agreement --
 struct ApproxRun {

@@ -184,6 +184,12 @@ std::variant<ScenarioScript, ParseError> parse_script(const std::string& text) {
       if (!(words >> script.config.crash_round)) return fail("crash-round: expected a number");
     } else if (keyword == "byz-source") {
       script.byz_source = true;
+    } else if (keyword == "rb") {
+      std::string name;
+      if (!(words >> name)) return fail("rb: missing backend name");
+      const auto backend = parse_rb_backend(name);
+      if (!backend.has_value()) return fail("rb: unknown backend '" + name + "'");
+      script.rb_backend = *backend;
     } else if (keyword == "chaos") {
       std::string window;
       if (!(words >> window)) return fail("chaos: expected <first>-<last> round window");
@@ -303,6 +309,9 @@ std::variant<ScenarioScript, ParseError> parse_script(const std::string& text) {
   if (!script.churn_events.empty() && script.protocol != ScriptProtocol::kConsensus &&
       script.protocol != ScriptProtocol::kTotalOrder) {
     return ParseError{0, "churn events are supported for the consensus and totalorder protocols"};
+  }
+  if (script.rb_backend != RbBackendKind::kAlg1 && script.protocol != ScriptProtocol::kRb) {
+    return ParseError{0, "rb backend selection is supported for the rb protocol only"};
   }
   return script;
 }
@@ -696,7 +705,8 @@ ScriptRun run_script(const ScenarioScript& script, const ScriptOptions& options)
     case ScriptProtocol::kRb: {
       const auto run = run_reliable_broadcast(script.config, script.inputs.front(),
                                               script.byz_source,
-                                              std::min<Round>(script.max_rounds, 60));
+                                              std::min<Round>(script.max_rounds, 60),
+                                              script.rb_backend);
       result.rounds = run.rounds;
       result.messages = run.messages;
       if (wants(script, Expectation::kAcceptance)) {

@@ -20,6 +20,7 @@
 //   byzantine <count> <adversary-name>[,<adversary-name>…] (mix round-robins)
 //   seed, max-rounds, iterations, crash-round              (numbers)
 //   byz-source                                             (rb: Byzantine sender)
+//   rb        alg1 | imbs                                  (rb: backend; default alg1)
 //   chaos     <first>-<last> <fault>=<spec> ...            (one phase per line)
 //   churn     <round> join=<count> | leave=<index>         (one event per line)
 //   liveness  <round budget>  (bounded-termination probe, chaos consensus)
@@ -68,6 +69,7 @@
 
 #include "common/chaos.hpp"
 #include "common/trace.hpp"
+#include "core/rb_backend.hpp"
 #include "harness/scenario.hpp"
 
 namespace idonly {
@@ -129,6 +131,9 @@ struct ScenarioScript {
   std::vector<double> inputs{0.0, 1.0};
   int iterations = 1;
   bool byz_source = false;
+  /// rb protocol only: which reliable-broadcast state machine to run
+  /// (core/rb_backend.hpp). kImbs needs n > 5f for its guarantees.
+  RbBackendKind rb_backend = RbBackendKind::kAlg1;
   Round max_rounds = 500;
   /// Bounded-termination probe budget; 0 = probe off.
   Round liveness_budget = 0;

@@ -112,4 +112,38 @@ std::optional<Message> decode(std::span<const std::byte> bytes) {
   return msg;
 }
 
+void SlabWriter::reset(Round round) {
+  buffer_.clear();
+  frames_ = 0;
+  buffer_.push_back(static_cast<std::byte>(kSlabMagic));
+  put_varint(static_cast<std::uint64_t>(round), buffer_);
+}
+
+void SlabWriter::add(const Message& msg) {
+  put_varint(encoded_size(msg), buffer_);
+  encode(msg, buffer_);
+  frames_ += 1;
+}
+
+std::optional<SlabView> parse_slab(std::span<const std::byte> bytes) {
+  if (bytes.empty() || static_cast<std::uint8_t>(bytes[0]) != kSlabMagic) return std::nullopt;
+  std::size_t offset = 1;
+  const auto round = get_varint(bytes, offset);
+  if (!round) return std::nullopt;
+  if (*round == 0 || *round > static_cast<std::uint64_t>(std::numeric_limits<Round>::max())) {
+    return std::nullopt;  // rounds are 1-based and must fit Round
+  }
+  SlabView view;
+  view.round = static_cast<Round>(*round);
+  while (offset < bytes.size()) {
+    const auto length = get_varint(bytes, offset);
+    if (!length) return std::nullopt;
+    if (*length == 0 || *length > bytes.size() - offset) return std::nullopt;
+    view.frames.push_back(bytes.subspan(offset, *length));
+    offset += *length;
+  }
+  if (view.frames.empty()) return std::nullopt;  // an empty slab is never sent
+  return view;
+}
+
 }  // namespace idonly

@@ -17,6 +17,20 @@
 // decode() is total: any input that is not a well-formed frame yields
 // nullopt (never UB, never a partial message) — a Byzantine peer controls
 // these bytes.
+//
+// Slab format (frame coalescing): the runtime sends ONE datagram per peer per
+// round instead of one per message. A slab is:
+//
+//   byte 0      kSlabMagic (0xAB — never a valid frame: version byte is 1)
+//   varint      round the slab was sent in
+//   repeated:   varint frame length (> 0), then that many frame bytes
+//
+// parse_slab() is structural only — it slices the payload into per-frame
+// subspans without decoding them, so receivers can reuse zero-copy FrameViews
+// and apply the normal per-frame decode()/drop accounting. It is total like
+// decode(): any malformation (bad magic, zero/overlong length, trailing or
+// missing bytes, zero frames) yields nullopt so callers can fall back to the
+// legacy one-frame-per-datagram format.
 #pragma once
 
 #include <cstddef>
@@ -25,11 +39,19 @@
 #include <span>
 #include <vector>
 
+#include "common/types.hpp"
 #include "net/message.hpp"
 
 namespace idonly {
 
 inline constexpr std::uint8_t kWireVersion = 1;
+
+/// First byte of a coalesced slab datagram. Distinct from kWireVersion so a
+/// receiver can tell slab and legacy frames apart from byte 0 (a legacy
+/// varint round header can also start with 0xAB — e.g. varint(171) — which is
+/// why slab detection is "magic byte AND structurally valid", with a legacy
+/// fallback on parse failure).
+inline constexpr std::uint8_t kSlabMagic = 0xAB;
 
 /// Append the encoded frame to `out`; returns the encoded size.
 std::size_t encode(const Message& msg, std::vector<std::byte>& out);
@@ -51,5 +73,36 @@ void put_varint(std::uint64_t value, std::vector<std::byte>& out);
 /// Reads a varint at `offset`, advancing it; nullopt on truncation/overflow.
 [[nodiscard]] std::optional<std::uint64_t> get_varint(std::span<const std::byte> bytes,
                                                       std::size_t& offset);
+
+/// Builds one coalesced slab datagram: magic + round header + length-prefixed
+/// encoded frames. Reusable across rounds via reset() so the send path does
+/// not reallocate per round.
+class SlabWriter {
+ public:
+  /// Drops any accumulated frames and starts a slab for `round`.
+  void reset(Round round);
+  /// Appends one length-prefixed encoded frame.
+  void add(const Message& msg);
+  /// Number of frames added since the last reset().
+  [[nodiscard]] std::size_t frame_count() const noexcept { return frames_; }
+  /// The full slab datagram (magic + header + frames added so far).
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept { return buffer_; }
+
+ private:
+  std::vector<std::byte> buffer_;
+  std::size_t frames_ = 0;
+};
+
+/// Result of a structural slab parse: the round header plus one subspan of
+/// the input per contained frame (zero-copy — spans alias the parsed bytes).
+struct SlabView {
+  Round round = 0;
+  std::vector<std::span<const std::byte>> frames;
+};
+
+/// Structurally parse a slab. Total: nullopt on bad magic, malformed or
+/// out-of-range round, zero frames, zero-length or overlong frame prefixes,
+/// or trailing bytes. Does NOT decode the contained frames.
+[[nodiscard]] std::optional<SlabView> parse_slab(std::span<const std::byte> bytes);
 
 }  // namespace idonly

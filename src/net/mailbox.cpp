@@ -98,6 +98,10 @@ std::span<const Message> collect_impl(std::vector<MessageRef>& entries,
     if (fanout != nullptr) {
       fanout->deliveries += view.size();
       fanout->bytes_delivered += lane->wire_bytes();
+      // One non-empty per-receiver round inbox = one coalesced slab datagram
+      // on a real wire (net/codec.hpp); deliveries is the per-message
+      // syscall baseline the benches compare against.
+      fanout->slab_sends += 1;
     }
     if (counters != nullptr) {
       const auto& kinds = lane->kind_counts();
@@ -143,6 +147,7 @@ std::span<const Message> collect_impl(std::vector<MessageRef>& entries,
   entries.clear();
   seqs.clear();
   seen.clear();
+  if (fanout != nullptr && !scratch.empty()) fanout->slab_sends += 1;
   return scratch;
 }
 

@@ -313,6 +313,8 @@ void SyncSimulator::step() {
     metrics_.fanout.unique_payloads += arena.fanout.unique_payloads;
     metrics_.fanout.dedup_hits += arena.fanout.dedup_hits;
     metrics_.fanout.bytes_delivered += arena.fanout.bytes_delivered;
+    metrics_.fanout.slab_sends += arena.fanout.slab_sends;
+    metrics_.fanout.send_failures += arena.fanout.send_failures;
     if (chaos_) chaos_->commit_batch(arena.chaos_stage);
     if (recorder_) recorder_->record_batch(arena.trace_stage);
     for (LaneArena::Delayed& delayed : arena.delayed_stage) {

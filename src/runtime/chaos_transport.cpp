@@ -40,14 +40,19 @@ std::vector<FrameView> ChaosTransport::drain_views() {
   }
   held_ = std::move(still_held);
 
-  for (FrameView& view : inner_->drain_views()) {
+  // Per-frame fault application on a LEGACY-format frame (varint round +
+  // codec frame): the verdict key and seq accounting are per message, so
+  // slabs are exploded below before reaching this point — keeping per-link
+  // seq counters (and therefore whole fault traces) byte-identical to the
+  // simulators, which decide per message.
+  const auto apply = [&](FrameView view) {
     // Recover the link key from the frame: round header + codec sender.
     std::size_t offset = 0;
     const auto header = get_varint(view.bytes, offset);
     const auto msg = header.has_value() ? decode(view.bytes.subspan(offset)) : std::nullopt;
     if (!msg.has_value()) {
       out.push_back(std::move(view));  // unparseable — the driver drops it anyway
-      continue;
+      return;
     }
     const auto round = static_cast<Round>(*header);
     const NodeId from = msg->sender;
@@ -55,7 +60,7 @@ std::vector<FrameView> ChaosTransport::drain_views() {
     const LinkEvent event{round, from, self_, seq};
     const FaultDecision verdict = chaos_->decide(event);
     if (recorder_ != nullptr) recorder_->record_link_verdict(event, verdict);
-    if (verdict.drop) continue;
+    if (verdict.drop) return;
 
     if (verdict.corrupt && view.bytes.size() > offset) {
       // Flip one payload byte past the round header in a private copy —
@@ -75,6 +80,24 @@ std::vector<FrameView> ChaosTransport::drain_views() {
         out.push_back(view);
       }
     }
+  };
+
+  for (FrameView& view : inner_->drain_views()) {
+    if (!view.bytes.empty() && static_cast<std::uint8_t>(view.bytes[0]) == kSlabMagic) {
+      if (const auto slab = parse_slab(view.bytes)) {
+        // Explode the slab into owned legacy frames in slab order so each
+        // message gets its own verdict (see `apply` above).
+        for (const auto frame : slab->frames) {
+          Frame legacy;
+          legacy.reserve(frame.size() + 10);
+          put_varint(static_cast<std::uint64_t>(slab->round), legacy);
+          legacy.insert(legacy.end(), frame.begin(), frame.end());
+          apply(make_frame_view(std::make_shared<const Frame>(std::move(legacy))));
+        }
+        continue;
+      }
+    }
+    apply(std::move(view));
   }
   return out;
 }

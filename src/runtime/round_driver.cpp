@@ -42,19 +42,14 @@ Round RoundDriver::run() {
 
     // Sort arrivals into per-round buffers by their round header. Views are
     // decoded in place — the shared frame buffer is never copied here.
-    for (const FrameView& view : transport_->drain_views()) {
-      std::size_t offset = 0;
-      const auto header = get_varint(view.bytes, offset);
-      if (!header.has_value()) {
-        frames_dropped_.fetch_add(1, std::memory_order_relaxed);
-        continue;
-      }
-      const auto msg = decode(view.bytes.subspan(offset));
+    // `route` handles one codec frame already stripped of its round tag; it
+    // is shared by the slab and legacy paths below.
+    const auto route = [&](Round sent_round, std::span<const std::byte> frame_bytes) {
+      const auto msg = decode(frame_bytes);
       if (!msg.has_value()) {
         frames_dropped_.fetch_add(1, std::memory_order_relaxed);
-        continue;
+        return;
       }
-      const auto sent_round = static_cast<Round>(*header);
       if (sent_round < r - 1) {
         frames_late_.fetch_add(1, std::memory_order_relaxed);  // synchrony violated
         if (rec != nullptr) {
@@ -68,9 +63,29 @@ Round RoundDriver::run() {
                                   .extra = sent_round,
                                   .detail = {}});
         }
-        continue;
+        return;
       }
       buffered_[sent_round].push_back(*msg);
+    };
+    for (const FrameView& view : transport_->drain_views()) {
+      // Coalesced slab (one datagram per peer per round): magic byte + round
+      // header + length-prefixed frames, sliced zero-copy. A legacy varint
+      // header can also start with 0xAB, so slab detection requires the
+      // structural parse to succeed — otherwise fall through to legacy.
+      if (!view.bytes.empty() && static_cast<std::uint8_t>(view.bytes[0]) == kSlabMagic) {
+        if (const auto slab = parse_slab(view.bytes)) {
+          for (const auto frame : slab->frames) route(slab->round, frame);
+          continue;
+        }
+      }
+      // Legacy one-frame-per-datagram format: varint round + codec frame.
+      std::size_t offset = 0;
+      const auto header = get_varint(view.bytes, offset);
+      if (!header.has_value()) {
+        frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      route(static_cast<Round>(*header), view.bytes.subspan(offset));
     }
 
     // This round's inbox: exactly the frames our peers sent in round r-1.
@@ -87,17 +102,17 @@ Round RoundDriver::run() {
     process_->on_round(RoundInfo{r, r}, inbox, out);
     rounds_executed_.store(r, std::memory_order_relaxed);
 
+    // Coalesce the round's sends into ONE slab datagram per peer: the
+    // runtime wire is a broadcast domain (engine-level unicast degrades to
+    // broadcast + receiver-side relevance), so one broadcast() carries the
+    // whole round — syscalls per round drop from |out| to 1.
+    slab_.reset(r);
     for (Outgoing& o : out) {
       o.msg.sender = self;  // stamp our identity (see header note)
-      // The runtime wire is a broadcast domain; engine-level unicast
-      // degrades to broadcast + receiver-side relevance.
-      Frame frame;
-      frame.reserve(encoded_size(o.msg) + 10);  // payload + max round varint
-      put_varint(static_cast<std::uint64_t>(r), frame);
-      encode(o.msg, frame);
-      transport_->broadcast(frame);
+      slab_.add(o.msg);
       if (rec != nullptr) rec->record_send(self, r, o.to);
     }
+    if (slab_.frame_count() > 0) transport_->broadcast(slab_.bytes());
 
     const std::uint64_t late_this_round =
         frames_late_.load(std::memory_order_relaxed) - late_before;

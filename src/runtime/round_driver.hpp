@@ -3,15 +3,23 @@
 //
 // Deployment of a synchronous protocol = agreeing on a round clock. All
 // drivers share an `epoch` timestamp and a `round_duration`; round r spans
-// [epoch + (r-1)·D, epoch + r·D). Every outgoing frame carries a ROUND
-// HEADER (varint r prepended to the codec frame); the receiver buffers by
-// header and hands the process, in its round r, exactly the frames tagged
-// r-1 — so scheduling jitter inside a slot can never smear one peer's round
-// r+1 traffic into another's round r inbox. Frames arriving after their
-// delivery round are dropped and counted (`frames_late()`): with D
-// comfortably above latency + jitter that counter stays 0 and the runtime
+// [epoch + (r-1)·D, epoch + r·D). Every frame carries a ROUND HEADER; the
+// receiver buffers by header and hands the process, in its round r, exactly
+// the frames tagged r-1 — so scheduling jitter inside a slot can never smear
+// one peer's round r+1 traffic into another's round r inbox. Frames arriving
+// after their delivery round are dropped and counted (`frames_late()`): with
+// D comfortably above latency + jitter that counter stays 0 and the runtime
 // realizes the paper's synchronous model; the E6 experiments quantify what
 // happens when it does not.
+//
+// ON THE WIRE the driver COALESCES: all of a round's outgoing messages go
+// into one slab datagram (kSlabMagic + varint round + length-prefixed codec
+// frames, see net/codec.hpp) and a single broadcast() ships it — syscalls
+// per round drop from one-per-message to one-per-peer. Receive slices slabs
+// into zero-copy frame subspans and still accepts the legacy
+// one-frame-per-datagram format (varint round + codec frame) so mixed-build
+// fleets interoperate; a datagram whose first byte happens to be the slab
+// magic but fails the structural parse falls back to the legacy decoder.
 //
 // SELF-HEALING (config.adaptive): instead of treating a smeared clock as a
 // terminal condition, the driver heals it. When one round sees
@@ -46,6 +54,7 @@
 
 #include "common/trace.hpp"
 #include "common/types.hpp"
+#include "net/codec.hpp"
 #include "net/process.hpp"
 #include "runtime/transport.hpp"
 
@@ -143,6 +152,7 @@ class RoundDriver {
   std::unique_ptr<Transport> transport_;
   RoundDriverConfig config_;
   std::map<Round, std::vector<Message>> buffered_;  // by sender round header
+  SlabWriter slab_;  // reused send buffer: one coalesced datagram per round
   std::atomic<Round> rounds_executed_{0};
   std::atomic<std::uint64_t> frames_dropped_{0};
   std::atomic<std::uint64_t> frames_late_{0};

@@ -4,6 +4,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -40,8 +41,12 @@ int make_bound_socket(std::uint16_t port) {
 
 }  // namespace
 
-UdpTransport::UdpTransport(std::uint16_t port, std::vector<std::uint16_t> peer_ports)
-    : fd_(make_bound_socket(port)), port_(port), peer_ports_(std::move(peer_ports)) {}
+UdpTransport::UdpTransport(std::uint16_t port, std::vector<std::uint16_t> peer_ports,
+                           std::size_t recv_buffer_size)
+    : fd_(make_bound_socket(port)),
+      port_(port),
+      peer_ports_(std::move(peer_ports)),
+      recv_buffer_(recv_buffer_size) {}
 
 UdpTransport::~UdpTransport() {
   if (fd_ >= 0) ::close(fd_);
@@ -50,24 +55,44 @@ UdpTransport::~UdpTransport() {
 void UdpTransport::broadcast(std::span<const std::byte> frame) {
   for (std::uint16_t peer : peer_ports_) {
     const sockaddr_in addr = loopback_addr(peer);
-    // Best effort: UDP may drop; the protocols' quorum logic tolerates the
-    // resulting silence exactly like a Byzantine omission (within f).
-    (void)::sendto(fd_, frame.data(), frame.size(), 0,
-                   reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    while (true) {
+      const ssize_t sent = ::sendto(fd_, frame.data(), frame.size(), 0,
+                                    reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+      if (sent < 0 && errno == EINTR) continue;  // interrupted — retry this peer
+      // Best effort beyond that: UDP may drop (ENOBUFS, full queues); the
+      // protocols' quorum logic tolerates the resulting silence exactly like
+      // a Byzantine omission (within f). But COUNT it, so soak runs can tell
+      // kernel-side loss apart from injected chaos faults.
+      if (sent == static_cast<ssize_t>(frame.size())) {
+        fanout_.slab_sends += 1;
+      } else {
+        fanout_.send_failures += 1;
+      }
+      break;
+    }
   }
 }
 
 std::vector<FrameView> UdpTransport::drain_views() {
   std::vector<FrameView> frames;
-  std::byte buffer[2048];
   while (true) {
-    const ssize_t got = ::recv(fd_, buffer, sizeof(buffer), 0);
+    iovec iov{recv_buffer_.data(), recv_buffer_.size()};
+    msghdr msg{};
+    msg.msg_iov = &iov;
+    msg.msg_iovlen = 1;
+    const ssize_t got = ::recvmsg(fd_, &msg, 0);
     if (got < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-      break;  // transient error — treat as empty
+      if (errno == EINTR) continue;  // interrupted — keep draining
+      break;                         // EAGAIN/EWOULDBLOCK (or real error): drained
+    }
+    if ((msg.msg_flags & MSG_TRUNC) != 0) {
+      // Datagram exceeded the buffer — the tail is gone, the prefix would
+      // decode as garbage (or worse, as a shorter valid frame). Drop whole.
+      faults_.truncations += 1;
+      continue;
     }
     // Each datagram is its own buffer — no sharing to exploit on receive.
-    auto owned = std::make_shared<const Frame>(buffer, buffer + got);
+    auto owned = std::make_shared<const Frame>(recv_buffer_.data(), recv_buffer_.data() + got);
     frames.push_back(make_frame_view(std::move(owned)));
   }
   return frames;

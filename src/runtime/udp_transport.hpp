@@ -2,23 +2,34 @@
 //
 // Each endpoint binds one UDP socket; `broadcast` fans the frame out to the
 // configured peer ports (its own included — self-inclusive broadcast).
-// Non-blocking receives; oversized or failed datagrams are dropped, exactly
-// the robustness the codec's total decode() expects from a hostile wire.
+// Non-blocking receives; oversized datagrams are detected via MSG_TRUNC and
+// counted (never delivered truncated), failed sends are counted — the
+// accounting the codec's total decode() and the chaos soak harness expect
+// from a hostile wire.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "runtime/transport.hpp"
 
 namespace idonly {
 
 class UdpTransport final : public Transport {
  public:
+  /// Large enough for any UDP payload (max datagram is 65507 bytes), so the
+  /// default never truncates; tests shrink it to exercise MSG_TRUNC.
+  static constexpr std::size_t kDefaultRecvBufferSize = 65535;
+
   /// Binds 127.0.0.1:`port`. `peer_ports` lists every endpoint on the wire
-  /// (this one included). Throws std::runtime_error on socket/bind failure.
-  UdpTransport(std::uint16_t port, std::vector<std::uint16_t> peer_ports);
+  /// (this one included). `recv_buffer_size` bounds the largest datagram
+  /// accepted whole; anything larger is counted as a truncation and dropped.
+  /// Throws std::runtime_error on socket/bind failure.
+  UdpTransport(std::uint16_t port, std::vector<std::uint16_t> peer_ports,
+               std::size_t recv_buffer_size = kDefaultRecvBufferSize);
   ~UdpTransport() override;
 
   UdpTransport(const UdpTransport&) = delete;
@@ -29,6 +40,12 @@ class UdpTransport final : public Transport {
 
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
 
+  /// Real-wire send accounting: slab_sends counts datagrams the kernel
+  /// accepted in full, send_failures the ones it refused or shortened.
+  [[nodiscard]] const FanoutCounters& fanout() const noexcept { return fanout_; }
+  /// Receive-side fault accounting (truncations = MSG_TRUNC datagrams).
+  [[nodiscard]] const FaultCounters& faults() const noexcept { return faults_; }
+
   /// Find `count` free loopback ports (best effort; binds and releases).
   [[nodiscard]] static std::vector<std::uint16_t> pick_free_ports(std::size_t count);
 
@@ -36,6 +53,10 @@ class UdpTransport final : public Transport {
   int fd_ = -1;
   std::uint16_t port_ = 0;
   std::vector<std::uint16_t> peer_ports_;
+  std::vector<std::byte> recv_buffer_;
+  // Single-driver-thread counters (one RoundDriver owns a transport).
+  FanoutCounters fanout_;
+  FaultCounters faults_;
 };
 
 }  // namespace idonly

@@ -343,6 +343,86 @@ TEST(RuntimeUdp, ConsensusOverLoopback) {
   }
 }
 
+TEST(RuntimeUdp, SlabLargerThanTheOldReceiveBufferArrivesIntact) {
+  // 200 coalesced frames ≈ 3 KiB — well past the 2048-byte receive buffer
+  // the transport used to allocate, which silently truncated (recv drops the
+  // datagram's tail) and fed the driver a corrupt slab. The full datagram
+  // must now arrive: every frame recovered, no truncations counted.
+  const auto ports = UdpTransport::pick_free_ports(2);
+  ASSERT_EQ(ports.size(), 2u);
+  UdpTransport sender(ports[0], ports);
+  UdpTransport receiver(ports[1], ports);
+
+  SlabWriter slab;
+  slab.reset(/*round=*/6);
+  std::vector<Message> sent;
+  for (int i = 0; i < 200; ++i) {
+    Message m;
+    m.sender = static_cast<NodeId>(i + 1);
+    m.kind = MsgKind::kEcho;
+    m.subject = 9;
+    m.value = Value::real(static_cast<double>(i));
+    slab.add(m);
+    sent.push_back(m);
+  }
+  ASSERT_GT(slab.bytes().size(), 2048u) << "the slab must exceed the old buffer";
+  sender.broadcast(slab.bytes());
+  EXPECT_EQ(sender.fanout().slab_sends, 2u) << "one datagram per peer, self included";
+  EXPECT_EQ(sender.fanout().send_failures, 0u);
+  std::this_thread::sleep_for(50ms);
+
+  const auto views = receiver.drain_views();
+  ASSERT_EQ(views.size(), 1u);
+  EXPECT_EQ(receiver.faults().truncations, 0u);
+  const auto parsed = parse_slab(views[0].bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->round, 6);
+  ASSERT_EQ(parsed->frames.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    const auto decoded = decode(parsed->frames[i]);
+    ASSERT_TRUE(decoded.has_value()) << i;
+    EXPECT_EQ(*decoded, sent[i]) << i;
+  }
+}
+
+TEST(RuntimeUdp, OversizedDatagramIsCountedAndDropped) {
+  // A receiver configured with a deliberately small buffer: recvmsg flags
+  // the overflow with MSG_TRUNC and the transport must drop the mangled
+  // datagram and count it — never hand the driver a silently cut frame.
+  const auto ports = UdpTransport::pick_free_ports(2);
+  ASSERT_EQ(ports.size(), 2u);
+  UdpTransport sender(ports[0], ports);
+  UdpTransport receiver(ports[1], ports, /*recv_buffer_size=*/128);
+
+  const Frame big(300, std::byte{0x5A});
+  sender.broadcast(big);
+  const Frame small = encode(Message{.sender = 1, .kind = MsgKind::kAck});
+  sender.broadcast(small);
+  std::this_thread::sleep_for(50ms);
+
+  const auto views = receiver.drain_views();
+  ASSERT_EQ(views.size(), 1u) << "only the in-budget datagram survives";
+  EXPECT_EQ(views[0].bytes.size(), small.size());
+  EXPECT_EQ(receiver.faults().truncations, 1u);
+}
+
+TEST(RuntimeUdp, LegacyPerMessageFramesStillReachTheDriver) {
+  // Interop: a peer running the old per-message wire format (varint round +
+  // codec frame) must still be understood by the slab-speaking driver — the
+  // structural slab parse fails on it and the legacy path decodes it.
+  InMemoryHub hub;
+  auto legacy_peer = hub.make_endpoint();
+  const auto config = config_starting_soon(10ms, 6);
+  RoundDriver driver(std::make_unique<ApproxAgreementProcess>(1, 5.0, /*iterations=*/3),
+                     hub.make_endpoint(), config);
+  Frame legacy;
+  put_varint(1, legacy);
+  encode(Message{.sender = 7, .kind = MsgKind::kPresent}, legacy);
+  legacy_peer->broadcast(legacy);
+  driver.run();
+  EXPECT_EQ(driver.frames_dropped(), 0u) << "a legacy frame is valid traffic, not junk";
+}
+
 TEST(RuntimeUdp, AuthTransportDropsSpamBeforeTheDriver) {
   // Same hostile-spammer setup, but the cluster shares a group key: the
   // junk dies in the AuthTransport (frames_rejected), and the driver's own
