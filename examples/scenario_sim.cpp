@@ -16,9 +16,11 @@
 // --seed N overrides the script's seed — the CI chaos soak sweeps one
 // script across seeds without editing the file.
 // --trace PATH writes the run's flight-recorder JSONL export (replay it
-// through trace_diff to compare two seeds' executions); --trace-chrome PATH
-// writes the chrome://tracing JSON view; --metrics prints the Prometheus
-// text exposition of the run's counters.
+// through trace_diff to compare two seeds' executions); --trace-canonical
+// PATH writes the canonical link-family export (the byte-comparable form the
+// dist-smoke CI job diffs against dist_sim); --trace-chrome PATH writes the
+// chrome://tracing JSON view; --metrics prints the Prometheus text
+// exposition of the run's counters.
 // --threads N runs the round engine on N worker threads; the run — and its
 // trace export — is bit-identical for every N (CI diffs them to prove it).
 // --rb NAME overrides the script's reliable-broadcast backend (alg1 | imbs,
@@ -49,6 +51,7 @@ int main(int argc, char** argv) {
   using namespace idonly;
   const char* path = nullptr;
   const char* trace_path = nullptr;
+  const char* canonical_path = nullptr;
   const char* chrome_path = nullptr;
   bool print_metrics = false;
   unsigned threads = 1;
@@ -67,6 +70,8 @@ int main(int argc, char** argv) {
       threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-canonical") == 0 && i + 1 < argc) {
+      canonical_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-chrome") == 0 && i + 1 < argc) {
       chrome_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
@@ -81,7 +86,7 @@ int main(int argc, char** argv) {
   if (path == nullptr) {
     std::fprintf(stderr,
                  "usage: scenario_sim <script-file> [--seed N] [--rb alg1|imbs] [--threads N] "
-                 "[--trace PATH] [--trace-chrome PATH] [--metrics]\n");
+                 "[--trace PATH] [--trace-canonical PATH] [--trace-chrome PATH] [--metrics]\n");
     return 2;
   }
   std::ifstream file(path);
@@ -108,13 +113,18 @@ int main(int argc, char** argv) {
   }
   ScriptOptions options;
   options.threads = threads;
-  if (trace_path != nullptr || chrome_path != nullptr) {
+  if (trace_path != nullptr || canonical_path != nullptr || chrome_path != nullptr) {
     options.recorder = std::make_shared<TraceRecorder>(TraceEngine::kSync);
   }
   const ScriptRun run = run_script(script, options);
 
   if (trace_path != nullptr && !write_file(trace_path, options.recorder->jsonl())) {
     std::fprintf(stderr, "cannot write %s\n", trace_path);
+    return 2;
+  }
+  if (canonical_path != nullptr &&
+      !write_file(canonical_path, options.recorder->canonical_jsonl())) {
+    std::fprintf(stderr, "cannot write %s\n", canonical_path);
     return 2;
   }
   if (chrome_path != nullptr && !write_file(chrome_path, options.recorder->chrome_trace_json())) {

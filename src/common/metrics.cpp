@@ -95,7 +95,8 @@ std::string prometheus_exposition(const CampaignCounters& campaign) {
   return os.str();
 }
 
-std::string prometheus_exposition(const Metrics& metrics, const ChaosCounters* chaos) {
+std::string prometheus_exposition(const Metrics& metrics, const ChaosCounters* chaos,
+                                  const FaultCounters* wire_faults) {
   std::ostringstream os;
   expose(os, "idonly_rounds_executed", "counter",
          static_cast<std::uint64_t>(metrics.rounds_executed < 0 ? 0 : metrics.rounds_executed));
@@ -142,6 +143,19 @@ std::string prometheus_exposition(const Metrics& metrics, const ChaosCounters* c
                                                              {"restart", chaos->restarts}};
     for (const auto& [action, count] : actions) {
       os << "idonly_recovery_actions_total{action=\"" << action << "\"} " << count << "\n";
+    }
+  }
+  if (wire_faults != nullptr) {
+    // Transport-observed faults (not chaos-injected): every sample is
+    // emitted — including zeros — because "no wire errors" is itself the
+    // signal a soak dashboard alerts on.
+    os << "# TYPE idonly_wire_faults_total counter\n";
+    const std::pair<const char*, std::uint64_t> faults[] = {
+        {"trunc", wire_faults->truncations}, {"drop", wire_faults->drops},
+        {"dup", wire_faults->duplicates},    {"delay", wire_faults->delays},
+        {"corrupt", wire_faults->corrupts}};
+    for (const auto& [fault, count] : faults) {
+      os << "idonly_wire_faults_total{fault=\"" << fault << "\"} " << count << "\n";
     }
   }
   return os.str();

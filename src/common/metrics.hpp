@@ -128,12 +128,20 @@ struct Metrics {
 };
 
 /// Prometheus-style text exposition of every counter above (plus the chaos
-/// fault/recovery counters when `chaos` is non-null): `# TYPE` headers and
+/// fault/recovery counters when `chaos` is non-null, plus transport-level
+/// wire faults when `wire_faults` is non-null): `# TYPE` headers and
 /// one sample per line, suitable for a node-exporter textfile collector or
 /// test assertions. Message kinds are labeled by their numeric MsgKind
 /// index (the names live in net/, which common/ must not depend on);
 /// zero-valued per-kind samples are omitted to keep the snapshot small.
+///
+/// `wire_faults` carries faults the TRANSPORT observed rather than chaos
+/// injected — truncated datagrams (MSG_TRUNC), frames a shard worker could
+/// not parse — as `idonly_wire_faults_total{fault=...}`. Together with
+/// `idonly_fanout_send_failures_total` this makes a worker's wire errors
+/// observable without grepping logs.
 [[nodiscard]] std::string prometheus_exposition(const Metrics& metrics,
-                                                const ChaosCounters* chaos = nullptr);
+                                                const ChaosCounters* chaos = nullptr,
+                                                const FaultCounters* wire_faults = nullptr);
 
 }  // namespace idonly

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <sstream>
+#include <stdexcept>
 
 namespace idonly {
 
@@ -222,6 +223,33 @@ std::vector<TraceRecord> TraceRecorder::snapshot() const {
     out.insert(out.end(), ring.records.begin(), ring.records.end());
   }
   return out;
+}
+
+std::vector<TraceRecorder::RingStats> TraceRecorder::ring_stats() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<RingStats> out;
+  out.reserve(rings_.size());
+  for (const auto& [id, ring] : rings_) {
+    out.push_back(RingStats{id, ring.next_seq, ring.evicted});
+  }
+  return out;
+}
+
+void TraceRecorder::absorb_ring(NodeId node, std::vector<TraceRecord> records,
+                                std::uint64_t next_seq, std::uint64_t evicted) {
+  std::scoped_lock lock(mutex_);
+  auto [it, inserted] = rings_.try_emplace(node);
+  if (!inserted) {
+    throw std::invalid_argument("absorb_ring: node " + std::to_string(node) +
+                                " already has records");
+  }
+  NodeRing& ring = it->second;
+  ring.next_seq = next_seq;
+  ring.evicted = evicted;
+  for (TraceRecord& rec : records) {
+    rec.node = node;
+    ring.records.push_back(std::move(rec));
+  }
 }
 
 std::vector<TraceRecord> TraceRecorder::canonical() const {

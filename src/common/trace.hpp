@@ -163,6 +163,25 @@ class TraceRecorder {
 
   /// All records, grouped by node id, capture order within each node.
   [[nodiscard]] std::vector<TraceRecord> snapshot() const;
+
+  /// Per-node ring bookkeeping, for shipping rings across a process
+  /// boundary (the distributed shard engine's workers each record their own
+  /// nodes and the coordinator splices the rings back together).
+  struct RingStats {
+    NodeId node = 0;
+    std::uint64_t next_seq = 0;
+    std::uint64_t evicted = 0;
+  };
+  [[nodiscard]] std::vector<RingStats> ring_stats() const;
+
+  /// Splice one node's ring — captured by another recorder of the same
+  /// capacity — into this one verbatim: records keep their capture seqs and
+  /// the ring its eviction count, so every export over the merged recorder
+  /// is byte-identical to a single-recorder run. The node must not already
+  /// hold records here (shard workers own disjoint id ranges); throws
+  /// std::invalid_argument when it does.
+  void absorb_ring(NodeId node, std::vector<TraceRecord> records, std::uint64_t next_seq,
+                   std::uint64_t evicted);
   /// Link-verdict records only, self-links removed, sorted by
   /// (round, from, to, link_seq) — engine- and thread-order-independent.
   [[nodiscard]] std::vector<TraceRecord> canonical() const;

@@ -1,0 +1,522 @@
+#include "dist/shard_coordinator.hpp"
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/invariants.hpp"
+#include "dist/shard_wire.hpp"
+#include "dist/shard_worker.hpp"
+#include "runtime/watchdog.hpp"
+
+namespace idonly {
+
+namespace {
+
+struct Worker {
+  std::uint32_t shard = 0;
+  pid_t pid = -1;
+  int fd = -1;
+  bool reaped = false;
+  int exit_status = 0;
+};
+
+/// Owns the fleet: closes sockets, SIGKILLs and reaps whatever is still
+/// alive when the run leaves scope — no path may leak a child.
+struct Fleet {
+  std::vector<Worker> workers;
+
+  ~Fleet() {
+    for (Worker& w : workers) {
+      if (w.fd >= 0) ::close(w.fd);
+      w.fd = -1;
+    }
+    kill_all();
+    reap_all();
+  }
+
+  void kill_all() {
+    for (const Worker& w : workers) {
+      if (!w.reaped && w.pid > 0) ::kill(w.pid, SIGKILL);
+    }
+  }
+
+  void reap_all() {
+    for (Worker& w : workers) {
+      if (w.reaped || w.pid <= 0) continue;
+      int status = 0;
+      if (::waitpid(w.pid, &status, 0) == w.pid) {
+        w.exit_status = status;
+        w.reaped = true;
+      }
+    }
+  }
+};
+
+std::string describe_exit(int status) {
+  if (WIFEXITED(status)) return "exit code " + std::to_string(WEXITSTATUS(status));
+  if (WIFSIGNALED(status)) return "killed by signal " + std::to_string(WTERMSIG(status));
+  return "status " + std::to_string(status);
+}
+
+/// Receive one frame with the watchdog-style wedge budget: the base timeout
+/// plus WatchdogConfig::max_restarts_per_slot grace retries (restarting a
+/// deterministic shard mid-round is meaningless, so a spent restart budget
+/// retires the run instead of the slot).
+RecvStatus recv_with_grace(int fd, ShardMsgType& type, std::vector<std::byte>& payload,
+                           int timeout_ms) {
+  const std::size_t attempts = 1 + WatchdogConfig{}.max_restarts_per_slot;
+  RecvStatus status = RecvStatus::kTimeout;
+  for (std::size_t i = 0; i < attempts; ++i) {
+    status = recv_frame(fd, type, payload, timeout_ms);
+    if (status != RecvStatus::kTimeout) return status;
+  }
+  return status;
+}
+
+/// A worker's failure to answer, rendered with what the wait() learned.
+std::string worker_failure(Fleet& fleet, Worker& worker, RecvStatus status,
+                           const std::string& when) {
+  std::ostringstream out;
+  out << "shard worker " << worker.shard << " (pid " << worker.pid << ") ";
+  if (status == RecvStatus::kEof) {
+    out << "died " << when;
+    // The socket EOF means the child is gone (or going); reap it so the
+    // message can carry the real exit status.
+    int wait_status = 0;
+    if (::waitpid(worker.pid, &wait_status, 0) == worker.pid) {
+      worker.exit_status = wait_status;
+      worker.reaped = true;
+      out << " (" << describe_exit(wait_status) << ")";
+    }
+  } else if (status == RecvStatus::kTimeout) {
+    out << "wedged " << when << " (no reply; watchdog grace budget of "
+        << WatchdogConfig{}.max_restarts_per_slot << " retries exhausted)";
+  } else {
+    out << "socket error " << when;
+  }
+  fleet.kill_all();
+  return out.str();
+}
+
+DistRun infra_failure(std::string message) {
+  DistRun run;
+  run.infra_ok = false;
+  run.infra_error = std::move(message);
+  run.script.all_satisfied = false;
+  run.script.summary = "dist: " + run.infra_error;
+  return run;
+}
+
+void check(ScriptRun& run, Expectation expectation, bool satisfied, std::string detail) {
+  run.outcomes.push_back(ExpectationOutcome{expectation, satisfied, std::move(detail)});
+  run.all_satisfied = run.all_satisfied && satisfied;
+}
+
+bool wants(const ScenarioScript& script, Expectation expectation) {
+  return std::find(script.expectations.begin(), script.expectations.end(), expectation) !=
+         script.expectations.end();
+}
+
+}  // namespace
+
+DistRun run_dist(const DistConfig& config) {
+  if (config.script_text.empty()) throw std::invalid_argument("run_dist: empty script text");
+  const std::uint32_t shards = config.shards == 0 ? 1 : config.shards;
+
+  auto parsed = parse_script(config.script_text);
+  if (const auto* err = std::get_if<ParseError>(&parsed)) {
+    return infra_failure("script parse error at line " + std::to_string(err->line) + ": " +
+                        err->message);
+  }
+  const ScenarioScript script = std::get<ScenarioScript>(std::move(parsed));
+  if (script.protocol != ScriptProtocol::kConsensus &&
+      script.protocol != ScriptProtocol::kTotalOrder) {
+    return infra_failure("distributed runner supports consensus and totalorder only");
+  }
+  const bool consensus = script.protocol == ScriptProtocol::kConsensus;
+  const Scenario scenario = make_scenario(script.config);
+
+  // ---------------------------------------------------------- spawn fleet --
+  Fleet fleet;
+  fleet.workers.resize(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    int sv[2] = {-1, -1};
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      return infra_failure("socketpair failed for shard " + std::to_string(s));
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(sv[0]);
+      ::close(sv[1]);
+      return infra_failure("fork failed for shard " + std::to_string(s));
+    }
+    if (pid == 0) {
+      // Child: drop every coordinator-side fd (including earlier siblings')
+      // so an exiting coordinator reads EOF, then run the worker protocol.
+      ::close(sv[0]);
+      for (std::uint32_t prev = 0; prev < s; ++prev) {
+        if (fleet.workers[prev].fd >= 0) ::close(fleet.workers[prev].fd);
+      }
+      fleet.workers.clear();  // the child must not kill/reap its siblings
+      ::_exit(run_worker_loop(sv[1]));
+    }
+    ::close(sv[1]);
+    fleet.workers[s] = Worker{s, pid, sv[0], false, 0};
+  }
+
+  for (Worker& worker : fleet.workers) {
+    ShardInit init;
+    init.shard = worker.shard;
+    init.shards = shards;
+    init.want_trace = config.want_trace;
+    init.crash_at_round = worker.shard == config.crash_shard ? config.crash_at_round : 0;
+    init.script_text = config.script_text;
+    if (!send_frame(worker.fd, ShardMsgType::kInit, encode_init(init))) {
+      return infra_failure(
+          worker_failure(fleet, worker, RecvStatus::kEof, "during initialisation"));
+    }
+  }
+  std::size_t total_members = 0;
+  for (Worker& worker : fleet.workers) {
+    ShardMsgType type{};
+    std::vector<std::byte> payload;
+    const RecvStatus status = recv_with_grace(worker.fd, type, payload, config.wedge_timeout_ms);
+    if (status != RecvStatus::kOk) {
+      return infra_failure(worker_failure(fleet, worker, status, "during initialisation"));
+    }
+    if (type == ShardMsgType::kError) {
+      ByteReader r(payload);
+      fleet.kill_all();
+      return infra_failure("shard worker " + std::to_string(worker.shard) + " failed: " +
+                          r.str());
+    }
+    if (type != ShardMsgType::kHello) {
+      fleet.kill_all();
+      return infra_failure("shard worker " + std::to_string(worker.shard) +
+                          " broke protocol during initialisation");
+    }
+    ByteReader r(payload);
+    (void)r.u32();
+    total_members += r.u64();
+  }
+  if (total_members != scenario.n()) {
+    fleet.kill_all();
+    return infra_failure("shard plan mismatch: workers own " + std::to_string(total_members) +
+                        " processes, scenario has " + std::to_string(scenario.n()));
+  }
+
+  // ----------------------------------------------------------- round loop --
+  // The coordinator replays the harness runners' loop policy
+  // (harness/script.cpp run_chaos_consensus / run_chaos_totalorder) with
+  // worker statuses standing in for direct process inspection, and its own
+  // ChurnDriver tracking the expectation set. The discard-everything
+  // callbacks keep its id stream aligned with the workers'.
+  ChurnDriver churn(script, scenario);
+  const ChurnDriver::JoinerFactory null_factory = [](NodeId, std::size_t) {
+    return std::unique_ptr<Process>{};
+  };
+  const ChurnDriver::AddFn null_add = [](std::unique_ptr<Process>) {};
+  const ChurnDriver::RemoveFn null_remove = [](NodeId) {};
+
+  std::map<NodeId, bool> done_status;
+  const auto tracked_done = [&] {
+    bool any = false;
+    for (NodeId id : churn.tracked()) {
+      const auto it = done_status.find(id);
+      if (it == done_status.end() || !it->second) return false;
+      any = true;
+    }
+    return any;
+  };
+
+  Round round = 0;
+  std::optional<DistRun> failed;
+  const auto do_round = [&]() -> bool {
+    for (Worker& worker : fleet.workers) {
+      if (!send_frame(worker.fd, ShardMsgType::kStep, {})) {
+        failed = infra_failure(worker_failure(fleet, worker, RecvStatus::kEof,
+                                              "when commanded to step"));
+        return false;
+      }
+    }
+    // Slab gather: outbox[t] collects every (s → t) slab of the round.
+    std::vector<std::vector<std::vector<std::byte>>> outbox(shards);
+    for (Worker& worker : fleet.workers) {
+      ShardMsgType type{};
+      std::vector<std::byte> payload;
+      const RecvStatus status =
+          recv_with_grace(worker.fd, type, payload, config.wedge_timeout_ms);
+      if (status != RecvStatus::kOk) {
+        failed = infra_failure(worker_failure(fleet, worker, status,
+                                              "in round " + std::to_string(round + 1)));
+        return false;
+      }
+      if (type == ShardMsgType::kError) {
+        ByteReader r(payload);
+        fleet.kill_all();
+        failed = infra_failure("shard worker " + std::to_string(worker.shard) +
+                               " failed: " + r.str());
+        return false;
+      }
+      ByteReader r(payload);
+      const std::uint32_t count = type == ShardMsgType::kSlabs ? r.u32() : 0;
+      for (std::uint32_t i = 0; i < count && !r.failed(); ++i) {
+        const std::uint32_t dest = r.u32();
+        std::vector<std::byte> slab = r.blob();
+        if (dest < shards && dest != worker.shard) outbox[dest].push_back(std::move(slab));
+      }
+      if (type != ShardMsgType::kSlabs || !r.done()) {
+        fleet.kill_all();
+        failed = infra_failure("shard worker " + std::to_string(worker.shard) +
+                               " broke protocol in round " + std::to_string(round + 1));
+        return false;
+      }
+    }
+    for (Worker& worker : fleet.workers) {
+      ByteWriter w;
+      w.u32(static_cast<std::uint32_t>(outbox[worker.shard].size()));
+      for (const std::vector<std::byte>& slab : outbox[worker.shard]) w.blob(slab);
+      if (!send_frame(worker.fd, ShardMsgType::kDeliver, w.bytes())) {
+        failed = infra_failure(worker_failure(fleet, worker, RecvStatus::kEof,
+                                              "when delivering round " +
+                                                  std::to_string(round + 1)));
+        return false;
+      }
+    }
+    for (Worker& worker : fleet.workers) {
+      ShardMsgType type{};
+      std::vector<std::byte> payload;
+      const RecvStatus status =
+          recv_with_grace(worker.fd, type, payload, config.wedge_timeout_ms);
+      if (status != RecvStatus::kOk) {
+        failed = infra_failure(worker_failure(fleet, worker, status,
+                                              "merging round " + std::to_string(round + 1)));
+        return false;
+      }
+      if (type == ShardMsgType::kError) {
+        ByteReader r(payload);
+        fleet.kill_all();
+        failed = infra_failure("shard worker " + std::to_string(worker.shard) +
+                               " failed: " + r.str());
+        return false;
+      }
+      const auto worker_status =
+          type == ShardMsgType::kStatus ? decode_status(payload) : std::nullopt;
+      if (!worker_status.has_value()) {
+        fleet.kill_all();
+        failed = infra_failure("shard worker " + std::to_string(worker.shard) +
+                               " broke protocol in round " + std::to_string(round + 1));
+        return false;
+      }
+      for (const auto& [id, done] : worker_status->done) done_status[id] = done;
+    }
+    round += 1;
+    return true;
+  };
+
+  bool all_decided = false;
+  for (Round i = 0; i < script.max_rounds; ++i) {
+    if (consensus && tracked_done()) {
+      all_decided = true;
+      break;
+    }
+    churn.apply(round + 1, null_factory, null_add, null_remove);
+    if (!do_round()) return *std::move(failed);
+  }
+  if (consensus && !all_decided) all_decided = tracked_done();
+
+  // -------------------------------------------------------------- results --
+  std::vector<ShardResult> results;
+  for (Worker& worker : fleet.workers) {
+    if (!send_frame(worker.fd, ShardMsgType::kFinish, {})) {
+      return infra_failure(
+          worker_failure(fleet, worker, RecvStatus::kEof, "when commanded to finish"));
+    }
+  }
+  for (Worker& worker : fleet.workers) {
+    ShardMsgType type{};
+    std::vector<std::byte> payload;
+    const RecvStatus status = recv_with_grace(worker.fd, type, payload, config.wedge_timeout_ms);
+    if (status != RecvStatus::kOk) {
+      return infra_failure(worker_failure(fleet, worker, status, "while finalizing"));
+    }
+    auto result = type == ShardMsgType::kResult ? decode_result(payload) : std::nullopt;
+    if (!result.has_value()) {
+      fleet.kill_all();
+      return infra_failure("shard worker " + std::to_string(worker.shard) +
+                          " sent a malformed result");
+    }
+    results.push_back(*std::move(result));
+  }
+  for (Worker& worker : fleet.workers) {
+    int wait_status = 0;
+    if (::waitpid(worker.pid, &wait_status, 0) == worker.pid) {
+      worker.exit_status = wait_status;
+      worker.reaped = true;
+    }
+    if (!WIFEXITED(worker.exit_status) || WEXITSTATUS(worker.exit_status) != 0) {
+      fleet.kill_all();
+      return infra_failure("shard worker " + std::to_string(worker.shard) +
+                          " finished with " + describe_exit(worker.exit_status));
+    }
+  }
+
+  // ---------------------------------------------------------------- merge --
+  DistRun run;
+  Metrics metrics;
+  ChaosCounters chaos;
+  bool has_chaos = false;
+  FaultCounters wire_faults;
+  std::map<NodeId, ShardResult::Decision> decisions;
+  std::map<NodeId, std::vector<ChainEntry>> chains;
+  if (config.want_trace) run.recorder = std::make_shared<TraceRecorder>(TraceEngine::kSync);
+  for (ShardResult& result : results) {
+    for (std::size_t k = 0; k < MessageCounters::kKinds; ++k) {
+      metrics.messages.sent[k] += result.metrics.messages.sent[k];
+      metrics.messages.delivered[k] += result.metrics.messages.delivered[k];
+    }
+    metrics.fanout += result.metrics.fanout;
+    metrics.rounds_executed = std::max(metrics.rounds_executed, result.metrics.rounds_executed);
+    for (const auto& [id, done_round] : result.metrics.done_round) {
+      metrics.done_round.emplace(id, done_round);
+    }
+    if (result.has_chaos) {
+      has_chaos = true;
+      if (chaos.per_phase.size() < result.chaos.per_phase.size()) {
+        chaos.per_phase.resize(result.chaos.per_phase.size());
+      }
+      for (std::size_t p = 0; p < result.chaos.per_phase.size(); ++p) {
+        chaos.per_phase[p] += result.chaos.per_phase[p];
+      }
+      chaos.backoffs += result.chaos.backoffs;
+      chaos.shrinks += result.chaos.shrinks;
+      chaos.resyncs += result.chaos.resyncs;
+      chaos.restarts += result.chaos.restarts;
+    }
+    wire_faults += result.wire_faults;
+    for (const ShardResult::Decision& d : result.decisions) decisions.emplace(d.id, d);
+    for (ShardResult::Chain& c : result.chains) chains.emplace(c.id, std::move(c.chain));
+    if (run.recorder != nullptr) {
+      for (ShardResult::Ring& ring : result.rings) {
+        run.recorder->absorb_ring(ring.node, std::move(ring.records), ring.next_seq,
+                                  ring.evicted);
+      }
+    }
+  }
+
+  ScriptRun& script_run = run.script;
+  script_run.rounds = round;
+  script_run.messages = metrics.messages.total_delivered();
+  if (has_chaos) {
+    script_run.chaos_summary = chaos.summary();
+    script_run.metrics_exposition = prometheus_exposition(metrics, &chaos, &wire_faults);
+  } else {
+    script_run.metrics_exposition = prometheus_exposition(metrics, nullptr, &wire_faults);
+  }
+
+  if (consensus) {
+    // Replayed verdict logic from run_chaos_consensus, with the monitor fed
+    // from the merged decision set (decide rounds from the merged metrics)
+    // so the liveness probe's verdict — and its violation string — match.
+    std::vector<Value> correct_inputs;
+    for (std::size_t i = 0; i < scenario.correct_ids.size(); ++i) {
+      correct_inputs.push_back(Value::real(script.inputs[i % script.inputs.size()]));
+    }
+    InvariantMonitor monitor(wants(script, Expectation::kValidity) ? correct_inputs
+                                                                   : std::vector<Value>{});
+    if (script.liveness_budget > 0) monitor.set_termination_probe(script.liveness_budget);
+    for (const auto& [id, d] : decisions) {
+      if (!d.has_output) continue;
+      ProtocolEvent event;
+      event.type = ProtocolEvent::Type::kDecided;
+      event.node = id;
+      const auto it = metrics.done_round.find(id);
+      event.round = it != metrics.done_round.end() ? it->second : round;
+      event.value = d.output;
+      monitor.on_event(event);
+    }
+    monitor.finish(round);
+    script_run.violations = monitor.violations();
+
+    std::optional<Value> first;
+    bool agreement = true;
+    bool validity = false;
+    for (NodeId id : churn.tracked()) {
+      const auto it = decisions.find(id);
+      if (it == decisions.end() || !it->second.has_output) continue;
+      if (!first.has_value()) first = it->second.output;
+      agreement = agreement && it->second.output == *first;
+    }
+    if (first.has_value()) {
+      for (const Value& input : correct_inputs) validity = validity || input == *first;
+    }
+    if (wants(script, Expectation::kTermination)) {
+      check(script_run, Expectation::kTermination, all_decided, "all correct nodes decided");
+    }
+    if (wants(script, Expectation::kAgreement)) {
+      check(script_run, Expectation::kAgreement, agreement && all_decided,
+            "identical outputs");
+    }
+    if (wants(script, Expectation::kValidity)) {
+      check(script_run, Expectation::kValidity, validity, "output is a correct input");
+    }
+    if (wants(script, Expectation::kNoViolations)) {
+      check(script_run, Expectation::kNoViolations, monitor.ok() && agreement,
+            script_run.violations.empty() ? "invariant monitor clean"
+                                          : script_run.violations.front());
+    }
+  } else {
+    bool growth = !churn.tracked().empty();
+    bool prefix_ok = true;
+    const std::vector<ChainEntry>* longest = nullptr;
+    for (NodeId id : churn.tracked()) {
+      const auto it = chains.find(id);
+      if (it == chains.end()) continue;
+      growth = growth && !it->second.empty();
+      if (longest == nullptr || it->second.size() > longest->size()) longest = &it->second;
+    }
+    for (NodeId id : churn.tracked()) {
+      const auto it = chains.find(id);
+      if (it == chains.end() || longest == nullptr) continue;
+      const std::vector<ChainEntry>& chain = it->second;
+      const bool is_prefix = std::equal(chain.begin(), chain.end(), longest->begin());
+      if (!is_prefix) {
+        prefix_ok = false;
+        script_run.violations.push_back("node " + std::to_string(id) +
+                                        "'s chain is not a prefix of the longest chain");
+      }
+    }
+    if (wants(script, Expectation::kTermination)) {
+      check(script_run, Expectation::kTermination, growth, "every correct chain grew");
+    }
+    if (wants(script, Expectation::kAgreement)) {
+      check(script_run, Expectation::kAgreement, prefix_ok, "chains prefix-comparable");
+    }
+    if (wants(script, Expectation::kNoViolations)) {
+      check(script_run, Expectation::kNoViolations, prefix_ok,
+            script_run.violations.empty() ? "chain-prefix invariant clean"
+                                          : script_run.violations.front());
+    }
+  }
+
+  std::ostringstream summary;
+  summary << to_string(script.protocol) << " n=" << script.config.n_correct << "+"
+          << script.config.n_byzantine << " seed=" << script.config.seed
+          << " rounds=" << script_run.rounds << " msgs=" << script_run.messages << " — "
+          << (script_run.all_satisfied ? "OK" : "EXPECTATION FAILED");
+  script_run.summary = summary.str();
+  return run;
+}
+
+}  // namespace idonly

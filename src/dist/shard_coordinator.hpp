@@ -1,0 +1,72 @@
+// Multi-process distributed simulation: fork N shard workers, drive the
+// round barrier, exchange cross-shard slabs, and merge the results into the
+// same ScriptRun a single-process run_script() produces.
+//
+// Topology is a star: every worker holds one AF_UNIX stream socketpair to
+// the coordinator, which relays each round's (source shard → destination
+// shard) slabs. The coordinator owns the ROUND LOOP POLICY — the early-exit
+// check for consensus, the fixed round count for totalorder — replicated
+// from the harness chaos runners (harness/script.cpp), with the worker
+// statuses standing in for direct process inspection. Its own ChurnDriver
+// instance (engine-agnostic, same seed stream as the workers') tracks the
+// evolving set of nodes the expectations quantify over.
+//
+// Failure handling: a worker that closes its socket (crash) or stops
+// answering (wedge) fails the RUN, not the coordinator — every worker is
+// SIGKILLed, reaped, and the result carries `infra_ok = false` plus a
+// message naming the shard and the failure mode. The wedge budget reuses
+// the runtime watchdog's retirement policy (runtime/watchdog.hpp): a silent
+// worker is granted WatchdogConfig::max_restarts_per_slot extra polling
+// grace periods — restarting a deterministic shard mid-round is
+// meaningless, so "restart budget spent" maps to "retire the run". There is
+// deliberately no partial-result path: a run missing one shard's traffic
+// would be a DIFFERENT run, silently.
+//
+// Determinism: for the same script and seed, the merged canonical trace
+// (flight-recorder link verdicts) is byte-identical to
+// `run_script(..., threads=1)` with a recorder — the CI dist-smoke job
+// byte-compares the two exports. See DESIGN.md §12 for the argument.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/trace.hpp"
+#include "harness/script.hpp"
+
+namespace idonly {
+
+struct DistConfig {
+  std::string script_text;
+  std::uint32_t shards = 1;
+  /// Capture the flight-recorder trace (workers record their own nodes; the
+  /// coordinator splices the rings).
+  bool want_trace = false;
+  /// Whole-frame receive budget per worker reply before the worker counts
+  /// as wedged (then the watchdog-style grace retries start).
+  int wedge_timeout_ms = 60000;
+  /// Test hook: worker `crash_shard` dies abruptly before executing round
+  /// `crash_at_round` (0 = never). The run must fail cleanly, not hang.
+  Round crash_at_round = 0;
+  std::uint32_t crash_shard = 0;
+};
+
+struct DistRun {
+  /// False when the RUN INFRASTRUCTURE failed — a worker crashed, wedged,
+  /// or broke protocol. `script` is meaningless in that case.
+  bool infra_ok = true;
+  std::string infra_error;
+  /// The merged run result, same shape and summary format as run_script().
+  ScriptRun script;
+  /// Merged flight recorder (null unless want_trace and infra_ok).
+  std::shared_ptr<TraceRecorder> recorder;
+};
+
+/// Execute the scripted run across `config.shards` forked worker processes.
+/// Supports the consensus and totalorder protocols (the chaos/churn loop
+/// harnesses). Never throws on worker failure — that is an infra_ok=false
+/// result; throws only on programmer error (e.g. empty script text).
+[[nodiscard]] DistRun run_dist(const DistConfig& config);
+
+}  // namespace idonly

@@ -1,0 +1,225 @@
+#include "dist/shard_engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+namespace idonly {
+
+void ShardEngine::add_process(std::unique_ptr<Process> process) {
+  if (process == nullptr) throw std::invalid_argument("add_process: null process");
+  const NodeId id = process->id();
+  const bool queued = std::any_of(pending_joins_.begin(), pending_joins_.end(),
+                                  [id](const auto& p) { return p->id() == id; });
+  if (members_.contains(id) || queued) {
+    throw std::invalid_argument("add_process: duplicate live node id " + std::to_string(id));
+  }
+  pending_joins_.push_back(std::move(process));
+}
+
+void ShardEngine::remove_process(NodeId id) { pending_removals_.push_back(id); }
+
+void ShardEngine::begin_round() {
+  // Departures announced during the previous round take effect before this
+  // one begins; in-flight delayed messages addressed to the leaver die with
+  // it. Identical prologue to SyncSimulator::step.
+  for (NodeId id : pending_removals_) {
+    members_.erase(id);
+    std::erase_if(pending_joins_,
+                  [id](const std::unique_ptr<Process>& p) { return p->id() == id; });
+    for (auto& [due, entries] : delayed_) {
+      std::erase_if(entries, [id](const auto& entry) { return entry.first == id; });
+    }
+  }
+  pending_removals_.clear();
+
+  for (auto& joiner : pending_joins_) {
+    const NodeId id = joiner->id();
+    assert(members_.find(id) == members_.end() && "duplicate live node id");
+    Member member;
+    member.process = std::move(joiner);
+    member.joined_round = round_ + 1;
+    members_.emplace(id, std::move(member));
+  }
+  pending_joins_.clear();
+
+  round_ += 1;
+  metrics_.rounds_executed = round_;
+
+  // Synchrony-fault-delayed messages land AFTER last round's routed traffic
+  // (fresh keys off the advanced counter), preserving back-of-inbox order.
+  for (auto it = delayed_.begin(); it != delayed_.end() && it->first <= round_;) {
+    for (auto& [to, ref] : it->second) {
+      auto member = members_.find(to);
+      if (member == members_.end()) continue;
+      if (!member->second.mailbox.deposit(ref, seq_++)) metrics_.fanout.dedup_hits += 1;
+    }
+    it = delayed_.erase(it);
+  }
+
+  // Dispatch arena, ascending by id (std::map order). Capacity reused.
+  if (dispatches_.size() > members_.size()) dispatches_.resize(members_.size());
+  dispatches_.reserve(members_.size());
+  std::size_t slot = 0;
+  for (auto& [id, member] : members_) {
+    if (slot == dispatches_.size()) dispatches_.emplace_back();
+    Dispatch& dispatch = dispatches_[slot++];
+    dispatch.id = id;
+    dispatch.member = &member;
+    dispatch.outbox.clear();
+    dispatch.became_done = false;
+  }
+
+  // Inbox assembly for every member BEFORE anyone steps (lock-step
+  // semantics). There is no shared broadcast lane — every deposit went
+  // through the per-receiver path — so collect() runs against a null lane.
+  // Delivery records flush before the merge stages send/verdict records,
+  // matching the reference engine's per-ring capture order.
+  for (Dispatch& dispatch : dispatches_) {
+    Member& member = *dispatch.member;
+    dispatch.inbox = member.mailbox.collect(static_cast<const BroadcastLane*>(nullptr),
+                                            member.scratch, &metrics_.fanout,
+                                            &metrics_.messages);
+    if (recorder_) {
+      for (const Message& msg : dispatch.inbox) {
+        trace_stage_.push_back(make_deliver_record(dispatch.id, round_, msg.sender));
+      }
+    }
+  }
+  if (recorder_) {
+    recorder_->record_batch(trace_stage_);
+    trace_stage_.clear();
+  }
+
+  // Step every local process, stamp identities, wrap, and lay the round's
+  // local traffic out in global send order restricted to local senders.
+  local_sends_.clear();
+  for (Dispatch& dispatch : dispatches_) {
+    Member& member = *dispatch.member;
+    const bool was_done = member.process->done();
+    RoundInfo info{round_, round_ - member.joined_round + 1};
+    member.process->on_round(info, dispatch.inbox, dispatch.outbox);
+    dispatch.became_done = !was_done && member.process->done();
+    for (Outgoing& out : dispatch.outbox) {
+      Message msg = std::move(out.msg);
+      msg.sender = dispatch.id;  // unforgeable identity
+      local_sends_.push_back(Send{out.to, MessageRef::wrap(std::move(msg))});
+    }
+  }
+}
+
+void ShardEngine::deposit_private(NodeId from, NodeId to, Member& member,
+                                  const MessageRef& ref, std::uint64_t key) {
+  Round extra = 0;
+  if (chaos_) {
+    const std::uint64_t link_seq = link_seq_[{from, to}]++;
+    const LinkEvent event{round_, from, to, link_seq};
+    const FaultDecision verdict = chaos_->peek(event);
+    if (verdict.faulted()) chaos_stage_.emplace_back(event, verdict);
+    if (recorder_) trace_stage_.push_back(make_link_verdict_record(event, verdict));
+    if (verdict.drop) return;
+    if (verdict.duplicate) {
+      // Second copy at `key`: duplicate-before-primary, the sequential
+      // engine's deposit order. It dies in mailbox dedup; the decision is
+      // what must reproduce, and it is in the trace.
+      if (!member.mailbox.deposit(ref, key)) metrics_.fanout.dedup_hits += 1;
+    }
+    extra = verdict.delay_rounds;
+  }
+  if (extra > 0) {
+    delayed_stage_.push_back({round_ + 1 + extra, to, ref});
+    return;
+  }
+  if (!member.mailbox.deposit(ref, key + 1)) metrics_.fanout.dedup_hits += 1;
+}
+
+void ShardEngine::finish_round(std::span<const std::vector<Send>> remote_streams) {
+  // K-way merge on sender id. Stream 0 is the local traffic; each remote
+  // stream is one shard's visible slab. Streams are internally ascending by
+  // sender and sender sets are disjoint, so repeatedly taking the stream
+  // with the smallest head sender replays the exact visible subsequence of
+  // the global send order.
+  const std::size_t k = remote_streams.size() + 1;
+  std::vector<std::span<const Send>> streams(k);
+  streams[0] = local_sends_;
+  for (std::size_t s = 0; s < remote_streams.size(); ++s) streams[s + 1] = remote_streams[s];
+  std::vector<std::size_t> heads(k, 0);
+
+  std::uint64_t ordinal = 0;
+  for (;;) {
+    std::size_t pick = k;
+    NodeId best = 0;
+    for (std::size_t s = 0; s < k; ++s) {
+      if (heads[s] >= streams[s].size()) continue;
+      const NodeId sender = streams[s][heads[s]].ref->sender;
+      if (pick == k || sender < best) {
+        pick = s;
+        best = sender;
+      }
+    }
+    if (pick == k) break;
+    const Send& send = streams[pick][heads[pick]++];
+    const bool local_sender = pick == 0;
+    const NodeId from = send.ref->sender;
+    // Two deposit keys per visible ordinal: chaos duplicate at `key`,
+    // primary at `key + 1`. Only relative order per mailbox is observable,
+    // so the gaps left by traffic this shard never sees are free.
+    const std::uint64_t key = seq_ + 2 * ordinal;
+    ordinal += 1;
+    if (local_sender) {
+      metrics_.messages.sent[static_cast<std::size_t>(send.ref->kind)] += 1;
+      metrics_.fanout.unique_payloads += 1;
+      if (recorder_) trace_stage_.push_back(make_send_record(from, round_, send.to));
+    }
+    if (send.to.has_value()) {
+      // Unicast: deposited only when this shard hosts the recipient. A
+      // recipient that is remote — or gone — gets nothing here.
+      const auto it = std::lower_bound(
+          dispatches_.begin(), dispatches_.end(), *send.to,
+          [](const Dispatch& d, NodeId v) { return d.id < v; });
+      if (it != dispatches_.end() && it->id == *send.to) {
+        deposit_private(from, *send.to, *it->member, send.ref, key);
+      }
+    } else {
+      for (Dispatch& dispatch : dispatches_) {
+        deposit_private(from, dispatch.id, *dispatch.member, send.ref, key);
+      }
+    }
+  }
+
+  // Sequential epilogue, mirroring SyncSimulator's lane fold.
+  if (chaos_) chaos_->commit_batch(chaos_stage_);
+  if (recorder_) recorder_->record_batch(trace_stage_);
+  for (Delayed& delayed : delayed_stage_) {
+    delayed_[delayed.due].emplace_back(delayed.to, std::move(delayed.ref));
+  }
+  for (const Dispatch& dispatch : dispatches_) {
+    if (dispatch.became_done) metrics_.done_round[dispatch.id] = round_;
+  }
+  seq_ += 2 * ordinal;
+
+  link_seq_.clear();  // link-event sequence numbers are per sent-round
+  trace_stage_.clear();
+  chaos_stage_.clear();
+  delayed_stage_.clear();
+  local_sends_.clear();
+}
+
+Process* ShardEngine::find(NodeId id) {
+  auto it = members_.find(id);
+  if (it != members_.end()) return it->second.process.get();
+  for (const auto& pending : pending_joins_) {
+    if (pending->id() == id) return pending.get();
+  }
+  return nullptr;
+}
+
+std::vector<NodeId> ShardEngine::member_ids() const {
+  std::vector<NodeId> out;
+  out.reserve(members_.size());
+  for (const auto& [id, member] : members_) out.push_back(id);
+  return out;
+}
+
+}  // namespace idonly

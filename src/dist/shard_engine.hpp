@@ -1,0 +1,143 @@
+// One shard's slice of the synchronous round engine.
+//
+// A ShardEngine holds the processes a shard worker owns and replays exactly
+// the per-receiver round semantics of SyncSimulator (net/sync_simulator.hpp)
+// restricted to its local members. A round splits in two:
+//
+//   begin_round()   removals → joins → delayed flush → inbox assembly →
+//                   process stepping → local outboxes wrapped and exposed as
+//                   local_sends() (ascending sender id, outbox order)
+//   finish_round()  merge the round's GLOBAL traffic — the local sends plus
+//                   one decoded stream per remote shard — and deposit into
+//                   local mailboxes with the same deterministic keys the
+//                   in-process engines use.
+//
+// Determinism argument (DESIGN.md §12): the global send order is "ascending
+// sender id, then outbox position". Each stream (local, or one per remote
+// shard) is internally ascending by sender and shards own disjoint senders,
+// so a k-way merge on sender id reconstructs the exact subsequence of the
+// global order that is visible to this shard (all broadcasts + unicasts to
+// local nodes). Deposit keys are 2·ordinal offsets off a local counter —
+// only their RELATIVE order per mailbox is observable, so the gaps left by
+// traffic this shard never sees are free, exactly like the gaps unfaulted
+// messages leave in the parallel engine's key space. Chaos verdicts are pure
+// functions of (seed, round, from, to, per-link seq) and the per-link seq is
+// counted at the receiving shard over that same merged order, so verdicts,
+// link trace records, and the canonical export reproduce the single-process
+// run byte for byte.
+//
+// The engine always routes per receiver (no shared broadcast lane): that is
+// the path SyncSimulator forces whenever a chaos schedule is installed, so
+// inboxes — and with a recorder, per-node trace rings — match the reference
+// engine on chaos scenarios exactly; on chaos-free scenarios the inbox
+// CONTENT still matches (only the dedup-hit counter can differ, since lane
+// dedup is global and mailbox dedup is per receiver).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/chaos.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+#include "common/types.hpp"
+#include "net/mailbox.hpp"
+#include "net/process.hpp"
+
+namespace idonly {
+
+class ShardEngine {
+ public:
+  /// One message of the round's global traffic: `to` empty → broadcast.
+  /// The sender is stamped inside the ref'd message.
+  struct Send {
+    std::optional<NodeId> to;
+    MessageRef ref;
+  };
+
+  /// Register a process; it participates from the next begun round. Throws
+  /// std::invalid_argument on a duplicate live or queued id.
+  void add_process(std::unique_ptr<Process> process);
+  /// Remove a process at the start of the next begun round.
+  void remove_process(NodeId id);
+
+  void set_chaos(std::shared_ptr<ChaosSchedule> chaos) { chaos_ = std::move(chaos); }
+  void set_trace_recorder(std::shared_ptr<TraceRecorder> recorder) {
+    recorder_ = std::move(recorder);
+  }
+
+  /// First half of a round: membership changes, delayed-message flush,
+  /// inbox collection, process stepping, outbox wrapping.
+  void begin_round();
+
+  /// The local processes' sends of the current round, in global send order
+  /// restricted to local senders (ascending sender id, then outbox
+  /// position). Valid until finish_round() returns.
+  [[nodiscard]] std::span<const Send> local_sends() const noexcept { return local_sends_; }
+
+  /// Second half: merge the local stream with one stream per remote shard
+  /// (each ascending by sender id; sender sets pairwise disjoint — any
+  /// number of streams, order of the spans irrelevant) and deposit into the
+  /// local mailboxes for delivery at the next begin_round().
+  void finish_round(std::span<const std::vector<Send>> remote_streams);
+
+  [[nodiscard]] Round round() const noexcept { return round_; }
+  [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
+
+  [[nodiscard]] Process* find(NodeId id);
+  template <typename T>
+  [[nodiscard]] T* get(NodeId id) {
+    return dynamic_cast<T*>(find(id));
+  }
+  [[nodiscard]] std::vector<NodeId> member_ids() const;
+  [[nodiscard]] std::size_t member_count() const noexcept { return members_.size(); }
+
+ private:
+  struct Member {
+    std::unique_ptr<Process> process;
+    Mailbox mailbox;
+    std::vector<Message> scratch;
+    Round joined_round = 0;
+  };
+  struct Dispatch {
+    NodeId id = 0;
+    Member* member = nullptr;
+    std::span<const Message> inbox;
+    std::vector<Outgoing> outbox;
+    bool became_done = false;
+  };
+
+  void deposit_private(NodeId from, NodeId to, Member& member, const MessageRef& ref,
+                       std::uint64_t key);
+
+  std::map<NodeId, Member> members_;
+  std::vector<std::unique_ptr<Process>> pending_joins_;
+  std::vector<NodeId> pending_removals_;
+  std::vector<Dispatch> dispatches_;
+  std::vector<Send> local_sends_;
+
+  Round round_ = 0;
+  std::uint64_t seq_ = 0;  ///< local deposit-key counter (relative order only)
+  Metrics metrics_;
+  std::shared_ptr<ChaosSchedule> chaos_;
+  std::shared_ptr<TraceRecorder> recorder_;
+
+  // Per-round staging, folded in finish_round (mirrors SyncSimulator's
+  // single-lane arena).
+  std::map<std::pair<NodeId, NodeId>, std::uint64_t> link_seq_;
+  std::vector<TraceRecord> trace_stage_;
+  std::vector<std::pair<LinkEvent, FaultDecision>> chaos_stage_;
+  struct Delayed {
+    Round due = 0;
+    NodeId to = 0;
+    MessageRef ref;
+  };
+  std::vector<Delayed> delayed_stage_;
+  std::map<Round, std::vector<std::pair<NodeId, MessageRef>>> delayed_;
+};
+
+}  // namespace idonly

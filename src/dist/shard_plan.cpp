@@ -1,0 +1,34 @@
+#include "dist/shard_plan.hpp"
+
+#include <algorithm>
+
+namespace idonly {
+
+ShardPlan ShardPlan::build(std::span<const NodeId> initial_ids, std::uint32_t shards) {
+  ShardPlan plan;
+  plan.shards_ = shards == 0 ? 1 : shards;
+  plan.ids_.assign(initial_ids.begin(), initial_ids.end());
+  std::sort(plan.ids_.begin(), plan.ids_.end());
+  const std::size_t n = plan.ids_.size();
+  plan.starts_.resize(plan.shards_ + 1);
+  for (std::uint32_t k = 0; k <= plan.shards_; ++k) plan.starts_[k] = n * k / plan.shards_;
+  return plan;
+}
+
+std::uint32_t ShardPlan::owner(NodeId id) const noexcept {
+  const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it != ids_.end() && *it == id) {
+    const auto index = static_cast<std::size_t>(it - ids_.begin());
+    // Slices are contiguous index ranges; find the one containing `index`.
+    const auto slice = std::upper_bound(starts_.begin(), starts_.end(), index) - 1;
+    return static_cast<std::uint32_t>(slice - starts_.begin());
+  }
+  return static_cast<std::uint32_t>(id % shards_);
+}
+
+std::span<const NodeId> ShardPlan::initial_slice(std::uint32_t k) const noexcept {
+  if (k >= shards_) return {};
+  return std::span<const NodeId>(ids_).subspan(starts_[k], starts_[k + 1] - starts_[k]);
+}
+
+}  // namespace idonly

@@ -1,0 +1,279 @@
+#include "dist/shard_worker.hpp"
+
+#include <unistd.h>
+
+#include <stdexcept>
+#include <utility>
+#include <variant>
+
+#include "core/consensus.hpp"
+#include "net/codec.hpp"
+
+namespace idonly {
+
+ShardWorker::ShardWorker(const ShardInit& init) : shard_(init.shard), shards_(init.shards) {
+  auto parsed = parse_script(init.script_text);
+  if (const auto* err = std::get_if<ParseError>(&parsed)) {
+    throw std::invalid_argument("script parse error at line " + std::to_string(err->line) +
+                                ": " + err->message);
+  }
+  script_ = std::get<ScenarioScript>(std::move(parsed));
+  if (script_.protocol != ScriptProtocol::kConsensus &&
+      script_.protocol != ScriptProtocol::kTotalOrder) {
+    throw std::invalid_argument("distributed runner supports consensus and totalorder only");
+  }
+
+  scenario_ = make_scenario(script_.config);
+  const std::vector<NodeId> all_ids = scenario_.all_ids();
+  plan_ = ShardPlan::build(all_ids, shards_);
+
+  if (!script_.chaos_phases.empty()) {
+    chaos_ = std::make_shared<ChaosSchedule>(
+        materialize_chaos_plan(script_.chaos_phases, all_ids), script_.config.seed);
+    engine_.set_chaos(chaos_);
+  }
+  if (init.want_trace) {
+    recorder_ = std::make_shared<TraceRecorder>(TraceEngine::kSync);
+    engine_.set_trace_recorder(recorder_);
+    observer_ = std::make_unique<TraceObserver>(recorder_);
+  }
+
+  const bool consensus = script_.protocol == ScriptProtocol::kConsensus;
+  auto factory = [&](NodeId id, std::size_t index) -> std::unique_ptr<Process> {
+    if (consensus) {
+      const double input = script_.inputs[index % script_.inputs.size()];
+      return std::make_unique<ConsensusProcess>(id, Value::real(input));
+    }
+    return std::make_unique<TotalOrderProcess>(id, /*founder=*/true);
+  };
+  // Construct EVERY process (correct and adversary — the adversaries share
+  // one seed-derived Rng stream, so skipping any would shift the rest) and
+  // keep only this shard's slice.
+  build_processes(scenario_, factory, [&](std::unique_ptr<Process> process) {
+    if (plan_.owner(process->id()) == shard_) {
+      engine_.add_process(std::move(process));
+      initial_members_ += 1;
+    }
+  });
+
+  if (consensus && observer_ != nullptr) {
+    // Initial correct nodes report protocol events into the flight recorder;
+    // churn joiners stay unobserved — exactly the single-process wiring.
+    for (NodeId id : scenario_.correct_ids) {
+      if (auto* p = engine_.get<ConsensusProcess>(id)) p->set_observer(observer_.get());
+    }
+  }
+  if (!consensus) {
+    for (std::size_t i = 0; i < scenario_.correct_ids.size(); ++i) {
+      auto* p = engine_.get<TotalOrderProcess>(scenario_.correct_ids[i]);
+      if (p == nullptr) continue;
+      for (int k = 0; k < 4; ++k) p->submit_event(static_cast<double>(i * 10 + k));
+    }
+  }
+
+  churn_ = std::make_unique<ChurnDriver>(script_, scenario_);
+  writers_.resize(shards_);
+}
+
+std::vector<ShardWorker::OutboundSlab> ShardWorker::begin_round() {
+  const Round next = engine_.round() + 1;
+  const bool consensus = script_.protocol == ScriptProtocol::kConsensus;
+  auto make_joiner = [&](NodeId id, std::size_t joiner_index) -> std::unique_ptr<Process> {
+    if (consensus) {
+      const double input =
+          script_.inputs[(scenario_.correct_ids.size() + joiner_index) % script_.inputs.size()];
+      return std::make_unique<ConsensusProcess>(id, Value::real(input));
+    }
+    return std::make_unique<TotalOrderProcess>(id, /*founder=*/false);
+  };
+  churn_->apply(
+      next, make_joiner,
+      [&](std::unique_ptr<Process> process) {
+        if (process != nullptr && plan_.owner(process->id()) == shard_) {
+          engine_.add_process(std::move(process));
+        }
+      },
+      [&](NodeId id) { engine_.remove_process(id); });
+
+  engine_.begin_round();
+
+  for (std::uint32_t s = 0; s < shards_; ++s) {
+    if (s != shard_) writers_[s].reset(shard_, engine_.round());
+  }
+  for (const ShardEngine::Send& send : engine_.local_sends()) {
+    if (send.to.has_value()) {
+      const std::uint32_t dest = plan_.owner(*send.to);
+      if (dest != shard_) writers_[dest].add(send.to, send.ref.get());
+    } else {
+      for (std::uint32_t s = 0; s < shards_; ++s) {
+        if (s != shard_) writers_[s].add(std::nullopt, send.ref.get());
+      }
+    }
+  }
+  std::vector<OutboundSlab> out;
+  for (std::uint32_t s = 0; s < shards_; ++s) {
+    if (s != shard_ && !writers_[s].empty()) out.push_back({s, writers_[s].bytes()});
+  }
+  return out;
+}
+
+bool ShardWorker::finish_round(std::span<const std::vector<std::byte>> peer_slabs) {
+  std::vector<std::vector<ShardEngine::Send>> streams;
+  streams.reserve(peer_slabs.size());
+  for (const std::vector<std::byte>& bytes : peer_slabs) {
+    const auto view = parse_shard_slab(bytes);
+    if (!view.has_value()) {
+      wire_faults_.truncations += 1;
+      error_ = "shard " + std::to_string(shard_) + ": malformed shard slab in round " +
+               std::to_string(engine_.round());
+      return false;
+    }
+    if (view->round != engine_.round() || view->shard == shard_ || view->shard >= shards_) {
+      wire_faults_.truncations += 1;
+      error_ = "shard " + std::to_string(shard_) + ": shard slab header mismatch (from shard " +
+               std::to_string(view->shard) + ", round " + std::to_string(view->round) +
+               ", local round " + std::to_string(engine_.round()) + ")";
+      return false;
+    }
+    std::vector<ShardEngine::Send> stream;
+    stream.reserve(view->entries.size());
+    for (const ShardSlabView::Entry& entry : view->entries) {
+      auto msg = decode(entry.frame);
+      if (!msg.has_value()) {
+        wire_faults_.corrupts += 1;
+        error_ = "shard " + std::to_string(shard_) + ": undecodable frame from shard " +
+                 std::to_string(view->shard) + " in round " + std::to_string(engine_.round());
+        return false;
+      }
+      stream.push_back({entry.to, MessageRef::wrap(*std::move(msg))});
+    }
+    streams.push_back(std::move(stream));
+  }
+  engine_.finish_round(streams);
+  return true;
+}
+
+ShardStatus ShardWorker::status() {
+  ShardStatus out;
+  for (NodeId id : engine_.member_ids()) {
+    Process* p = engine_.find(id);
+    if (p == nullptr || p->byzantine()) continue;
+    out.done.emplace_back(id, p->done());
+  }
+  return out;
+}
+
+ShardResult ShardWorker::finalize() {
+  ShardResult result;
+  result.rounds = engine_.round();
+  result.metrics = engine_.metrics();
+  if (chaos_ != nullptr) {
+    result.has_chaos = true;
+    result.chaos = chaos_->counters();
+  }
+  result.wire_faults = wire_faults_;
+  const bool consensus = script_.protocol == ScriptProtocol::kConsensus;
+  for (NodeId id : engine_.member_ids()) {
+    Process* p = engine_.find(id);
+    if (p == nullptr || p->byzantine()) continue;
+    if (consensus) {
+      auto* c = dynamic_cast<ConsensusProcess*>(p);
+      if (c == nullptr) continue;
+      ShardResult::Decision d;
+      d.id = id;
+      d.done = c->done();
+      d.has_output = c->output().has_value();
+      d.output = d.has_output ? *c->output() : Value::bot();
+      result.decisions.push_back(d);
+    } else {
+      auto* t = dynamic_cast<TotalOrderProcess*>(p);
+      if (t == nullptr) continue;
+      result.chains.push_back({id, t->chain()});
+    }
+  }
+  if (recorder_ != nullptr) {
+    // Records come out of snapshot() grouped by node in capture order — the
+    // exact slices absorb_ring() wants on the coordinator side.
+    const std::vector<TraceRecord> records = recorder_->snapshot();
+    for (const TraceRecorder::RingStats& stats : recorder_->ring_stats()) {
+      ShardResult::Ring ring;
+      ring.node = stats.node;
+      ring.next_seq = stats.next_seq;
+      ring.evicted = stats.evicted;
+      for (const TraceRecord& rec : records) {
+        if (rec.node == stats.node) ring.records.push_back(rec);
+      }
+      result.rings.push_back(std::move(ring));
+    }
+  }
+  return result;
+}
+
+int run_worker_loop(int fd) {
+  std::vector<std::byte> payload;
+  ShardMsgType type{};
+  const auto fail = [fd](const std::string& message) {
+    ByteWriter w;
+    w.str(message);
+    (void)send_frame(fd, ShardMsgType::kError, w.bytes());
+    return 1;
+  };
+
+  if (recv_frame(fd, type, payload, -1) != RecvStatus::kOk || type != ShardMsgType::kInit) {
+    return 1;
+  }
+  const auto init = decode_init(payload);
+  if (!init.has_value()) return fail("malformed init payload");
+  std::unique_ptr<ShardWorker> worker;
+  try {
+    worker = std::make_unique<ShardWorker>(*init);
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+  {
+    ByteWriter w;
+    w.u32(worker->shard());
+    w.u64(worker->member_count());
+    if (!send_frame(fd, ShardMsgType::kHello, w.bytes())) return 1;
+  }
+
+  for (;;) {
+    if (recv_frame(fd, type, payload, -1) != RecvStatus::kOk) return 1;
+    switch (type) {
+      case ShardMsgType::kStep: {
+        if (init->crash_at_round > 0 && worker->round() + 1 >= init->crash_at_round) {
+          // Crash test hook: die without a word — no kError, no reply. The
+          // coordinator must turn the resulting EOF into a clean failure.
+          _exit(13);
+        }
+        const auto slabs = worker->begin_round();
+        ByteWriter w;
+        w.u32(static_cast<std::uint32_t>(slabs.size()));
+        for (const ShardWorker::OutboundSlab& slab : slabs) {
+          w.u32(slab.dest);
+          w.blob(slab.bytes);
+        }
+        if (!send_frame(fd, ShardMsgType::kSlabs, w.bytes())) return 1;
+        break;
+      }
+      case ShardMsgType::kDeliver: {
+        ByteReader r(payload);
+        const std::uint32_t count = r.u32();
+        std::vector<std::vector<std::byte>> slabs;
+        for (std::uint32_t i = 0; i < count && !r.failed(); ++i) slabs.push_back(r.blob());
+        if (!r.done()) return fail("malformed deliver payload");
+        if (!worker->finish_round(slabs)) return fail(worker->error());
+        if (!send_frame(fd, ShardMsgType::kStatus, encode_status(worker->status()))) return 1;
+        break;
+      }
+      case ShardMsgType::kFinish: {
+        if (!send_frame(fd, ShardMsgType::kResult, encode_result(worker->finalize()))) return 1;
+        return 0;
+      }
+      default:
+        return fail("unexpected control frame");
+    }
+  }
+}
+
+}  // namespace idonly

@@ -1,0 +1,106 @@
+// One shard worker: a script-driven slice of a distributed simulation run.
+//
+// The worker owns the processes its ShardPlan slice assigns to it, drives
+// them through a ShardEngine, and speaks the coordinator's round protocol
+// (dist/shard_wire.hpp). It reconstructs the ENTIRE run description from the
+// shipped script text — scenario, chaos plan, churn stream — because the
+// determinism of the whole scheme rests on every worker deriving identical
+// plans from identical inputs:
+//
+//   * build_processes() constructs EVERY process (all adversaries draw from
+//     one shared seed stream) and the worker keeps only its own slice;
+//   * the ChurnDriver runs in every worker, so joiner ids and tracked sets
+//     agree everywhere; a joiner is kept only when the plan assigns it here;
+//   * the chaos schedule is pure in (seed, link event), so each worker
+//     evaluates verdicts for ITS receivers and the union over workers equals
+//     the single-process run.
+//
+// The worker never decides when the run ends — the coordinator owns the
+// round loop and the early-exit policy; the worker executes kStep/kDeliver
+// commands until kFinish.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/chaos.hpp"
+#include "common/trace.hpp"
+#include "net/codec.hpp"
+#include "dist/shard_engine.hpp"
+#include "dist/shard_plan.hpp"
+#include "dist/shard_wire.hpp"
+#include "harness/script.hpp"
+
+namespace idonly {
+
+class ShardWorker {
+ public:
+  /// Builds the worker's slice of the run described by `init`. Throws
+  /// std::invalid_argument on a script parse failure or an unsupported
+  /// protocol (the distributed runner covers consensus and totalorder — the
+  /// protocols with chaos/churn loop harnesses).
+  explicit ShardWorker(const ShardInit& init);
+
+  [[nodiscard]] std::uint32_t shard() const noexcept { return shard_; }
+  /// Local process count (initial slice, before churn).
+  [[nodiscard]] std::size_t member_count() const noexcept { return initial_members_; }
+  [[nodiscard]] Round round() const noexcept { return engine_.round(); }
+
+  /// One outbound cross-shard slab; `bytes` is valid until the next
+  /// begin_round() call.
+  struct OutboundSlab {
+    std::uint32_t dest = 0;
+    std::span<const std::byte> bytes;
+  };
+
+  /// First half of the next round: apply the round's churn events, run the
+  /// engine's local half, and batch the outbound traffic into one slab per
+  /// destination shard (empty slabs omitted — absence of traffic is itself
+  /// deterministic, so the peer needs no placeholder).
+  [[nodiscard]] std::vector<OutboundSlab> begin_round();
+
+  /// Second half: decode the peers' slabs and run the deterministic merge.
+  /// False on a malformed slab or frame (error() explains; wire-fault
+  /// counters record what was rejected) — the caller must abort the run, as
+  /// dropping cross-shard traffic would silently fork determinism.
+  [[nodiscard]] bool finish_round(std::span<const std::vector<std::byte>> peer_slabs);
+
+  /// Done flags for the local correct nodes (the coordinator's early-exit
+  /// and liveness inputs).
+  [[nodiscard]] ShardStatus status();
+
+  /// Final outputs/chains, metrics, chaos counters, and trace rings.
+  [[nodiscard]] ShardResult finalize();
+
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  [[nodiscard]] const ScenarioScript& script() const noexcept { return script_; }
+
+ private:
+  std::uint32_t shard_ = 0;
+  std::uint32_t shards_ = 1;
+  ScenarioScript script_;
+  Scenario scenario_;
+  ShardPlan plan_;
+  ShardEngine engine_;
+  std::shared_ptr<ChaosSchedule> chaos_;
+  std::shared_ptr<TraceRecorder> recorder_;
+  std::unique_ptr<TraceObserver> observer_;
+  std::unique_ptr<ChurnDriver> churn_;
+  std::vector<ShardSlabWriter> writers_;  // indexed by destination shard
+  FaultCounters wire_faults_;
+  std::size_t initial_members_ = 0;
+  std::string error_;
+};
+
+/// Child-side protocol loop: reads kInit, answers kHello, then executes
+/// coordinator commands until kFinish (reply kResult, return 0). Any
+/// protocol or worker failure sends kError when possible and returns
+/// non-zero. Honors ShardInit::crash_at_round by dying abruptly (_exit)
+/// before executing that round — the coordinator's crash-detection test
+/// hook.
+[[nodiscard]] int run_worker_loop(int fd);
+
+}  // namespace idonly

@@ -134,17 +134,22 @@ std::unique_ptr<Process> make_adversary(const Scenario& scenario, AdversaryKind 
   return std::make_unique<SilentAdversary>(id);
 }
 
-void populate(SyncSimulator& sim, const Scenario& scenario,
-              const CorrectFactory& correct_factory) {
+void build_processes(const Scenario& scenario, const CorrectFactory& correct_factory,
+                     const ProcessSink& sink) {
   for (std::size_t i = 0; i < scenario.correct_ids.size(); ++i) {
-    sim.add_process(correct_factory(scenario.correct_ids[i], i));
+    sink(correct_factory(scenario.correct_ids[i], i));
   }
   Rng rng(derive_seed(scenario.config.seed, 0x5eed));
   for (std::size_t i = 0; i < scenario.byzantine_ids.size(); ++i) {
     const AdversaryKind kind = adversary_kind_for(scenario.config, i);
-    sim.add_process(
-        make_adversary(scenario, kind, scenario.byzantine_ids[i], i, rng, correct_factory));
+    sink(make_adversary(scenario, kind, scenario.byzantine_ids[i], i, rng, correct_factory));
   }
+}
+
+void populate(SyncSimulator& sim, const Scenario& scenario,
+              const CorrectFactory& correct_factory) {
+  build_processes(scenario, correct_factory,
+                  [&sim](std::unique_ptr<Process> process) { sim.add_process(std::move(process)); });
 }
 
 }  // namespace idonly

@@ -81,6 +81,17 @@ using CorrectFactory = std::function<std::unique_ptr<Process>(NodeId id, std::si
 [[nodiscard]] AdversaryKind adversary_kind_for(const ScenarioConfig& config,
                                                std::size_t byz_index);
 
+/// Construct EVERY process of the scenario — correct processes from the
+/// factory, adversaries per the config — in the canonical deterministic
+/// order, handing each to `sink`. Callers that only want a subset (a shard
+/// worker owns a slice of the id space) must still let every process be
+/// constructed and discard the rest: the adversaries draw from one shared
+/// seed-derived Rng stream, so skipping construction would shift every
+/// later adversary's randomness.
+using ProcessSink = std::function<void(std::unique_ptr<Process>)>;
+void build_processes(const Scenario& scenario, const CorrectFactory& correct_factory,
+                     const ProcessSink& sink);
+
 /// Populate a simulator with the full scenario: correct processes from the
 /// factory plus adversaries per the config.
 void populate(SyncSimulator& sim, const Scenario& scenario,

@@ -356,6 +356,47 @@ ChaosPlan materialize_chaos_plan(const std::vector<ChaosPhaseSpec>& specs,
   return plan;
 }
 
+ChurnDriver::ChurnDriver(const ScenarioScript& script, const Scenario& scenario)
+    : events_(script.churn_events),
+      initial_correct_(scenario.correct_ids),
+      tracked_(scenario.correct_ids),
+      rng_(derive_seed(script.config.seed, 0xC1124)) {
+  for (NodeId id : scenario.correct_ids) next_id_ = std::max(next_id_, id + 1);
+  for (NodeId id : scenario.byzantine_ids) next_id_ = std::max(next_id_, id + 1);
+}
+
+void ChurnDriver::apply(Round round, const JoinerFactory& make_joiner, const AddFn& add,
+                        const RemoveFn& remove) {
+  for (const ChurnEventSpec& event : events_) {
+    if (event.round != round) continue;
+    if (event.is_join) {
+      for (std::size_t k = 0; k < event.join_count; ++k) {
+        next_id_ += rng_.below(7);  // sparse ids, like make_scenario's draw
+        add(make_joiner(next_id_, joiners_));
+        next_id_ += 1;
+        joiners_ += 1;
+      }
+    } else {
+      if (event.leave_index >= initial_correct_.size()) {
+        throw std::invalid_argument("churn leave references correct-node index " +
+                                    std::to_string(event.leave_index) +
+                                    " but the scenario has only " +
+                                    std::to_string(initial_correct_.size()) + " correct nodes");
+      }
+      const NodeId id = initial_correct_[event.leave_index];
+      remove(id);
+      std::erase(tracked_, id);
+    }
+  }
+}
+
+void ChurnDriver::apply(SyncSimulator& sim, Round round, const JoinerFactory& make_joiner) {
+  apply(
+      round, make_joiner,
+      [&sim](std::unique_ptr<Process> process) { sim.add_process(std::move(process)); },
+      [&sim](NodeId id) { sim.remove_process(id); });
+}
+
 namespace {
 
 void check(ScriptRun& run, Expectation expectation, bool satisfied, std::string detail) {
@@ -424,62 +465,6 @@ ScriptRun run_consensus_like(const ScenarioScript& script, const ScriptOptions& 
   }
   return result;
 }
-
-/// Membership churn during a manual round loop. Joins draw fresh sparse ids
-/// from a seed-derived stream; leaves resolve indices against the INITIAL
-/// sorted correct id list. tracked() is the set expectations quantify over:
-/// the initial correct ids minus departures. Late joiners run the protocol
-/// but carry no obligations (the paper's guarantees quantify over initial
-/// participants; a joiner is load and membership pressure).
-class ChurnDriver {
- public:
-  using JoinerFactory = std::function<std::unique_ptr<Process>(NodeId, std::size_t)>;
-
-  ChurnDriver(const ScenarioScript& script, const Scenario& scenario)
-      : events_(script.churn_events),
-        initial_correct_(scenario.correct_ids),
-        tracked_(scenario.correct_ids),
-        rng_(derive_seed(script.config.seed, 0xC1124)) {
-    for (NodeId id : scenario.correct_ids) next_id_ = std::max(next_id_, id + 1);
-    for (NodeId id : scenario.byzantine_ids) next_id_ = std::max(next_id_, id + 1);
-  }
-
-  /// Apply every event scheduled for `round` (the round about to execute).
-  void apply(SyncSimulator& sim, Round round, const JoinerFactory& make_joiner) {
-    for (const ChurnEventSpec& event : events_) {
-      if (event.round != round) continue;
-      if (event.is_join) {
-        for (std::size_t k = 0; k < event.join_count; ++k) {
-          next_id_ += rng_.below(7);  // sparse ids, like make_scenario's draw
-          sim.add_process(make_joiner(next_id_, joiners_));
-          next_id_ += 1;
-          joiners_ += 1;
-        }
-      } else {
-        if (event.leave_index >= initial_correct_.size()) {
-          throw std::invalid_argument("churn leave references correct-node index " +
-                                      std::to_string(event.leave_index) +
-                                      " but the scenario has only " +
-                                      std::to_string(initial_correct_.size()) +
-                                      " correct nodes");
-        }
-        const NodeId id = initial_correct_[event.leave_index];
-        sim.remove_process(id);
-        std::erase(tracked_, id);
-      }
-    }
-  }
-
-  [[nodiscard]] const std::vector<NodeId>& tracked() const { return tracked_; }
-
- private:
-  std::vector<ChurnEventSpec> events_;
-  std::vector<NodeId> initial_correct_;
-  std::vector<NodeId> tracked_;
-  Rng rng_;
-  NodeId next_id_ = 0;
-  std::size_t joiners_ = 0;
-};
 
 /// Consensus (A3) under a chaos schedule and/or churn stream, with the
 /// invariant monitor wired through: every initial correct process reports

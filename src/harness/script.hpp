@@ -149,6 +149,44 @@ struct ScenarioScript {
 [[nodiscard]] ChaosPlan materialize_chaos_plan(const std::vector<ChaosPhaseSpec>& specs,
                                                const std::vector<NodeId>& all_ids);
 
+/// Membership churn during a manual round loop. Joins draw fresh sparse ids
+/// from a seed-derived stream; leaves resolve indices against the INITIAL
+/// sorted correct id list. tracked() is the set expectations quantify over:
+/// the initial correct ids minus departures. Late joiners run the protocol
+/// but carry no obligations (the paper's guarantees quantify over initial
+/// participants; a joiner is load and membership pressure).
+///
+/// The id stream and tracked() evolution depend only on (script, scenario),
+/// never on the engine — the distributed shard engine runs one ChurnDriver
+/// per worker and every worker sees identical joiner ids and tracked sets.
+class ChurnDriver {
+ public:
+  using JoinerFactory = std::function<std::unique_ptr<Process>(NodeId, std::size_t)>;
+  using AddFn = std::function<void(std::unique_ptr<Process>)>;
+  using RemoveFn = std::function<void(NodeId)>;
+
+  ChurnDriver(const ScenarioScript& script, const Scenario& scenario);
+
+  /// Apply every event scheduled for `round` (the round about to execute)
+  /// through engine-agnostic callbacks. The joiner factory is invoked for
+  /// EVERY join — a caller that does not own the joiner discards the
+  /// process, keeping the id stream and joiner indices aligned everywhere.
+  void apply(Round round, const JoinerFactory& make_joiner, const AddFn& add,
+             const RemoveFn& remove);
+  /// Convenience overload targeting a SyncSimulator.
+  void apply(SyncSimulator& sim, Round round, const JoinerFactory& make_joiner);
+
+  [[nodiscard]] const std::vector<NodeId>& tracked() const { return tracked_; }
+
+ private:
+  std::vector<ChurnEventSpec> events_;
+  std::vector<NodeId> initial_correct_;
+  std::vector<NodeId> tracked_;
+  Rng rng_;
+  NodeId next_id_ = 0;
+  std::size_t joiners_ = 0;
+};
+
 struct ParseError {
   int line = 0;
   std::string message;

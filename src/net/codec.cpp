@@ -125,6 +125,66 @@ void SlabWriter::add(const Message& msg) {
   frames_ += 1;
 }
 
+void ShardSlabWriter::reset(std::uint32_t shard, Round round) {
+  shard_ = shard;
+  round_ = round;
+  body_.clear();
+  buffer_.clear();
+  frames_ = 0;
+}
+
+void ShardSlabWriter::add(std::optional<NodeId> to, const Message& msg) {
+  put_varint(to.has_value() ? *to + 1 : 0, body_);
+  put_varint(encoded_size(msg), body_);
+  encode(msg, body_);
+  frames_ += 1;
+  buffer_.clear();  // header depends on the frame count; reassemble lazily
+}
+
+std::span<const std::byte> ShardSlabWriter::bytes() const {
+  if (buffer_.empty()) {
+    buffer_.push_back(static_cast<std::byte>(kShardSlabMagic));
+    put_varint(shard_, buffer_);
+    put_varint(static_cast<std::uint64_t>(round_), buffer_);
+    put_varint(frames_, buffer_);
+    buffer_.insert(buffer_.end(), body_.begin(), body_.end());
+  }
+  return buffer_;
+}
+
+std::optional<ShardSlabView> parse_shard_slab(std::span<const std::byte> bytes) {
+  if (bytes.empty() || static_cast<std::uint8_t>(bytes[0]) != kShardSlabMagic) {
+    return std::nullopt;
+  }
+  std::size_t offset = 1;
+  const auto shard = get_varint(bytes, offset);
+  const auto round = get_varint(bytes, offset);
+  const auto count = get_varint(bytes, offset);
+  if (!shard || !round || !count) return std::nullopt;
+  if (*shard > std::numeric_limits<std::uint32_t>::max()) return std::nullopt;
+  if (*round == 0 || *round > static_cast<std::uint64_t>(std::numeric_limits<Round>::max())) {
+    return std::nullopt;  // rounds are 1-based and must fit Round
+  }
+  if (*count == 0) return std::nullopt;  // an empty shard slab is never sent
+  ShardSlabView view;
+  view.shard = static_cast<std::uint32_t>(*shard);
+  view.round = static_cast<Round>(*round);
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    const auto to_tag = get_varint(bytes, offset);
+    if (!to_tag) return std::nullopt;
+    const auto length = get_varint(bytes, offset);
+    if (!length) return std::nullopt;
+    if (*length == 0 || *length > bytes.size() - offset) return std::nullopt;
+    ShardSlabView::Entry entry;
+    if (*to_tag != 0) entry.to = *to_tag - 1;
+    entry.frame = bytes.subspan(offset, *length);
+    offset += *length;
+    view.entries.push_back(entry);
+  }
+  if (offset != bytes.size()) return std::nullopt;  // trailing bytes
+  return view;
+}
+
 std::optional<SlabView> parse_slab(std::span<const std::byte> bytes) {
   if (bytes.empty() || static_cast<std::uint8_t>(bytes[0]) != kSlabMagic) return std::nullopt;
   std::size_t offset = 1;

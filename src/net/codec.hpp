@@ -105,4 +105,66 @@ struct SlabView {
 /// or trailing bytes. Does NOT decode the contained frames.
 [[nodiscard]] std::optional<SlabView> parse_slab(std::span<const std::byte> bytes);
 
+// ------------------------------------------------------------ shard slab --
+// Cross-shard batch format used by the distributed shard engine (src/dist/):
+// one slab per (source shard, destination shard) per round, carrying every
+// frame the destination shard must merge. Extends the plain slab with a
+// shard header and per-frame routing tags:
+//
+//   byte 0      kShardSlabMagic (0xAC — distinct from frames and plain slabs)
+//   varint      source shard id
+//   varint      round the frames were sent in
+//   varint      frame count (> 0 — an empty shard slab is never sent)
+//   repeated:   varint destination tag (0 = broadcast, id+1 = unicast to id),
+//               varint frame length (> 0), then that many frame bytes
+//
+// The explicit frame count (plain slabs rely on "until end of buffer") lets
+// a receiver distinguish truncation from completion before touching any
+// frame — a shard slab crosses a process boundary, where a short read is a
+// wedged or dying peer, not background noise.
+
+/// First byte of a cross-shard slab. Never a valid frame (version byte is 1)
+/// and never a plain slab (kSlabMagic is 0xAB); like kSlabMagic, detection
+/// is "magic AND structurally valid".
+inline constexpr std::uint8_t kShardSlabMagic = 0xAC;
+
+/// Builds one cross-shard slab: shard header + routed length-prefixed
+/// frames. Reusable across rounds via reset().
+class ShardSlabWriter {
+ public:
+  /// Drops any accumulated frames and starts a slab from `shard` for `round`.
+  void reset(std::uint32_t shard, Round round);
+  /// Appends one frame routed to `to` (nullopt = broadcast).
+  void add(std::optional<NodeId> to, const Message& msg);
+  [[nodiscard]] std::size_t frame_count() const noexcept { return frames_; }
+  [[nodiscard]] bool empty() const noexcept { return frames_ == 0; }
+  /// The full slab (header with the final frame count + frames). Valid
+  /// until the next reset()/add().
+  [[nodiscard]] std::span<const std::byte> bytes() const;
+
+ private:
+  std::uint32_t shard_ = 0;
+  Round round_ = 0;
+  std::vector<std::byte> body_;
+  mutable std::vector<std::byte> buffer_;  // assembled lazily by bytes()
+  std::size_t frames_ = 0;
+};
+
+/// Result of a structural shard-slab parse: the header plus one routed
+/// subspan per frame (zero-copy — spans alias the parsed bytes).
+struct ShardSlabView {
+  std::uint32_t shard = 0;
+  Round round = 0;
+  struct Entry {
+    std::optional<NodeId> to;  ///< empty → broadcast
+    std::span<const std::byte> frame;
+  };
+  std::vector<Entry> entries;
+};
+
+/// Structurally parse a shard slab. Total like parse_slab(): nullopt on bad
+/// magic, malformed header, a frame count that disagrees with the body,
+/// zero frames, zero-length or overlong frame prefixes, or trailing bytes.
+[[nodiscard]] std::optional<ShardSlabView> parse_shard_slab(std::span<const std::byte> bytes);
+
 }  // namespace idonly

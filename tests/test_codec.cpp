@@ -336,6 +336,146 @@ TEST(CodecSlab, LegacyRound171FrameIsNotMistakenForASlab) {
   EXPECT_FALSE(parse_slab(legacy).has_value());
 }
 
+// ------------------------------------------------------- cross-shard slabs --
+
+using RoutedMessage = std::pair<std::optional<NodeId>, Message>;
+
+std::vector<RoutedMessage> shard_sample_messages() {
+  const auto messages = slab_sample_messages();
+  // One broadcast, one unicast to a plain id, one unicast to id 0 (tag 1 —
+  // the routing tag's 0-means-broadcast offset must not eat node 0).
+  return {{std::nullopt, messages[0]}, {NodeId{7}, messages[1]}, {NodeId{0}, messages[2]}};
+}
+
+Frame build_shard_slab(std::uint32_t shard, Round round,
+                       const std::vector<RoutedMessage>& routed) {
+  ShardSlabWriter writer;
+  writer.reset(shard, round);
+  for (const auto& [to, m] : routed) writer.add(to, m);
+  EXPECT_EQ(writer.frame_count(), routed.size());
+  EXPECT_EQ(writer.empty(), routed.empty());
+  const auto bytes = writer.bytes();
+  return Frame(bytes.begin(), bytes.end());
+}
+
+TEST(CodecShardSlab, RoundTripsHeaderRoutingTagsAndEveryFrame) {
+  const auto routed = shard_sample_messages();
+  const Frame slab = build_shard_slab(/*shard=*/5, /*round=*/300, routed);
+  ASSERT_EQ(static_cast<std::uint8_t>(slab[0]), kShardSlabMagic);
+  const auto view = parse_shard_slab(slab);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->shard, 5u);
+  EXPECT_EQ(view->round, 300);
+  ASSERT_EQ(view->entries.size(), routed.size());
+  for (std::size_t i = 0; i < routed.size(); ++i) {
+    EXPECT_EQ(view->entries[i].to, routed[i].first) << "entry " << i;
+    const auto decoded = decode(view->entries[i].frame);
+    ASSERT_TRUE(decoded.has_value()) << "entry " << i;
+    EXPECT_EQ(*decoded, routed[i].second) << "entry " << i;
+  }
+}
+
+TEST(CodecShardSlab, ResetDiscardsThePreviousRoundsFrames) {
+  ShardSlabWriter writer;
+  writer.reset(0, 1);
+  writer.add(std::nullopt, sample_message());
+  writer.reset(3, 2);
+  EXPECT_TRUE(writer.empty());
+  writer.add(NodeId{9}, sample_message());
+  const auto view = parse_shard_slab(writer.bytes());
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->shard, 3u);
+  EXPECT_EQ(view->round, 2);
+  ASSERT_EQ(view->entries.size(), 1u);
+  EXPECT_EQ(view->entries[0].to, NodeId{9});
+}
+
+TEST(CodecShardSlab, EmptySlabIsNeverValid) {
+  ShardSlabWriter writer;
+  writer.reset(1, 4);
+  EXPECT_TRUE(writer.empty());
+  // A zero-frame shard slab is never sent; the parser rejects one outright.
+  EXPECT_FALSE(parse_shard_slab(writer.bytes()).has_value());
+}
+
+TEST(CodecShardSlab, TruncationAtEveryPrefixRejected) {
+  // The explicit frame count means NO strict prefix parses — unlike plain
+  // slabs, a shard slab cut at a frame boundary is detectably truncated
+  // (this is the property the worker's wedged-peer handling relies on).
+  const Frame slab = build_shard_slab(2, 17, shard_sample_messages());
+  for (std::size_t len = 0; len < slab.size(); ++len) {
+    EXPECT_FALSE(parse_shard_slab(std::span(slab.data(), len)).has_value())
+        << "prefix " << len;
+  }
+  EXPECT_TRUE(parse_shard_slab(slab).has_value());
+}
+
+TEST(CodecShardSlab, StructuralRejects) {
+  const Frame slab = build_shard_slab(1, 5, shard_sample_messages());
+
+  Frame wrong_magic = slab;
+  wrong_magic[0] = std::byte{kSlabMagic};
+  EXPECT_FALSE(parse_shard_slab(wrong_magic).has_value());
+
+  Frame trailing = slab;
+  trailing.push_back(std::byte{0});
+  EXPECT_FALSE(parse_shard_slab(trailing).has_value());
+
+  // Frame count larger than the body delivers: bump the count varint (the
+  // sample's count 3 is a single byte at a fixed offset: magic, shard=1,
+  // round=5 are one byte each).
+  Frame overcount = slab;
+  ASSERT_EQ(static_cast<std::uint8_t>(overcount[3]), 3);
+  overcount[3] = std::byte{4};
+  EXPECT_FALSE(parse_shard_slab(overcount).has_value());
+  Frame undercount = slab;
+  undercount[3] = std::byte{2};  // body now has trailing frames
+  EXPECT_FALSE(parse_shard_slab(undercount).has_value());
+
+  // Zero-length frame prefix.
+  Frame zero_len;
+  zero_len.push_back(std::byte{kShardSlabMagic});
+  put_varint(0, zero_len);  // shard
+  put_varint(1, zero_len);  // round
+  put_varint(1, zero_len);  // one frame
+  put_varint(0, zero_len);  // broadcast tag
+  put_varint(0, zero_len);  // zero length — rejected
+  EXPECT_FALSE(parse_shard_slab(zero_len).has_value());
+}
+
+TEST(CodecShardSlab, LegacyFormatsAndShardSlabsAreMutuallyUnparseable) {
+  // Interop: the three wire formats on a dual-use socket must never be
+  // mistaken for one another. A plain (headerless-routing) slab is not a
+  // shard slab, a shard slab is not a plain slab, and neither is a frame.
+  const Frame plain = build_slab(5, slab_sample_messages());
+  EXPECT_TRUE(parse_slab(plain).has_value());
+  EXPECT_FALSE(parse_shard_slab(plain).has_value());
+
+  const Frame sharded = build_shard_slab(0, 5, shard_sample_messages());
+  EXPECT_TRUE(parse_shard_slab(sharded).has_value());
+  EXPECT_FALSE(parse_slab(sharded).has_value());
+  EXPECT_FALSE(decode(sharded).has_value());
+}
+
+TEST(CodecShardSlab, BitflipFuzzNeverCrashesAndNeverYieldsOutOfBoundsFrames) {
+  const Frame original = build_shard_slab(6, 23, shard_sample_messages());
+  Rng rng(0xD157);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Frame mutated = original;
+    const std::size_t index = rng.below(mutated.size());
+    mutated[index] ^= static_cast<std::byte>(1u << rng.below(8));
+    const auto view = parse_shard_slab(mutated);
+    if (!view.has_value()) continue;
+    const std::byte* begin = mutated.data();
+    const std::byte* end = begin + mutated.size();
+    for (const auto& entry : view->entries) {
+      EXPECT_GE(entry.frame.data(), begin);
+      EXPECT_LE(entry.frame.data() + entry.frame.size(), end);
+      EXPECT_GT(entry.frame.size(), 0u);
+    }
+  }
+}
+
 // ------------------------------------------------------------ integration --
 
 /// Wraps any process so all of its traffic crosses the wire format: outgoing
