@@ -15,11 +15,16 @@
 //
 //   $ ./dist_sim ../scenarios/chaos_partition_heal.scn --shards 4
 //
+// --mesh (default) exchanges the round's shard slabs directly worker↔worker
+// with double-buffered rounds; --no-mesh keeps the star relay through the
+// coordinator. The merged result and canonical trace are byte-identical
+// either way — only the overlap counters differ.
 // --trace PATH / --trace-canonical PATH write the merged flight-recorder
 // exports (full JSONL / canonical link family); --metrics prints the merged
 // Prometheus exposition (including idonly_wire_faults_total for the shard
-// transport). --crash-shard S --crash-round R make worker S die abruptly
-// before round R — the crash-detection smoke (expects exit 5, not a hang).
+// transport and the idonly_overlap_* counters). --crash-shard S
+// --crash-round R make worker S die abruptly before round R — the
+// crash-detection smoke (expects exit 5, not a hang, in BOTH topologies).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -56,6 +61,10 @@ int main(int argc, char** argv) {
       canonical_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       print_metrics = true;
+    } else if (std::strcmp(argv[i], "--mesh") == 0) {
+      config.mesh = true;
+    } else if (std::strcmp(argv[i], "--no-mesh") == 0) {
+      config.mesh = false;
     } else if (std::strcmp(argv[i], "--crash-shard") == 0 && i + 1 < argc) {
       config.crash_shard = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--crash-round") == 0 && i + 1 < argc) {
@@ -71,9 +80,9 @@ int main(int argc, char** argv) {
   }
   if (path == nullptr || config.shards == 0) {
     std::fprintf(stderr,
-                 "usage: dist_sim <script-file> [--shards N] [--trace PATH] "
-                 "[--trace-canonical PATH] [--metrics] [--crash-shard S --crash-round R] "
-                 "[--wedge-timeout-ms N]\n");
+                 "usage: dist_sim <script-file> [--shards N] [--mesh|--no-mesh] "
+                 "[--trace PATH] [--trace-canonical PATH] [--metrics] "
+                 "[--crash-shard S --crash-round R] [--wedge-timeout-ms N]\n");
     return 2;
   }
   std::ifstream file(path);
@@ -102,12 +111,12 @@ int main(int argc, char** argv) {
   }
   const ScriptRun& run = dist.script;
 
-  if (trace_path != nullptr && !write_file(trace_path, dist.recorder->jsonl())) {
+  if (trace_path != nullptr && !write_file(trace_path, dist.trace->jsonl())) {
     std::fprintf(stderr, "cannot write %s\n", trace_path);
     return 2;
   }
   if (canonical_path != nullptr &&
-      !write_file(canonical_path, dist.recorder->canonical_jsonl())) {
+      !write_file(canonical_path, dist.trace->canonical_jsonl())) {
     std::fprintf(stderr, "cannot write %s\n", canonical_path);
     return 2;
   }

@@ -15,6 +15,12 @@ Rules:
   * Every numeric field whose key ends in `_per_round` is a wire-cost
     figure (bytes, syscalls) where LOWER is better:
     fresh <= baseline * (1 + tolerance) or the gate fails.
+  * Keys starting with `recv_stall_` (BENCH_dist.json's blocked-receive
+    milliseconds per round) are also LOWER-is-better, but they measure a
+    genuine wall-clock wait: on a runner with fewer than
+    --scaling-min-cores cores the figure is scheduler noise, so the check
+    self-skips there with a notice — exactly like the `speedup_*` scaling
+    keys.
   * All other fields are informational (counts, means, configs) and are
     only checked for structural presence, because they legitimately vary
     with machine speed (e.g. seeds completed within a wall-clock budget).
@@ -41,6 +47,9 @@ import sys
 
 RATE_SUFFIX = "_per_sec"
 COST_SUFFIX = "_per_round"
+# Wall-clock stall figures (blocked-receive wait): lower-is-better, but only
+# meaningful with real parallelism — self-skipped below --scaling-min-cores.
+STALL_PREFIX = "recv_stall_"
 COALESCING_KEY = "syscall_coalescing_factor"
 # Scaling-only keys that single-core runners legitimately omit (a 1-core
 # bench binary cannot measure multi-worker speedup): their absence from one
@@ -48,6 +57,7 @@ COALESCING_KEY = "syscall_coalescing_factor"
 # the structural gate.
 SCALING_KEYS = {"speedup_vs_1t", "speedup_vs_1shard"}
 SCALING_SELF_SKIPS = []
+STALL_SELF_SKIPS = []
 
 
 def walk(fresh, baseline, path, failures, checked):
@@ -75,7 +85,20 @@ def walk(fresh, baseline, path, failures, checked):
             walk(f, b, f"{path}[{i}]", failures, checked)
     elif isinstance(baseline, (int, float)) and not isinstance(baseline, bool):
         key = path.rsplit(".", 1)[-1]
-        if key.endswith(RATE_SUFFIX):
+        if key.startswith(STALL_PREFIX):
+            if (os.cpu_count() or 1) < ARGS.scaling_min_cores:
+                STALL_SELF_SKIPS.append(path)
+                return
+            ceiling = baseline * (1.0 + ARGS.tolerance)
+            status = "ok" if fresh <= ceiling else "REGRESSION"
+            checked.append(
+                f"  {status:>10}  {path}: {fresh:.3f} vs baseline "
+                f"{baseline:.3f} (ceiling {ceiling:.3f})")
+            if fresh > ceiling:
+                failures.append(
+                    f"{path}: {fresh:.3f} > {ceiling:.3f} "
+                    f"(baseline {baseline:.3f}, tolerance {ARGS.tolerance:.0%})")
+        elif key.endswith(RATE_SUFFIX):
             floor = baseline * (1.0 - ARGS.tolerance)
             status = "ok" if fresh >= floor else "REGRESSION"
             checked.append(
@@ -192,6 +215,10 @@ def main():
         print(f"scaling gate self-skipped: {len(SCALING_SELF_SKIPS)} "
               f"entr(ies) missing {sorted(SCALING_KEYS)} (single-core bench "
               "artifact)")
+    if STALL_SELF_SKIPS:
+        print(f"stall gate self-skipped: {len(STALL_SELF_SKIPS)} "
+              f"{STALL_PREFIX}* figure(s) ({os.cpu_count() or 1} core(s) < "
+              f"--scaling-min-cores {ARGS.scaling_min_cores})")
     check_scaling(fresh, failures, checked)
     check_coalescing(fresh, failures, checked)
     for line in checked:

@@ -48,6 +48,10 @@ struct FanoutCounters {
   /// Real sends the kernel refused or shortened (ENOBUFS, short sendto) —
   /// distinguishes kernel drops from injected chaos loss in soak runs.
   std::uint64_t send_failures = 0;
+  /// Payload bytes the distributed coordinator store-and-forwarded in
+  /// kDeliver frames (src/dist/). Zero when the workers exchange slabs over
+  /// the direct mesh — the `--no-mesh` ablation's data-path cost, measurable.
+  std::uint64_t coordinator_relay_bytes = 0;
 
   void reset() { *this = FanoutCounters{}; }
 
@@ -58,6 +62,35 @@ struct FanoutCounters {
     bytes_delivered += other.bytes_delivered;
     slab_sends += other.slab_sends;
     send_failures += other.send_failures;
+    coordinator_relay_bytes += other.coordinator_relay_bytes;
+    return *this;
+  }
+};
+
+/// Compute/communication overlap accounting for the distributed shard
+/// engine's data plane (src/dist/). In mesh mode workers exchange slabs
+/// peer-to-peer with non-blocking I/O, so a round's transfer can complete
+/// while the receiver is still stepping its own nodes; these counters make
+/// the achieved overlap — and the residual serialization — measurable. In
+/// relay mode (`--no-mesh`) `recv_stall_ns` instead measures time blocked
+/// waiting for the coordinator's kDeliver, so the two modes are directly
+/// comparable in BENCH_dist.json.
+struct OverlapCounters {
+  /// Rounds whose remote slabs had ALL arrived by the time the boundary
+  /// merge wanted them (zero stall — communication fully hidden).
+  std::uint64_t rounds_overlapped = 0;
+  /// Nanoseconds blocked waiting for remote round input after local work
+  /// finished (mesh: poll on peer sockets; relay: kDeliver wait).
+  std::uint64_t recv_stall_ns = 0;
+  /// Shard slabs sent worker-to-worker, bypassing the coordinator.
+  std::uint64_t slabs_direct = 0;
+
+  void reset() { *this = OverlapCounters{}; }
+
+  OverlapCounters& operator+=(const OverlapCounters& other) {
+    rounds_overlapped += other.rounds_overlapped;
+    recv_stall_ns += other.recv_stall_ns;
+    slabs_direct += other.slabs_direct;
     return *this;
   }
 };
@@ -118,6 +151,8 @@ struct CampaignCounters {
 struct Metrics {
   MessageCounters messages;
   FanoutCounters fanout;
+  /// Filled by distributed runs only; all-zero for in-process engines.
+  OverlapCounters overlap;
   Round rounds_executed = 0;
   /// Round at which each node reported done() (protocol termination).
   std::map<NodeId, Round> done_round;

@@ -33,15 +33,15 @@ std::string json_escape(const std::string& text) {
   return out;
 }
 
-bool canonical_less(const TraceRecord& a, const TraceRecord& b) noexcept {
+}  // namespace
+
+bool canonical_record_less(const TraceRecord& a, const TraceRecord& b) noexcept {
   if (a.round != b.round) return a.round < b.round;
   if (a.from != b.from) return a.from < b.from;
   if (a.to != b.to) return a.to < b.to;
   if (a.link_seq != b.link_seq) return a.link_seq < b.link_seq;
   return static_cast<int>(a.kind) < static_cast<int>(b.kind);
 }
-
-}  // namespace
 
 const char* to_string(TraceEngine engine) noexcept {
   switch (engine) {
@@ -259,7 +259,7 @@ std::vector<TraceRecord> TraceRecorder::canonical() const {
     if (rec.from == rec.to) continue;  // loopback: engine-dependent, never faulted
     out.push_back(std::move(rec));
   }
-  std::sort(out.begin(), out.end(), canonical_less);
+  std::sort(out.begin(), out.end(), canonical_record_less);
   return out;
 }
 

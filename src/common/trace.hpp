@@ -212,6 +212,12 @@ class TraceRecorder {
   std::map<NodeId, NodeRing> rings_;
 };
 
+/// The canonical export's strict-weak order: (round, from, to, link_seq,
+/// kind). Exposed so the distributed coordinator's k-way export merge
+/// (dist/shard_trace.hpp) sorts per-shard streams with EXACTLY the
+/// comparator canonical() uses.
+[[nodiscard]] bool canonical_record_less(const TraceRecord& a, const TraceRecord& b) noexcept;
+
 /// Serialize one record as the full-export JSONL line (no trailing newline).
 [[nodiscard]] std::string to_jsonl_line(const TraceRecord& rec, TraceEngine engine);
 /// Serialize one record as a canonical line (link family only; the caller

@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -148,31 +149,96 @@ DistRun run_dist(const DistConfig& config) {
   const Scenario scenario = make_scenario(script.config);
 
   // ---------------------------------------------------------- spawn fleet --
+  // Every socket — control pairs AND the mesh matrix — is created BEFORE the
+  // first fork, so each child keeps exactly the ends it owns and closes the
+  // rest: a uniform rule instead of "close earlier siblings'". mesh_fd[s][t]
+  // is shard s's end of the (s,t) pair; each fd appears in the matrix once.
+  const bool mesh_on = config.mesh && shards > 1;
   Fleet fleet;
   fleet.workers.resize(shards);
+  std::vector<std::array<int, 2>> control(shards, {-1, -1});
+  std::vector<std::vector<int>> mesh_fd(shards, std::vector<int>(shards, -1));
+  const auto close_prefork = [&] {
+    for (auto& sv : control) {
+      for (int& fd : sv) {
+        if (fd >= 0) ::close(fd);
+        fd = -1;
+      }
+    }
+    for (auto& row : mesh_fd) {
+      for (int& fd : row) {
+        if (fd >= 0) ::close(fd);
+        fd = -1;
+      }
+    }
+  };
   for (std::uint32_t s = 0; s < shards; ++s) {
     int sv[2] = {-1, -1};
     if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      close_prefork();
       return infra_failure("socketpair failed for shard " + std::to_string(s));
     }
+    control[s] = {sv[0], sv[1]};  // [0] = coordinator end, [1] = worker end
+  }
+  if (mesh_on) {
+    for (std::uint32_t a = 0; a < shards; ++a) {
+      for (std::uint32_t b = a + 1; b < shards; ++b) {
+        int sv[2] = {-1, -1};
+        if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+          close_prefork();
+          return infra_failure("mesh socketpair failed for shards " + std::to_string(a) + "/" +
+                              std::to_string(b));
+        }
+        // Ask for buffers big enough to hold a whole round's slab in flight:
+        // a post then completes without the peer's cooperation and the
+        // collect side finds complete frames instead of ping-ponging the
+        // transfer 200KB at a time. The kernel clamps the request to
+        // net.core.wmem_max — at the stock ~208KB limit this is a no-op and
+        // the chunked path below still works, just with more wakeups.
+        constexpr int kMeshBufBytes = 4 << 20;
+        for (const int fd : sv) {
+          (void)::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &kMeshBufBytes, sizeof kMeshBufBytes);
+          (void)::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &kMeshBufBytes, sizeof kMeshBufBytes);
+        }
+        mesh_fd[a][b] = sv[0];
+        mesh_fd[b][a] = sv[1];
+      }
+    }
+  }
+  for (std::uint32_t s = 0; s < shards; ++s) {
     const pid_t pid = ::fork();
     if (pid < 0) {
-      ::close(sv[0]);
-      ::close(sv[1]);
+      close_prefork();
       return infra_failure("fork failed for shard " + std::to_string(s));
     }
     if (pid == 0) {
-      // Child: drop every coordinator-side fd (including earlier siblings')
-      // so an exiting coordinator reads EOF, then run the worker protocol.
-      ::close(sv[0]);
-      for (std::uint32_t prev = 0; prev < s; ++prev) {
-        if (fleet.workers[prev].fd >= 0) ::close(fleet.workers[prev].fd);
-      }
+      // Child: keep control[s][1] and mesh row s, close everything else so
+      // a dead coordinator or peer reads EOF instead of hanging.
       fleet.workers.clear();  // the child must not kill/reap its siblings
-      ::_exit(run_worker_loop(sv[1]));
+      for (std::uint32_t t = 0; t < shards; ++t) {
+        if (control[t][0] >= 0) ::close(control[t][0]);
+        if (t != s && control[t][1] >= 0) ::close(control[t][1]);
+        if (t != s) {
+          for (int fd : mesh_fd[t]) {
+            if (fd >= 0) ::close(fd);
+          }
+        }
+      }
+      ::_exit(run_worker_loop(control[s][1], std::move(mesh_fd[s])));
     }
-    ::close(sv[1]);
-    fleet.workers[s] = Worker{s, pid, sv[0], false, 0};
+    fleet.workers[s] = Worker{s, pid, -1, false, 0};
+  }
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    fleet.workers[s].fd = control[s][0];
+    control[s][0] = -1;
+    ::close(control[s][1]);
+    control[s][1] = -1;
+  }
+  for (auto& row : mesh_fd) {
+    for (int& fd : row) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
   }
 
   for (Worker& worker : fleet.workers) {
@@ -180,6 +246,7 @@ DistRun run_dist(const DistConfig& config) {
     init.shard = worker.shard;
     init.shards = shards;
     init.want_trace = config.want_trace;
+    init.mesh = mesh_on;
     init.crash_at_round = worker.shard == config.crash_shard ? config.crash_at_round : 0;
     init.script_text = config.script_text;
     if (!send_frame(worker.fd, ShardMsgType::kInit, encode_init(init))) {
@@ -241,8 +308,13 @@ DistRun run_dist(const DistConfig& config) {
   };
 
   Round round = 0;
+  std::uint64_t relay_bytes = 0;
   std::optional<DistRun> failed;
-  const auto do_round = [&]() -> bool {
+
+  const auto broadcast_step = [&](Round r) -> bool {
+    // The coordinator's churn stream must advance once per STEPPED round —
+    // the workers apply the same events inside begin_round().
+    churn.apply(r, null_factory, null_add, null_remove);
     for (Worker& worker : fleet.workers) {
       if (!send_frame(worker.fd, ShardMsgType::kStep, {})) {
         failed = infra_failure(worker_failure(fleet, worker, RecvStatus::kEof,
@@ -250,6 +322,49 @@ DistRun run_dist(const DistConfig& config) {
         return false;
       }
     }
+    return true;
+  };
+
+  // One full round of kStatus replies, in worker order. Statuses carry no
+  // round number: the control sockets deliver in order and every kStep is
+  // answered by exactly one kStatus, so the i-th status from a worker IS its
+  // round-i status even when the mesh loop runs a round ahead.
+  const auto harvest_statuses = [&](Round r) -> bool {
+    for (Worker& worker : fleet.workers) {
+      ShardMsgType type{};
+      std::vector<std::byte> payload;
+      const RecvStatus status =
+          recv_with_grace(worker.fd, type, payload, config.wedge_timeout_ms);
+      if (status != RecvStatus::kOk) {
+        failed = infra_failure(
+            worker_failure(fleet, worker, status, "merging round " + std::to_string(r)));
+        return false;
+      }
+      if (type == ShardMsgType::kError) {
+        ByteReader er(payload);
+        fleet.kill_all();
+        failed = infra_failure("shard worker " + std::to_string(worker.shard) +
+                               " failed: " + er.str());
+        return false;
+      }
+      const auto worker_status =
+          type == ShardMsgType::kStatus ? decode_status(payload) : std::nullopt;
+      if (!worker_status.has_value()) {
+        fleet.kill_all();
+        failed = infra_failure("shard worker " + std::to_string(worker.shard) +
+                               " broke protocol in round " + std::to_string(r));
+        return false;
+      }
+      for (const auto& [id, done] : worker_status->done) done_status[id] = done;
+    }
+    round = r;
+    return true;
+  };
+
+  // Relay data plane: gather kSlabs, re-send each destination's slabs as ONE
+  // gathered kDeliver (no payload copy — the frame is scattered straight
+  // from the received slab buffers).
+  const auto relay_slabs = [&](Round r) -> bool {
     // Slab gather: outbox[t] collects every (s → t) slab of the round.
     std::vector<std::vector<std::vector<std::byte>>> outbox(shards);
     for (Worker& worker : fleet.workers) {
@@ -258,81 +373,84 @@ DistRun run_dist(const DistConfig& config) {
       const RecvStatus status =
           recv_with_grace(worker.fd, type, payload, config.wedge_timeout_ms);
       if (status != RecvStatus::kOk) {
-        failed = infra_failure(worker_failure(fleet, worker, status,
-                                              "in round " + std::to_string(round + 1)));
+        failed = infra_failure(
+            worker_failure(fleet, worker, status, "in round " + std::to_string(r)));
         return false;
       }
       if (type == ShardMsgType::kError) {
-        ByteReader r(payload);
+        ByteReader er(payload);
         fleet.kill_all();
         failed = infra_failure("shard worker " + std::to_string(worker.shard) +
-                               " failed: " + r.str());
+                               " failed: " + er.str());
         return false;
       }
-      ByteReader r(payload);
-      const std::uint32_t count = type == ShardMsgType::kSlabs ? r.u32() : 0;
-      for (std::uint32_t i = 0; i < count && !r.failed(); ++i) {
-        const std::uint32_t dest = r.u32();
-        std::vector<std::byte> slab = r.blob();
+      ByteReader r2(payload);
+      const std::uint32_t count = type == ShardMsgType::kSlabs ? r2.u32() : 0;
+      for (std::uint32_t i = 0; i < count && !r2.failed(); ++i) {
+        const std::uint32_t dest = r2.u32();
+        std::vector<std::byte> slab = r2.blob();
         if (dest < shards && dest != worker.shard) outbox[dest].push_back(std::move(slab));
       }
-      if (type != ShardMsgType::kSlabs || !r.done()) {
+      if (type != ShardMsgType::kSlabs || !r2.done()) {
         fleet.kill_all();
         failed = infra_failure("shard worker " + std::to_string(worker.shard) +
-                               " broke protocol in round " + std::to_string(round + 1));
+                               " broke protocol in round " + std::to_string(r));
         return false;
       }
     }
     for (Worker& worker : fleet.workers) {
-      ByteWriter w;
-      w.u32(static_cast<std::uint32_t>(outbox[worker.shard].size()));
-      for (const std::vector<std::byte>& slab : outbox[worker.shard]) w.blob(slab);
-      if (!send_frame(worker.fd, ShardMsgType::kDeliver, w.bytes())) {
+      const std::vector<std::vector<std::byte>>& slabs = outbox[worker.shard];
+      // Byte-identical to ByteWriter{u32 count; blob each}: a 4-byte count
+      // chunk, then per slab an 8-byte LE length chunk and the slab itself.
+      ByteWriter head;
+      head.u32(static_cast<std::uint32_t>(slabs.size()));
+      std::vector<std::byte> lens(8 * slabs.size());
+      std::vector<std::span<const std::byte>> chunks;
+      chunks.reserve(1 + 2 * slabs.size());
+      chunks.emplace_back(head.bytes());
+      std::uint64_t bytes = head.bytes().size();
+      for (std::size_t i = 0; i < slabs.size(); ++i) {
+        const auto len = static_cast<std::uint64_t>(slabs[i].size());
+        for (int b = 0; b < 8; ++b) {
+          lens[8 * i + static_cast<std::size_t>(b)] =
+              static_cast<std::byte>((len >> (8 * b)) & 0xFF);
+        }
+        chunks.emplace_back(lens.data() + 8 * i, 8);
+        chunks.emplace_back(slabs[i]);
+        bytes += 8 + len;
+      }
+      if (!send_frame_gather(worker.fd, ShardMsgType::kDeliver, chunks)) {
         failed = infra_failure(worker_failure(fleet, worker, RecvStatus::kEof,
-                                              "when delivering round " +
-                                                  std::to_string(round + 1)));
+                                              "when delivering round " + std::to_string(r)));
         return false;
       }
+      relay_bytes += bytes;
     }
-    for (Worker& worker : fleet.workers) {
-      ShardMsgType type{};
-      std::vector<std::byte> payload;
-      const RecvStatus status =
-          recv_with_grace(worker.fd, type, payload, config.wedge_timeout_ms);
-      if (status != RecvStatus::kOk) {
-        failed = infra_failure(worker_failure(fleet, worker, status,
-                                              "merging round " + std::to_string(round + 1)));
-        return false;
-      }
-      if (type == ShardMsgType::kError) {
-        ByteReader r(payload);
-        fleet.kill_all();
-        failed = infra_failure("shard worker " + std::to_string(worker.shard) +
-                               " failed: " + r.str());
-        return false;
-      }
-      const auto worker_status =
-          type == ShardMsgType::kStatus ? decode_status(payload) : std::nullopt;
-      if (!worker_status.has_value()) {
-        fleet.kill_all();
-        failed = infra_failure("shard worker " + std::to_string(worker.shard) +
-                               " broke protocol in round " + std::to_string(round + 1));
-        return false;
-      }
-      for (const auto& [id, done] : worker_status->done) done_status[id] = done;
-    }
-    round += 1;
     return true;
   };
 
+  // Round loop. In mesh mode the coordinator is control-plane only; for
+  // totalorder (round count data-independent) it keeps up to TWO rounds
+  // stepped-but-unharvested, so a worker can post round r+1's slabs while
+  // its slowest peer still merges round r — the double-buffering the mesh
+  // staging was built for. Consensus keeps lookahead 1: its early exit
+  // reads every round's statuses before deciding to step again. The relay
+  // path is inherently alternating (the coordinator sits inside the round).
+  const Round lookahead = (mesh_on && !consensus) ? 2 : 1;
+  Round stepped = 0;
   bool all_decided = false;
-  for (Round i = 0; i < script.max_rounds; ++i) {
+  for (;;) {
     if (consensus && tracked_done()) {
       all_decided = true;
       break;
     }
-    churn.apply(round + 1, null_factory, null_add, null_remove);
-    if (!do_round()) return *std::move(failed);
+    if (round >= script.max_rounds) break;
+    while (stepped < std::min<Round>(round + lookahead, script.max_rounds)) {
+      stepped += 1;
+      if (!broadcast_step(stepped)) return *std::move(failed);
+      if (!mesh_on && !relay_slabs(stepped)) return *std::move(failed);
+    }
+    if (!harvest_statuses(round + 1)) return *std::move(failed);
   }
   if (consensus && !all_decided) all_decided = tracked_done();
 
@@ -380,13 +498,14 @@ DistRun run_dist(const DistConfig& config) {
   FaultCounters wire_faults;
   std::map<NodeId, ShardResult::Decision> decisions;
   std::map<NodeId, std::vector<ChainEntry>> chains;
-  if (config.want_trace) run.recorder = std::make_shared<TraceRecorder>(TraceEngine::kSync);
+  if (config.want_trace) run.trace = std::make_shared<ShardedTrace>(TraceEngine::kSync);
   for (ShardResult& result : results) {
     for (std::size_t k = 0; k < MessageCounters::kKinds; ++k) {
       metrics.messages.sent[k] += result.metrics.messages.sent[k];
       metrics.messages.delivered[k] += result.metrics.messages.delivered[k];
     }
     metrics.fanout += result.metrics.fanout;
+    metrics.overlap += result.metrics.overlap;
     metrics.rounds_executed = std::max(metrics.rounds_executed, result.metrics.rounds_executed);
     for (const auto& [id, done_round] : result.metrics.done_round) {
       metrics.done_round.emplace(id, done_round);
@@ -407,13 +526,9 @@ DistRun run_dist(const DistConfig& config) {
     wire_faults += result.wire_faults;
     for (const ShardResult::Decision& d : result.decisions) decisions.emplace(d.id, d);
     for (ShardResult::Chain& c : result.chains) chains.emplace(c.id, std::move(c.chain));
-    if (run.recorder != nullptr) {
-      for (ShardResult::Ring& ring : result.rings) {
-        run.recorder->absorb_ring(ring.node, std::move(ring.records), ring.next_seq,
-                                  ring.evicted);
-      }
-    }
+    if (run.trace != nullptr) run.trace->absorb_shard(std::move(result.rings));
   }
+  metrics.fanout.coordinator_relay_bytes += relay_bytes;
 
   ScriptRun& script_run = run.script;
   script_run.rounds = round;
@@ -424,6 +539,7 @@ DistRun run_dist(const DistConfig& config) {
   } else {
     script_run.metrics_exposition = prometheus_exposition(metrics, nullptr, &wire_faults);
   }
+  run.metrics = metrics;
 
   if (consensus) {
     // Replayed verdict logic from run_chaos_consensus, with the monitor fed

@@ -1,15 +1,28 @@
 // Multi-process distributed simulation: fork N shard workers, drive the
-// round barrier, exchange cross-shard slabs, and merge the results into the
-// same ScriptRun a single-process run_script() produces.
+// round protocol, and merge the results into the same ScriptRun a
+// single-process run_script() produces.
 //
-// Topology is a star: every worker holds one AF_UNIX stream socketpair to
-// the coordinator, which relays each round's (source shard → destination
-// shard) slabs. The coordinator owns the ROUND LOOP POLICY — the early-exit
-// check for consensus, the fixed round count for totalorder — replicated
-// from the harness chaos runners (harness/script.cpp), with the worker
-// statuses standing in for direct process inspection. Its own ChurnDriver
-// instance (engine-agnostic, same seed stream as the workers') tracks the
-// evolving set of nodes the expectations quantify over.
+// Two data-plane topologies (DESIGN.md §12):
+//
+//   * mesh (default): the coordinator plumbs one AF_UNIX socketpair per
+//     shard PAIR at fork time and the workers exchange the round's slabs
+//     peer-to-peer (dist/shard_mesh.hpp). The coordinator is a pure CONTROL
+//     plane — round pacing, the early-exit policy, the crash watchdog, and
+//     the merged counters; no slab byte transits it. For totalorder (round
+//     count data-independent) it runs the round loop with lookahead 2:
+//     kStep r+1 is broadcast before round r's statuses are harvested, so
+//     workers double-buffer rounds instead of barriering on the
+//     coordinator. Consensus keeps strict alternation — its early exit
+//     depends on every round's statuses.
+//   * relay (--no-mesh): the PR-8 star — workers upload kSlabs, the
+//     coordinator re-sends each destination's slabs as ONE gathered
+//     kDeliver (no payload copy; Metrics::fanout counts the relayed bytes).
+//
+// Either way the coordinator owns the ROUND LOOP POLICY — replicated from
+// the harness chaos runners (harness/script.cpp), with the worker statuses
+// standing in for direct process inspection. Its own ChurnDriver instance
+// (engine-agnostic, same seed stream as the workers') tracks the evolving
+// set of nodes the expectations quantify over.
 //
 // Failure handling: a worker that closes its socket (crash) or stops
 // answering (wedge) fails the RUN, not the coordinator — every worker is
@@ -32,7 +45,9 @@
 #include <memory>
 #include <string>
 
+#include "common/metrics.hpp"
 #include "common/trace.hpp"
+#include "dist/shard_trace.hpp"
 #include "harness/script.hpp"
 
 namespace idonly {
@@ -43,6 +58,10 @@ struct DistConfig {
   /// Capture the flight-recorder trace (workers record their own nodes; the
   /// coordinator splices the rings).
   bool want_trace = false;
+  /// Data plane: true = direct worker↔worker mesh with a double-buffered
+  /// round loop; false = star relay through the coordinator. Same merged
+  /// result and byte-identical canonical trace either way.
+  bool mesh = true;
   /// Whole-frame receive budget per worker reply before the worker counts
   /// as wedged (then the watchdog-style grace retries start).
   int wedge_timeout_ms = 60000;
@@ -59,8 +78,14 @@ struct DistRun {
   std::string infra_error;
   /// The merged run result, same shape and summary format as run_script().
   ScriptRun script;
-  /// Merged flight recorder (null unless want_trace and infra_ok).
-  std::shared_ptr<TraceRecorder> recorder;
+  /// Merged fleet metrics — message/fanout counters summed across shards,
+  /// plus the overlap counters (rounds_overlapped, recv_stall_ns,
+  /// slabs_direct) and, in relay mode, fanout.coordinator_relay_bytes.
+  Metrics metrics;
+  /// Sharded flight-recorder epilogue (null unless want_trace and
+  /// infra_ok): each worker's rings absorbed as one per-shard stream,
+  /// exports k-way merged — byte-identical to the recorder-based exports.
+  std::shared_ptr<ShardedTrace> trace;
 };
 
 /// Execute the scripted run across `config.shards` forked worker processes.

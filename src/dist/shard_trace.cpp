@@ -1,0 +1,82 @@
+#include "dist/shard_trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace idonly {
+
+void ShardedTrace::absorb_shard(std::vector<ShardResult::Ring> rings) {
+  Shard shard;
+  shard.rings = std::move(rings);
+  std::sort(shard.rings.begin(), shard.rings.end(),
+            [](const ShardResult::Ring& a, const ShardResult::Ring& b) { return a.node < b.node; });
+  for (const ShardResult::Ring& ring : shard.rings) {
+    if (!nodes_.insert(ring.node).second) {
+      throw std::invalid_argument("ShardedTrace: node " + std::to_string(ring.node) +
+                                  " appears in two shards");
+    }
+    records_ += ring.records.size();
+    evicted_ += ring.evicted;
+    for (const TraceRecord& rec : ring.records) {
+      if (!is_canonical(rec.kind)) continue;
+      if (rec.from == rec.to) continue;  // loopback: engine-dependent, never faulted
+      shard.canonical.push_back(&rec);
+    }
+  }
+  // O(ring/k): each shard sorts only its own canonical stream; the exports
+  // merge the pre-sorted streams.
+  std::sort(shard.canonical.begin(), shard.canonical.end(),
+            [](const TraceRecord* a, const TraceRecord* b) {
+              return canonical_record_less(*a, *b);
+            });
+  shards_.push_back(std::move(shard));
+}
+
+std::string ShardedTrace::jsonl() const {
+  std::ostringstream os;
+  os << "{\"idonly_trace\":1,\"engine\":\"" << to_string(engine_)
+     << "\",\"records\":" << records_ << ",\"evicted\":" << evicted_ << "}\n";
+  // K-way merge by ring node id: node sets are disjoint and each shard's
+  // rings are ascending, so emitting the globally-smallest head ring
+  // reproduces snapshot()'s group-by-ascending-node order.
+  std::vector<std::size_t> next(shards_.size(), 0);
+  for (;;) {
+    std::size_t pick = shards_.size();
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (next[s] >= shards_[s].rings.size()) continue;
+      if (pick == shards_.size() ||
+          shards_[s].rings[next[s]].node < shards_[pick].rings[next[pick]].node) {
+        pick = s;
+      }
+    }
+    if (pick == shards_.size()) break;
+    const ShardResult::Ring& ring = shards_[pick].rings[next[pick]];
+    for (const TraceRecord& rec : ring.records) os << to_jsonl_line(rec, engine_) << "\n";
+    next[pick] += 1;
+  }
+  return os.str();
+}
+
+std::string ShardedTrace::canonical_jsonl() const {
+  std::ostringstream os;
+  std::vector<std::size_t> next(shards_.size(), 0);
+  for (;;) {
+    std::size_t pick = shards_.size();
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (next[s] >= shards_[s].canonical.size()) continue;
+      if (pick == shards_.size() ||
+          canonical_record_less(*shards_[s].canonical[next[s]],
+                                *shards_[pick].canonical[next[pick]])) {
+        pick = s;
+      }
+    }
+    if (pick == shards_.size()) break;
+    os << to_canonical_line(*shards_[pick].canonical[next[pick]]) << "\n";
+    next[pick] += 1;
+  }
+  return os.str();
+}
+
+}  // namespace idonly

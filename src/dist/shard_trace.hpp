@@ -1,0 +1,69 @@
+// Sharded end-of-run trace epilogue for the distributed coordinator.
+//
+// PR 8's coordinator rebuilt a single TraceRecorder by absorb_ring()-ing
+// every worker's rings — one serial pass copying every record into per-node
+// deques, then snapshot()/sort over the FULL record set at export. This
+// class keeps the epilogue sharded instead: each worker's rings are moved
+// in as ONE per-shard stream (no per-record copy), the canonical family is
+// filtered and sorted per shard — O(ring/k) each — and the exports run a
+// k-way merge over the pre-sorted shard streams.
+//
+// Byte-identity with the recorder-based exports is structural:
+//   * full jsonl groups records by ascending node id with capture order
+//     within a node. Workers own DISJOINT node sets and ship rings in
+//     ascending node order, so emitting whole rings in ascending-node order
+//     across shards reproduces snapshot() order exactly.
+//   * canonical export sorts by (round, from, to, link_seq, kind). A
+//     canonical record's node is its receiver, and a receiver lives in
+//     exactly one shard, so no key ever ties across shards and merging the
+//     per-shard sorted streams IS the global sort. Both exports use the
+//     recorder's own serializers (to_jsonl_line / to_canonical_line) and
+//     comparator (canonical_record_less) — there is no second format to
+//     drift.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/trace.hpp"
+#include "dist/shard_wire.hpp"
+
+namespace idonly {
+
+class ShardedTrace {
+ public:
+  explicit ShardedTrace(TraceEngine engine = TraceEngine::kSync) noexcept : engine_(engine) {}
+
+  /// Move one worker's rings in as a shard stream; filters and sorts the
+  /// shard's canonical records. Node sets must be disjoint across shards
+  /// (shard workers own disjoint id ranges); throws std::invalid_argument
+  /// when a node repeats.
+  void absorb_shard(std::vector<ShardResult::Ring> rings);
+
+  [[nodiscard]] std::size_t size() const noexcept { return records_; }
+  [[nodiscard]] std::uint64_t evicted() const noexcept { return evicted_; }
+
+  /// Full export, byte-identical to TraceRecorder::jsonl() over the same
+  /// rings: header line, then every record grouped by ascending node id.
+  [[nodiscard]] std::string jsonl() const;
+  /// Canonical export, byte-identical to TraceRecorder::canonical_jsonl():
+  /// link-verdict family only, self-links removed, globally sorted.
+  [[nodiscard]] std::string canonical_jsonl() const;
+
+ private:
+  struct Shard {
+    std::vector<ShardResult::Ring> rings;           ///< ascending node id
+    std::vector<const TraceRecord*> canonical;      ///< per-shard sorted stream
+  };
+
+  TraceEngine engine_;
+  std::vector<Shard> shards_;
+  std::set<NodeId> nodes_;
+  std::size_t records_ = 0;
+  std::uint64_t evicted_ = 0;
+};
+
+}  // namespace idonly

@@ -13,14 +13,24 @@
 //
 //   coordinator → worker   kInit     script text + shard/shards + options
 //   worker → coordinator   kHello    shard + local member count
-//   per round:
+//   per round (relay topology, ShardInit::mesh == false):
 //     c → w  kStep         run membership churn + the round's first half
 //     w → c  kSlabs        outbound shard slabs, one per destination shard
 //     c → w  kDeliver      the slabs the other shards addressed to this one
 //     w → c  kStatus       per local correct node: done flag
+//   per round (mesh topology, ShardInit::mesh == true):
+//     c → w  kStep         the worker runs the WHOLE round — it posts its
+//                          slabs straight to its peers over the mesh
+//                          socketpairs (net/codec.hpp shard slabs / beacons,
+//                          u32 LE length-prefixed) and merges their replies
+//     w → c  kStatus       per local correct node: done flag
 //   c → w  kFinish         finalize
 //   w → c  kResult         ShardResult (outputs/chains, metrics, trace rings)
 //   w → c  kError          fatal worker-side failure (detail = message)
+//
+// In mesh mode kSlabs/kDeliver are never sent: the coordinator is a pure
+// control plane (round pacing, early-exit policy, crash watchdog, merged
+// counters) and the data plane is the worker↔worker mesh (dist/shard_mesh).
 //
 // recv_frame distinguishes timeout (wedged worker) from EOF (crashed
 // worker) so the coordinator can report the difference.
@@ -57,6 +67,14 @@ enum class ShardMsgType : std::uint8_t {
 /// Write one `length + type + payload` frame; retries EINTR/partial sends,
 /// suppresses SIGPIPE. False on any unrecoverable send error.
 [[nodiscard]] bool send_frame(int fd, ShardMsgType type, std::span<const std::byte> payload);
+
+/// Write one frame whose payload is scattered across `chunks`, header and
+/// payload gathered into (as few as possible) writev-style sendmsg calls —
+/// the relay's kDeliver path sends the count header plus every slab without
+/// first copying them into one contiguous payload. Same failure contract as
+/// send_frame.
+[[nodiscard]] bool send_frame_gather(int fd, ShardMsgType type,
+                                     std::span<const std::span<const std::byte>> chunks);
 
 enum class RecvStatus : std::uint8_t { kOk, kEof, kTimeout, kError };
 
@@ -124,6 +142,10 @@ struct ShardInit {
   std::uint32_t shard = 0;
   std::uint32_t shards = 1;
   bool want_trace = false;
+  /// Data plane topology: true = direct worker↔worker mesh (the worker owns
+  /// one socketpair per peer shard and the coordinator never sees a slab),
+  /// false = star relay through the coordinator (kSlabs/kDeliver).
+  bool mesh = true;
   /// Test hook: > 0 makes the worker _exit(uncleanly) instead of executing
   /// that round — the coordinator must detect the death, not hang.
   Round crash_at_round = 0;

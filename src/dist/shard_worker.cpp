@@ -2,11 +2,13 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 #include <variant>
 
 #include "core/consensus.hpp"
+#include "dist/shard_mesh.hpp"
 #include "net/codec.hpp"
 
 namespace idonly {
@@ -117,39 +119,49 @@ std::vector<ShardWorker::OutboundSlab> ShardWorker::begin_round() {
   return out;
 }
 
+bool ShardWorker::decode_peer_slab(std::span<const std::byte> bytes,
+                                   std::vector<ShardEngine::Send>& stream) {
+  const auto view = parse_shard_slab(bytes);
+  if (!view.has_value()) {
+    wire_faults_.truncations += 1;
+    error_ = "shard " + std::to_string(shard_) + ": malformed shard slab in round " +
+             std::to_string(engine_.round());
+    return false;
+  }
+  if (view->round != engine_.round() || view->shard == shard_ || view->shard >= shards_) {
+    wire_faults_.truncations += 1;
+    error_ = "shard " + std::to_string(shard_) + ": shard slab header mismatch (from shard " +
+             std::to_string(view->shard) + ", round " + std::to_string(view->round) +
+             ", local round " + std::to_string(engine_.round()) + ")";
+    return false;
+  }
+  stream.reserve(view->entries.size());
+  for (const ShardSlabView::Entry& entry : view->entries) {
+    auto msg = decode(entry.frame);
+    if (!msg.has_value()) {
+      wire_faults_.corrupts += 1;
+      error_ = "shard " + std::to_string(shard_) + ": undecodable frame from shard " +
+               std::to_string(view->shard) + " in round " + std::to_string(engine_.round());
+      return false;
+    }
+    stream.push_back({entry.to, MessageRef::wrap(*std::move(msg))});
+  }
+  return true;
+}
+
+void ShardWorker::merge_round(std::span<const std::vector<ShardEngine::Send>> streams) {
+  engine_.finish_round(streams);
+}
+
 bool ShardWorker::finish_round(std::span<const std::vector<std::byte>> peer_slabs) {
   std::vector<std::vector<ShardEngine::Send>> streams;
   streams.reserve(peer_slabs.size());
   for (const std::vector<std::byte>& bytes : peer_slabs) {
-    const auto view = parse_shard_slab(bytes);
-    if (!view.has_value()) {
-      wire_faults_.truncations += 1;
-      error_ = "shard " + std::to_string(shard_) + ": malformed shard slab in round " +
-               std::to_string(engine_.round());
-      return false;
-    }
-    if (view->round != engine_.round() || view->shard == shard_ || view->shard >= shards_) {
-      wire_faults_.truncations += 1;
-      error_ = "shard " + std::to_string(shard_) + ": shard slab header mismatch (from shard " +
-               std::to_string(view->shard) + ", round " + std::to_string(view->round) +
-               ", local round " + std::to_string(engine_.round()) + ")";
-      return false;
-    }
     std::vector<ShardEngine::Send> stream;
-    stream.reserve(view->entries.size());
-    for (const ShardSlabView::Entry& entry : view->entries) {
-      auto msg = decode(entry.frame);
-      if (!msg.has_value()) {
-        wire_faults_.corrupts += 1;
-        error_ = "shard " + std::to_string(shard_) + ": undecodable frame from shard " +
-                 std::to_string(view->shard) + " in round " + std::to_string(engine_.round());
-        return false;
-      }
-      stream.push_back({entry.to, MessageRef::wrap(*std::move(msg))});
-    }
+    if (!decode_peer_slab(bytes, stream)) return false;
     streams.push_back(std::move(stream));
   }
-  engine_.finish_round(streams);
+  merge_round(streams);
   return true;
 }
 
@@ -167,6 +179,7 @@ ShardResult ShardWorker::finalize() {
   ShardResult result;
   result.rounds = engine_.round();
   result.metrics = engine_.metrics();
+  result.metrics.overlap = overlap_;
   if (chaos_ != nullptr) {
     result.has_chaos = true;
     result.chaos = chaos_->counters();
@@ -209,7 +222,8 @@ ShardResult ShardWorker::finalize() {
   return result;
 }
 
-int run_worker_loop(int fd) {
+int run_worker_loop(int fd, std::vector<int> peer_fds) {
+  using Clock = std::chrono::steady_clock;
   std::vector<std::byte> payload;
   ShardMsgType type{};
   const auto fail = [fd](const std::string& message) {
@@ -230,6 +244,14 @@ int run_worker_loop(int fd) {
   } catch (const std::exception& e) {
     return fail(e.what());
   }
+  // The mesh handshake runs BEFORE the kHello reply, so a bad peer wiring
+  // surfaces inside the coordinator's initialisation wait, not mid-round.
+  std::unique_ptr<MeshExchange> mesh;
+  if (init->mesh && init->shards > 1) {
+    mesh = std::make_unique<MeshExchange>(init->shard, init->shards, std::move(peer_fds));
+    std::string mesh_error;
+    if (!mesh->handshake(mesh_error)) return fail(mesh_error);
+  }
   {
     ByteWriter w;
     w.u32(worker->shard());
@@ -237,23 +259,70 @@ int run_worker_loop(int fd) {
     if (!send_frame(fd, ShardMsgType::kHello, w.bytes())) return 1;
   }
 
+  bool awaiting_deliver = false;  // relay mode: the next frame should be kDeliver
   for (;;) {
+    const auto recv_start = Clock::now();
     if (recv_frame(fd, type, payload, -1) != RecvStatus::kOk) return 1;
+    if (awaiting_deliver) {
+      // Relay mode's counterpart of the mesh collect wait: the time blocked
+      // until the coordinator finished gathering and re-sending the slabs.
+      worker->overlap().recv_stall_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - recv_start)
+              .count());
+      awaiting_deliver = false;
+    }
     switch (type) {
       case ShardMsgType::kStep: {
         if (init->crash_at_round > 0 && worker->round() + 1 >= init->crash_at_round) {
           // Crash test hook: die without a word — no kError, no reply. The
-          // coordinator must turn the resulting EOF into a clean failure.
+          // coordinator must turn the resulting EOF into a clean failure,
+          // and in mesh mode the peers must turn the socket EOF into
+          // kError, not a hang.
           _exit(13);
         }
         const auto slabs = worker->begin_round();
-        ByteWriter w;
-        w.u32(static_cast<std::uint32_t>(slabs.size()));
-        for (const ShardWorker::OutboundSlab& slab : slabs) {
-          w.u32(slab.dest);
-          w.blob(slab.bytes);
+        if (mesh != nullptr) {
+          // Mesh round: post outbound slabs (beacons for quiet peers)
+          // without blocking, decode peer slabs in arrival order, merge,
+          // status. The coordinator never sees a slab byte.
+          const Round round = worker->round();
+          std::vector<std::span<const std::byte>> by_shard(worker->shards());
+          for (const ShardWorker::OutboundSlab& slab : slabs) by_shard[slab.dest] = slab.bytes;
+          std::string mesh_error;
+          std::vector<std::vector<ShardEngine::Send>> streams;
+          streams.reserve(mesh->peer_count());
+          bool ok = mesh->post_round(round, by_shard, mesh_error);
+          if (ok) {
+            ok = mesh->collect_round(
+                round,
+                [&](std::uint32_t, std::span<const std::byte> bytes) {
+                  std::vector<ShardEngine::Send> stream;
+                  if (!worker->decode_peer_slab(bytes, stream)) return false;
+                  streams.push_back(std::move(stream));
+                  return true;
+                },
+                mesh_error);
+          }
+          if (!ok) return fail(worker->error().empty() ? mesh_error : worker->error());
+          worker->merge_round(streams);
+          if (!send_frame(fd, ShardMsgType::kStatus, encode_status(worker->status()))) return 1;
+        } else if (worker->shards() == 1) {
+          // Single shard: no cross-shard traffic either way; keep the relay
+          // frames so the coordinator drives one uniform protocol.
+          ByteWriter w;
+          w.u32(0);
+          if (!send_frame(fd, ShardMsgType::kSlabs, w.bytes())) return 1;
+          awaiting_deliver = true;
+        } else {
+          ByteWriter w;
+          w.u32(static_cast<std::uint32_t>(slabs.size()));
+          for (const ShardWorker::OutboundSlab& slab : slabs) {
+            w.u32(slab.dest);
+            w.blob(slab.bytes);
+          }
+          if (!send_frame(fd, ShardMsgType::kSlabs, w.bytes())) return 1;
+          awaiting_deliver = true;
         }
-        if (!send_frame(fd, ShardMsgType::kSlabs, w.bytes())) return 1;
         break;
       }
       case ShardMsgType::kDeliver: {
@@ -267,6 +336,7 @@ int run_worker_loop(int fd) {
         break;
       }
       case ShardMsgType::kFinish: {
+        if (mesh != nullptr) worker->overlap() += mesh->counters();
         if (!send_frame(fd, ShardMsgType::kResult, encode_result(worker->finalize()))) return 1;
         return 0;
       }

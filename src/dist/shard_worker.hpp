@@ -45,6 +45,7 @@ class ShardWorker {
   explicit ShardWorker(const ShardInit& init);
 
   [[nodiscard]] std::uint32_t shard() const noexcept { return shard_; }
+  [[nodiscard]] std::uint32_t shards() const noexcept { return shards_; }
   /// Local process count (initial slice, before churn).
   [[nodiscard]] std::size_t member_count() const noexcept { return initial_members_; }
   [[nodiscard]] Round round() const noexcept { return engine_.round(); }
@@ -67,6 +68,22 @@ class ShardWorker {
   /// counters record what was rejected) — the caller must abort the run, as
   /// dropping cross-shard traffic would silently fork determinism.
   [[nodiscard]] bool finish_round(std::span<const std::vector<std::byte>> peer_slabs);
+
+  /// Decode ONE peer slab into a merge stream — the mesh path's incremental
+  /// half of finish_round(): the boundary merge is order-blind across peer
+  /// streams, so each slab can be decoded the moment it arrives (overlapping
+  /// with the remaining peers' transfers) and merged once all are in. Same
+  /// failure contract as finish_round().
+  [[nodiscard]] bool decode_peer_slab(std::span<const std::byte> bytes,
+                                      std::vector<ShardEngine::Send>& stream);
+  /// Run the deterministic boundary merge over already-decoded streams
+  /// (stream order is irrelevant — the merge orders by sender id).
+  void merge_round(std::span<const std::vector<ShardEngine::Send>> streams);
+
+  /// Compute/communication overlap accounting, folded into finalize()'s
+  /// metrics. The protocol loop (and its MeshExchange) owns the timing; the
+  /// worker owns the ledger.
+  [[nodiscard]] OverlapCounters& overlap() noexcept { return overlap_; }
 
   /// Done flags for the local correct nodes (the coordinator's early-exit
   /// and liveness inputs).
@@ -91,6 +108,7 @@ class ShardWorker {
   std::unique_ptr<ChurnDriver> churn_;
   std::vector<ShardSlabWriter> writers_;  // indexed by destination shard
   FaultCounters wire_faults_;
+  OverlapCounters overlap_;
   std::size_t initial_members_ = 0;
   std::string error_;
 };
@@ -101,6 +119,11 @@ class ShardWorker {
 /// non-zero. Honors ShardInit::crash_at_round by dying abruptly (_exit)
 /// before executing that round — the coordinator's crash-detection test
 /// hook.
-[[nodiscard]] int run_worker_loop(int fd);
+///
+/// `peer_fds` (indexed by shard id, -1 for self) are this worker's ends of
+/// the mesh socketpairs; required when the init says mesh and shards > 1.
+/// In mesh mode a kStep runs the WHOLE round — post slabs to peers, drain
+/// theirs, merge — and kSlabs/kDeliver never appear on the control socket.
+[[nodiscard]] int run_worker_loop(int fd, std::vector<int> peer_fds = {});
 
 }  // namespace idonly

@@ -167,4 +167,54 @@ struct ShardSlabView {
 /// zero frames, zero-length or overlong frame prefixes, or trailing bytes.
 [[nodiscard]] std::optional<ShardSlabView> parse_shard_slab(std::span<const std::byte> bytes);
 
+// ---------------------------------------------------------- mesh peering --
+// The distributed shard engine's direct worker↔worker mesh (src/dist/)
+// carries two more payload kinds on its peer sockets, both sharing the
+// shard-slab header prefix (magic, varint shard, varint round where
+// applicable) so a receiver can route any mesh payload from its first
+// bytes:
+//
+//   peer hello (handshake, once per socket at fork time):
+//     byte 0    kPeerHelloMagic (0xAD)
+//     varint    sender's shard id
+//     varint    total shard count (echoed so both ends pin ONE topology)
+//
+//   empty-round beacon (one per peer per round with no cross-shard traffic):
+//     byte 0    kPeerBeaconMagic (0xAE)
+//     varint    sender's shard id
+//     varint    round (1-based)
+//
+// An empty shard slab is never sent (see above), but a mesh receiver must
+// still distinguish "peer has nothing for me this round" from "slab still in
+// flight" — the beacon is that explicit absence, which is what lets the
+// boundary merge start the moment every peer has spoken. Both parsers are
+// total: a garbled handshake or beacon is rejected before any slab is
+// parsed, exactly like a malformed slab.
+
+/// First byte of a mesh handshake payload.
+inline constexpr std::uint8_t kPeerHelloMagic = 0xAD;
+/// First byte of a mesh empty-round beacon.
+inline constexpr std::uint8_t kPeerBeaconMagic = 0xAE;
+
+struct PeerHello {
+  std::uint32_t shard = 0;
+  std::uint32_t shards = 0;
+};
+
+[[nodiscard]] std::vector<std::byte> encode_peer_hello(std::uint32_t shard,
+                                                       std::uint32_t shards);
+/// Total parse: nullopt on bad magic, truncation, trailing bytes, overflow,
+/// a zero shard count, or a shard id outside [0, shards).
+[[nodiscard]] std::optional<PeerHello> parse_peer_hello(std::span<const std::byte> bytes);
+
+struct PeerBeacon {
+  std::uint32_t shard = 0;
+  Round round = 0;
+};
+
+[[nodiscard]] std::vector<std::byte> encode_peer_beacon(std::uint32_t shard, Round round);
+/// Total parse: nullopt on bad magic, truncation, trailing bytes, overflow,
+/// or a round that is zero or does not fit Round.
+[[nodiscard]] std::optional<PeerBeacon> parse_peer_beacon(std::span<const std::byte> bytes);
+
 }  // namespace idonly

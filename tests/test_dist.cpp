@@ -15,6 +15,7 @@
 
 #include "dist/shard_coordinator.hpp"
 #include "dist/shard_plan.hpp"
+#include "dist/shard_trace.hpp"
 #include "dist/shard_wire.hpp"
 #include "dist/shard_worker.hpp"
 #include "harness/script.hpp"
@@ -164,6 +165,7 @@ TEST(ShardWire, InitStatusRoundTripAndRejectTruncation) {
   init.shard = 3;
   init.shards = 8;
   init.want_trace = true;
+  init.mesh = false;  // non-default, so the round-trip proves the bit moves
   init.crash_at_round = 17;
   init.script_text = kConsensusScript;
   const auto init_bytes = encode_init(init);
@@ -172,6 +174,7 @@ TEST(ShardWire, InitStatusRoundTripAndRejectTruncation) {
   EXPECT_EQ(init2->shard, init.shard);
   EXPECT_EQ(init2->shards, init.shards);
   EXPECT_EQ(init2->want_trace, init.want_trace);
+  EXPECT_EQ(init2->mesh, init.mesh);
   EXPECT_EQ(init2->crash_at_round, init.crash_at_round);
   EXPECT_EQ(init2->script_text, init.script_text);
   EXPECT_FALSE(decode_init(std::span(init_bytes.data(), init_bytes.size() - 1)).has_value());
@@ -195,6 +198,10 @@ TEST(ShardWire, ResultRoundTripCarriesEveryMergedField) {
   result.metrics.fanout.dedup_hits = 3;
   result.metrics.rounds_executed = 42;
   result.metrics.done_round[9] = 17;
+  result.metrics.fanout.coordinator_relay_bytes = 4096;
+  result.metrics.overlap.rounds_overlapped = 40;
+  result.metrics.overlap.recv_stall_ns = 123456789;
+  result.metrics.overlap.slabs_direct = 84;
   result.has_chaos = true;
   result.chaos.per_phase.resize(2);
   result.chaos.per_phase[0].drops = 5;
@@ -227,6 +234,10 @@ TEST(ShardWire, ResultRoundTripCarriesEveryMergedField) {
   EXPECT_EQ(back->metrics.messages.delivered, result.metrics.messages.delivered);
   EXPECT_EQ(back->metrics.fanout.deliveries, result.metrics.fanout.deliveries);
   EXPECT_EQ(back->metrics.fanout.dedup_hits, result.metrics.fanout.dedup_hits);
+  EXPECT_EQ(back->metrics.fanout.coordinator_relay_bytes, 4096u);
+  EXPECT_EQ(back->metrics.overlap.rounds_overlapped, 40u);
+  EXPECT_EQ(back->metrics.overlap.recv_stall_ns, 123456789u);
+  EXPECT_EQ(back->metrics.overlap.slabs_direct, 84u);
   EXPECT_EQ(back->metrics.done_round, result.metrics.done_round);
   EXPECT_TRUE(back->has_chaos);
   ASSERT_EQ(back->chaos.per_phase.size(), 2u);
@@ -349,50 +360,116 @@ TEST(ShardWorkerParity, TotalOrderCanonicalTraceMatchesSingleProcessAtThreeShard
   EXPECT_EQ(fleet, reference);
 }
 
+// ------------------------------------- sharded trace epilogue parity --
+
+TEST(ShardedTraceParity, ExportsMatchRecorderAbsorbRingByteForByte) {
+  // Same rings through both epilogues: PR-8's serial absorb_ring recorder
+  // and the sharded k-way-merge exporter must render identical bytes.
+  const ScenarioScript script = parse_or_die(kConsensusScript);
+  const Scenario scenario = make_scenario(script.config);
+  ChurnDriver churn(script, scenario);
+  InProcessFleet fleet(kConsensusScript, 3, /*want_trace=*/true);
+  for (Round i = 0; i < 12; ++i) {
+    churn.apply(
+        fleet.round + 1, [](NodeId, std::size_t) { return std::unique_ptr<Process>{}; },
+        [](std::unique_ptr<Process>) {}, [](NodeId) {});
+    fleet.run_round();
+  }
+  TraceRecorder recorder(TraceEngine::kSync);
+  ShardedTrace sharded(TraceEngine::kSync);
+  for (auto& worker : fleet.workers) {
+    ShardResult result = worker->finalize();
+    for (ShardResult::Ring& ring : result.rings) {
+      recorder.absorb_ring(ring.node, ring.records, ring.next_seq, ring.evicted);
+    }
+    sharded.absorb_shard(std::move(result.rings));
+  }
+  EXPECT_EQ(sharded.size(), recorder.size());
+  EXPECT_EQ(sharded.evicted(), recorder.evicted());
+  EXPECT_EQ(sharded.jsonl(), recorder.jsonl());
+  EXPECT_EQ(sharded.canonical_jsonl(), recorder.canonical_jsonl());
+}
+
+TEST(ShardedTraceParity, DuplicateNodeAcrossShardsThrows) {
+  ShardedTrace sharded(TraceEngine::kSync);
+  std::vector<ShardResult::Ring> a(1);
+  a[0].node = 7;
+  sharded.absorb_shard(std::move(a));
+  std::vector<ShardResult::Ring> b(1);
+  b[0].node = 7;
+  EXPECT_THROW(sharded.absorb_shard(std::move(b)), std::invalid_argument);
+}
+
 // ------------------------------------------------- forked end-to-end runs --
 
-TEST(RunDist, ConsensusMatchesSingleProcessAcrossShardCounts) {
+TEST(RunDist, ConsensusMatchesSingleProcessAcrossShardCountsAndTopologies) {
   const SingleRun single = run_single_process(kConsensusScript);
   const std::string reference = single.recorder->canonical_jsonl();
-  for (const std::uint32_t shards : {1u, 2u, 4u}) {
-    DistConfig config;
-    config.script_text = kConsensusScript;
-    config.shards = shards;
-    config.want_trace = true;
-    const DistRun dist = run_dist(config);
-    ASSERT_TRUE(dist.infra_ok) << dist.infra_error;
-    EXPECT_EQ(dist.script.summary, single.run.summary) << "shards " << shards;
-    EXPECT_EQ(dist.script.all_satisfied, single.run.all_satisfied);
-    EXPECT_EQ(dist.script.rounds, single.run.rounds);
-    EXPECT_EQ(dist.script.messages, single.run.messages);
-    EXPECT_EQ(dist.script.chaos_summary, single.run.chaos_summary);
-    ASSERT_NE(dist.recorder, nullptr);
-    EXPECT_EQ(dist.recorder->canonical_jsonl(), reference) << "shards " << shards;
-    ASSERT_EQ(dist.script.outcomes.size(), single.run.outcomes.size());
-    for (std::size_t i = 0; i < single.run.outcomes.size(); ++i) {
-      EXPECT_EQ(dist.script.outcomes[i].satisfied, single.run.outcomes[i].satisfied)
-          << to_string(single.run.outcomes[i].expectation);
+  for (const bool mesh : {true, false}) {
+    for (const std::uint32_t shards : {1u, 2u, 4u}) {
+      DistConfig config;
+      config.script_text = kConsensusScript;
+      config.shards = shards;
+      config.mesh = mesh;
+      config.want_trace = true;
+      const DistRun dist = run_dist(config);
+      const std::string tag =
+          std::string(mesh ? "mesh" : "relay") + " shards " + std::to_string(shards);
+      ASSERT_TRUE(dist.infra_ok) << tag << ": " << dist.infra_error;
+      EXPECT_EQ(dist.script.summary, single.run.summary) << tag;
+      EXPECT_EQ(dist.script.all_satisfied, single.run.all_satisfied) << tag;
+      EXPECT_EQ(dist.script.rounds, single.run.rounds) << tag;
+      EXPECT_EQ(dist.script.messages, single.run.messages) << tag;
+      EXPECT_EQ(dist.script.chaos_summary, single.run.chaos_summary) << tag;
+      ASSERT_NE(dist.trace, nullptr) << tag;
+      EXPECT_EQ(dist.trace->canonical_jsonl(), reference) << tag;
+      ASSERT_EQ(dist.script.outcomes.size(), single.run.outcomes.size()) << tag;
+      for (std::size_t i = 0; i < single.run.outcomes.size(); ++i) {
+        EXPECT_EQ(dist.script.outcomes[i].satisfied, single.run.outcomes[i].satisfied)
+            << tag << " " << to_string(single.run.outcomes[i].expectation);
+      }
+      // Topology shows only in the overlap/relay ledgers, never the result:
+      // the mesh moves slabs peer-to-peer, the relay moves them through the
+      // coordinator, and exactly one of the two ledgers is active.
+      if (shards > 1 && mesh) {
+        EXPECT_GT(dist.metrics.overlap.slabs_direct, 0u) << tag;
+        EXPECT_EQ(dist.metrics.fanout.coordinator_relay_bytes, 0u) << tag;
+      }
+      if (shards > 1 && !mesh) {
+        EXPECT_EQ(dist.metrics.overlap.slabs_direct, 0u) << tag;
+        EXPECT_GT(dist.metrics.fanout.coordinator_relay_bytes, 0u) << tag;
+      }
     }
   }
 }
 
-TEST(RunDist, TotalOrderMatchesSingleProcess) {
+TEST(RunDist, TotalOrderMatchesSingleProcessAcrossShardCountsAndTopologies) {
   const SingleRun single = run_single_process(kTotalOrderScript);
-  DistConfig config;
-  config.script_text = kTotalOrderScript;
-  config.shards = 2;
-  config.want_trace = true;
-  const DistRun dist = run_dist(config);
-  ASSERT_TRUE(dist.infra_ok) << dist.infra_error;
-  EXPECT_EQ(dist.script.summary, single.run.summary);
-  ASSERT_NE(dist.recorder, nullptr);
-  EXPECT_EQ(dist.recorder->canonical_jsonl(), single.recorder->canonical_jsonl());
+  const std::string reference = single.recorder->canonical_jsonl();
+  for (const bool mesh : {true, false}) {
+    for (const std::uint32_t shards : {1u, 2u, 4u}) {
+      DistConfig config;
+      config.script_text = kTotalOrderScript;
+      config.shards = shards;
+      config.mesh = mesh;
+      config.want_trace = true;
+      const DistRun dist = run_dist(config);
+      const std::string tag =
+          std::string(mesh ? "mesh" : "relay") + " shards " + std::to_string(shards);
+      ASSERT_TRUE(dist.infra_ok) << tag << ": " << dist.infra_error;
+      EXPECT_EQ(dist.script.summary, single.run.summary) << tag;
+      ASSERT_NE(dist.trace, nullptr) << tag;
+      EXPECT_EQ(dist.trace->canonical_jsonl(), reference) << tag;
+    }
+  }
 }
 
 TEST(RunDist, CrashedWorkerIsDetectedNotHungAndNamed) {
+  // Relay topology: the coordinator reads the dead worker's control EOF.
   DistConfig config;
   config.script_text = kConsensusScript;
   config.shards = 2;
+  config.mesh = false;
   config.crash_at_round = 3;
   config.crash_shard = 1;
   config.wedge_timeout_ms = 30000;  // EOF detection must not need the budget
@@ -400,6 +477,25 @@ TEST(RunDist, CrashedWorkerIsDetectedNotHungAndNamed) {
   EXPECT_FALSE(dist.infra_ok);
   EXPECT_NE(dist.infra_error.find("shard worker 1"), std::string::npos) << dist.infra_error;
   EXPECT_NE(dist.infra_error.find("died"), std::string::npos) << dist.infra_error;
+  EXPECT_FALSE(dist.script.all_satisfied);
+}
+
+TEST(RunDist, PeerSocketEofMidRoundFailsTheMeshRunNotHangsIt) {
+  // Mesh topology: the dying worker's PEERS see the mesh-socket EOF while
+  // waiting for its round frame. Whichever signal the coordinator reads
+  // first — the victim's control EOF or a survivor's kError naming the dead
+  // peer — the run must fail promptly and name a shard.
+  DistConfig config;
+  config.script_text = kConsensusScript;
+  config.shards = 4;
+  config.mesh = true;
+  config.crash_at_round = 3;
+  config.crash_shard = 2;
+  config.wedge_timeout_ms = 30000;  // failure must come from EOF, not timeout
+  const DistRun dist = run_dist(config);
+  EXPECT_FALSE(dist.infra_ok);
+  EXPECT_NE(dist.infra_error.find("shard"), std::string::npos) << dist.infra_error;
+  EXPECT_EQ(dist.infra_error.find("wedged"), std::string::npos) << dist.infra_error;
   EXPECT_FALSE(dist.script.all_satisfied);
 }
 
